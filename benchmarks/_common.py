@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper (or one
+ablation from DESIGN.md) and prints the resulting rows/series, so a
+``pytest benchmarks/ --benchmark-only -s`` run reproduces the paper's
+evaluation section.  Scale is selected by ``REPRO_SCALE`` (``quick`` by
+default; ``paper`` for full-size runs — see EXPERIMENTS.md).
+
+Heavy experiments run exactly once per bench via ``benchmark.pedantic``
+(rounds=1): the interesting output is the *result*, the wall-clock time
+is a bonus measurement.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentScale, current_scale
+
+__all__ = ["bench_scale", "run_once", "print_header"]
+
+
+def bench_scale() -> ExperimentScale:
+    """The scale benches run at (``REPRO_SCALE``, default quick)."""
+    return current_scale(default="quick")
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(
+        func, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )
+
+
+def print_header(title: str) -> None:
+    """A visible banner above each regenerated artifact."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

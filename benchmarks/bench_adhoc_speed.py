@@ -1,0 +1,29 @@
+"""Speed of the seven ad hoc methods.
+
+The paper motivates ad hoc methods as "very fast" with HotSpot having "a
+greater computational cost ... due to the computation of denseness
+property".  This bench times each method on the paper instance —
+expect HotSpot to be the slowest but still far below a single GA
+generation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adhoc.registry import PAPER_METHOD_ORDER, make_method
+from repro.instances.catalog import paper_normal
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return paper_normal().generate()
+
+
+@pytest.mark.parametrize("name", PAPER_METHOD_ORDER)
+def test_adhoc_method_speed(benchmark, problem, name):
+    method = make_method(name)
+    rng = np.random.default_rng(2)
+    placement = benchmark(method.place, problem, rng)
+    assert len(placement) == problem.n_routers

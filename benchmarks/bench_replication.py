@@ -1,0 +1,49 @@
+"""Replication bench — are the paper's claims seed-robust?
+
+The paper reports single runs; this bench replicates the two headline
+comparisons across seeds and prints mean +/- std:
+
+* stand-alone ad hoc methods (Tables 1-3, right columns),
+* Swap vs Random movement in neighborhood search (Figure 4).
+"""
+
+from __future__ import annotations
+
+from _common import bench_scale, print_header, run_once
+
+from repro.experiments.replication import (
+    format_replication,
+    replicate_movements,
+    replicate_standalone,
+)
+from repro.instances.catalog import paper_normal
+
+
+def test_replication_standalone(benchmark):
+    results = run_once(
+        benchmark, replicate_standalone, paper_normal(), n_seeds=5
+    )
+    print_header("Replication — stand-alone ad hoc methods (5 seeds)")
+    print(format_replication(results, "giant / coverage / fitness, mean +/- std"))
+
+    n = paper_normal().n_routers
+    for name, metrics in results.items():
+        # The small-giant regime of the paper holds for every seed.
+        assert metrics["giant"].maximum <= n / 2, name
+
+
+def test_replication_movements(benchmark):
+    scale = bench_scale()
+    results = run_once(
+        benchmark,
+        replicate_movements,
+        paper_normal(),
+        n_seeds=3,
+        n_candidates=scale.ns_candidates,
+        max_phases=scale.ns_phases,
+    )
+    print_header("Replication — Swap vs Random movement (3 seeds)")
+    print(format_replication(results, "final giant / coverage, mean +/- std"))
+
+    # The Figure 4 headline holds in the mean across seeds.
+    assert results["Swap"]["giant"].mean >= results["Random"]["giant"].mean

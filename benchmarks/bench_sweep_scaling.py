@@ -1,0 +1,51 @@
+"""Scaling sweeps — how the paper's conclusions extend beyond its frame.
+
+Two extensions of the evaluation section: the fleet-size sweep (does the
+Swap > Random gap survive smaller/larger deployments?) and the
+radio-range sweep (how does the oscillation ceiling shift the picture?).
+"""
+
+from __future__ import annotations
+
+from _common import bench_scale, print_header, run_once
+
+from repro.experiments.sweeps import (
+    format_sweep,
+    sweep_radio_range,
+    sweep_router_count,
+)
+from repro.instances.catalog import paper_normal
+
+
+def test_sweep_router_count(benchmark):
+    scale = bench_scale()
+    result = run_once(
+        benchmark,
+        sweep_router_count,
+        paper_normal(),
+        counts=(16, 32, 64),
+        scale=scale,
+        seed=1,
+    )
+    print_header("Sweep — fleet size (Swap vs Random final giants)")
+    print(format_sweep(result))
+    for point in result.points:
+        assert point.swap_giant <= point.parameter
+
+
+def test_sweep_radio_range(benchmark):
+    scale = bench_scale()
+    result = run_once(
+        benchmark,
+        sweep_radio_range,
+        paper_normal(),
+        max_radii=(4.0, 7.0, 12.0),
+        scale=scale,
+        seed=1,
+    )
+    print_header("Sweep — radio oscillation ceiling")
+    print(format_sweep(result))
+    weakest = result.points[0]
+    strongest = result.points[-1]
+    # Stronger radios never reduce the stand-alone giant component.
+    assert strongest.standalone_giant >= weakest.standalone_giant

@@ -1,0 +1,14 @@
+"""Generates the paper-scale reproduction report used by EXPERIMENTS.md."""
+import time
+
+from repro.experiments.config import PAPER_SCALE
+from repro.experiments.runner import run_all
+
+start = time.time()
+report = run_all(scale=PAPER_SCALE, seed=1)
+elapsed = time.time() - start
+with open("/root/repo/results/paper_scale_report.txt", "w") as fh:
+    fh.write(report.render_text())
+    fh.write(f"\n[completed in {elapsed / 60:.1f} minutes]\n")
+report.save_csvs("/root/repo/results/csv")
+print(f"done in {elapsed / 60:.1f} min")

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file only enables legacy
+editable installs (``pip install -e . --no-use-pep517``) on environments
+whose setuptools predates PEP 660 wheel-less editable support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""The seven ad hoc placement methods (paper Section 3).
+
+Random, ColLeft, Diag, Cross, Near, Corners and HotSpot — fast topology
+heuristics used stand-alone and as initializers for the genetic
+algorithm and the neighborhood search.
+"""
+
+from repro.adhoc.base import (
+    AdHocMethod,
+    MethodNotApplicableError,
+    PatternedAdHocMethod,
+    nudge_to_free,
+    resolve_collisions,
+)
+from repro.adhoc.colleft import ColLeftPlacement
+from repro.adhoc.corners import CornersPlacement
+from repro.adhoc.cross import CrossPlacement
+from repro.adhoc.diag import DiagPlacement
+from repro.adhoc.hotspot import HotSpotPlacement
+from repro.adhoc.near import NearPlacement
+from repro.adhoc.random_placement import RandomPlacement
+from repro.adhoc.registry import (
+    PAPER_METHOD_ORDER,
+    available_methods,
+    make_method,
+    paper_methods,
+    register_method,
+)
+
+__all__ = [
+    "AdHocMethod",
+    "MethodNotApplicableError",
+    "PatternedAdHocMethod",
+    "nudge_to_free",
+    "resolve_collisions",
+    "ColLeftPlacement",
+    "CornersPlacement",
+    "CrossPlacement",
+    "DiagPlacement",
+    "HotSpotPlacement",
+    "NearPlacement",
+    "RandomPlacement",
+    "PAPER_METHOD_ORDER",
+    "available_methods",
+    "make_method",
+    "paper_methods",
+    "register_method",
+]

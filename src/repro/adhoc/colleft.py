@@ -1,0 +1,74 @@
+"""ColLeft placement (paper Section 3, method 2).
+
+"This method places almost all mesh routers at the left side of the grid
+area. ... The method is usually applicable when the number of mesh
+routers is (proportionally) smaller than grid area height, for instance,
+one third of the height."
+
+Pattern routers are spread evenly down a narrow band of left-most
+columns; the even vertical spacing is what makes this a *pattern* rather
+than a uniform draw over the band.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+import numpy as np
+
+from repro.adhoc.base import PatternedAdHocMethod
+from repro.core.geometry import Point
+from repro.core.grid import GridArea
+from repro.core.problem import ProblemInstance
+
+__all__ = ["ColLeftPlacement"]
+
+
+class ColLeftPlacement(PatternedAdHocMethod):
+    """Routers stacked along the left edge of the grid.
+
+    ``band_width`` is the number of left-most columns used by the
+    pattern; ``None`` derives a narrow band from the grid width
+    (1/32nd, at least one column).
+    """
+
+    name: ClassVar[str] = "colleft"
+
+    def __init__(
+        self,
+        band_width: int | None = None,
+        pattern_fraction: float = 0.9,
+        strict: bool = False,
+    ) -> None:
+        super().__init__(pattern_fraction=pattern_fraction, strict=strict)
+        if band_width is not None and band_width <= 0:
+            raise ValueError(f"band_width must be positive, got {band_width}")
+        self.band_width = band_width
+
+    def effective_band_width(self, grid: GridArea) -> int:
+        """Columns used by the pattern on the given grid."""
+        if self.band_width is not None:
+            return min(self.band_width, grid.width)
+        return max(1, grid.width // 32)
+
+    def is_applicable(self, grid: GridArea) -> bool:
+        """Paper condition: router count at most ~height (see class doc).
+
+        The condition involves the fleet, which ``is_applicable`` cannot
+        see; the grid-only check verifies a band exists at all.
+        """
+        return grid.width >= 1
+
+    def pattern_cells(
+        self, problem: ProblemInstance, count: int, rng: np.random.Generator
+    ) -> list[Point]:
+        grid = problem.grid
+        band = self.effective_band_width(grid)
+        cells: list[Point] = []
+        for index in range(count):
+            # Even vertical spacing; round-robin across the band columns.
+            y = int(round((index + 0.5) * grid.height / count))
+            y = min(grid.height - 1, max(0, y))
+            x = index % band
+            cells.append(Point(x, y))
+        return cells

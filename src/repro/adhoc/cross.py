@@ -1,0 +1,80 @@
+"""Cross placement (paper Section 3, method 4).
+
+"This method tends to place mesh routers along both diagonals of the
+grid area.  Similar conditions as the ones for Diagonal placement are
+required to ensure applicability of the method."
+
+Pattern routers alternate between the main diagonal (top-left to
+bottom-right in matrix terms) and the anti-diagonal, forming an X across
+the deployment area.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+import numpy as np
+
+from repro.adhoc.base import PatternedAdHocMethod
+from repro.core.geometry import Point
+from repro.core.grid import GridArea
+from repro.core.problem import ProblemInstance
+
+__all__ = ["CrossPlacement"]
+
+
+class CrossPlacement(PatternedAdHocMethod):
+    """Routers along both diagonals of the grid.
+
+    ``jitter`` works as in :class:`~repro.adhoc.diag.DiagPlacement`.
+    """
+
+    name: ClassVar[str] = "cross"
+
+    def __init__(
+        self,
+        jitter: int = 0,
+        pattern_fraction: float = 0.9,
+        strict: bool = False,
+    ) -> None:
+        super().__init__(pattern_fraction=pattern_fraction, strict=strict)
+        if jitter < 0:
+            raise ValueError(f"jitter must be non-negative, got {jitter}")
+        self.jitter = jitter
+
+    def is_applicable(self, grid: GridArea) -> bool:
+        """Width and height within 10% of each other (paper condition)."""
+        return grid.is_near_square(tolerance=0.10)
+
+    def pattern_cells(
+        self, problem: ProblemInstance, count: int, rng: np.random.Generator
+    ) -> list[Point]:
+        grid = problem.grid
+        n_main = (count + 1) // 2
+        n_anti = count - n_main
+        cells: list[Point] = []
+        for index in range(n_main):
+            fraction = (index + 0.5) / n_main
+            cells.append(
+                Point(
+                    int(fraction * (grid.width - 1)),
+                    int(fraction * (grid.height - 1)),
+                )
+            )
+        for index in range(n_anti):
+            fraction = (index + 0.5) / n_anti
+            cells.append(
+                Point(
+                    int(fraction * (grid.width - 1)),
+                    int((1.0 - fraction) * (grid.height - 1)),
+                )
+            )
+        if self.jitter > 0:
+            cells = [
+                Point(
+                    cell.x + int(rng.integers(-self.jitter, self.jitter + 1)),
+                    cell.y + int(rng.integers(-self.jitter, self.jitter + 1)),
+                )
+                for cell in cells
+            ]
+        return cells

@@ -1,0 +1,61 @@
+"""Diagonal placement (paper Section 3, method 3).
+
+"Mesh routers are concentrated along the (main) diagonal of the grid
+area. ... this method is appropriate when the grid area fulfils some
+conditions such as the height and width must have similar values (we
+considered the case of 10% difference in their values)."
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+import numpy as np
+
+from repro.adhoc.base import PatternedAdHocMethod
+from repro.core.geometry import Point
+from repro.core.grid import GridArea
+from repro.core.problem import ProblemInstance
+
+__all__ = ["DiagPlacement"]
+
+
+class DiagPlacement(PatternedAdHocMethod):
+    """Routers evenly spaced along the main diagonal.
+
+    ``jitter`` spreads pattern routers up to that many cells
+    perpendicular to the diagonal, producing a diagonal *band* rather
+    than a perfect line (0 keeps the exact diagonal).
+    """
+
+    name: ClassVar[str] = "diag"
+
+    def __init__(
+        self,
+        jitter: int = 0,
+        pattern_fraction: float = 0.9,
+        strict: bool = False,
+    ) -> None:
+        super().__init__(pattern_fraction=pattern_fraction, strict=strict)
+        if jitter < 0:
+            raise ValueError(f"jitter must be non-negative, got {jitter}")
+        self.jitter = jitter
+
+    def is_applicable(self, grid: GridArea) -> bool:
+        """Width and height within 10% of each other (paper condition)."""
+        return grid.is_near_square(tolerance=0.10)
+
+    def pattern_cells(
+        self, problem: ProblemInstance, count: int, rng: np.random.Generator
+    ) -> list[Point]:
+        grid = problem.grid
+        cells: list[Point] = []
+        for index in range(count):
+            fraction = (index + 0.5) / count
+            x = int(fraction * (grid.width - 1))
+            y = int(fraction * (grid.height - 1))
+            if self.jitter > 0:
+                x += int(rng.integers(-self.jitter, self.jitter + 1))
+                y += int(rng.integers(-self.jitter, self.jitter + 1))
+            cells.append(Point(x, y))
+        return cells

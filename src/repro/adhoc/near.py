@@ -1,0 +1,81 @@
+"""Near placement (paper Section 3, method 5).
+
+"In this method mesh routers are concentrated in the central zone of the
+grid area.  To apply the method, minimum and maximum (user specified)
+values are considered to trace a rectangle in the central part of the
+grid area; routers are distributed in the rectangle cells."
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+import numpy as np
+
+from repro.adhoc.base import PatternedAdHocMethod
+from repro.core.geometry import Point, Rect
+from repro.core.grid import GridArea
+from repro.core.problem import ProblemInstance
+
+__all__ = ["NearPlacement"]
+
+
+class NearPlacement(PatternedAdHocMethod):
+    """Routers uniformly spread inside a central rectangle.
+
+    ``zone_fraction`` sizes the central rectangle relative to the grid
+    (0.5 -> half of each dimension); alternatively pass explicit
+    ``zone_width`` / ``zone_height`` cell counts — the "user specified
+    values" of the paper.
+    """
+
+    name: ClassVar[str] = "near"
+
+    def __init__(
+        self,
+        zone_fraction: float = 0.5,
+        zone_width: int | None = None,
+        zone_height: int | None = None,
+        pattern_fraction: float = 0.9,
+        strict: bool = False,
+    ) -> None:
+        super().__init__(pattern_fraction=pattern_fraction, strict=strict)
+        if not 0.0 < zone_fraction <= 1.0:
+            raise ValueError(
+                f"zone_fraction must be in (0, 1], got {zone_fraction}"
+            )
+        if zone_width is not None and zone_width <= 0:
+            raise ValueError(f"zone_width must be positive, got {zone_width}")
+        if zone_height is not None and zone_height <= 0:
+            raise ValueError(f"zone_height must be positive, got {zone_height}")
+        self.zone_fraction = zone_fraction
+        self.zone_width = zone_width
+        self.zone_height = zone_height
+
+    def central_zone(self, grid: GridArea) -> Rect:
+        """The central rectangle the pattern fills on the given grid."""
+        width = (
+            self.zone_width
+            if self.zone_width is not None
+            else max(1, int(round(grid.width * self.zone_fraction)))
+        )
+        height = (
+            self.zone_height
+            if self.zone_height is not None
+            else max(1, int(round(grid.height * self.zone_fraction)))
+        )
+        return grid.central_rect(min(width, grid.width), min(height, grid.height))
+
+    def pattern_cells(
+        self, problem: ProblemInstance, count: int, rng: np.random.Generator
+    ) -> list[Point]:
+        grid = problem.grid
+        zone = self.central_zone(grid)
+        if zone.area >= count:
+            return grid.sample_distinct_cells(count, rng, within=zone)
+        # Zone smaller than the pattern share: fill the zone completely,
+        # the base class nudges the surplus outwards.
+        cells = list(zone.cells())
+        while len(cells) < count:
+            cells.append(zone.center)
+        return cells[:count]

@@ -1,0 +1,27 @@
+"""Random placement (paper Section 3, method 1).
+
+"Mesh router nodes are uniformly at random distributed in the grid
+area."  The baseline every other method is judged against, and the
+classic initializer the paper argues ad hoc methods improve upon.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+import numpy as np
+
+from repro.adhoc.base import AdHocMethod
+from repro.core.problem import ProblemInstance
+from repro.core.solution import Placement
+
+__all__ = ["RandomPlacement"]
+
+
+class RandomPlacement(AdHocMethod):
+    """Uniformly random distinct cells for every router."""
+
+    name: ClassVar[str] = "random"
+
+    def place(self, problem: ProblemInstance, rng: np.random.Generator) -> Placement:
+        return Placement.random(problem.grid, problem.n_routers, rng)

@@ -1,0 +1,75 @@
+"""Name-based lookup of ad hoc methods.
+
+The experiment harness iterates "the seven ad hoc methods" in the
+paper's order; :func:`paper_methods` returns exactly that list, and
+:func:`make_method` resolves individual names for the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.adhoc.base import AdHocMethod
+from repro.adhoc.colleft import ColLeftPlacement
+from repro.adhoc.corners import CornersPlacement
+from repro.adhoc.cross import CrossPlacement
+from repro.adhoc.diag import DiagPlacement
+from repro.adhoc.hotspot import HotSpotPlacement
+from repro.adhoc.near import NearPlacement
+from repro.adhoc.random_placement import RandomPlacement
+
+__all__ = [
+    "PAPER_METHOD_ORDER",
+    "available_methods",
+    "make_method",
+    "paper_methods",
+    "register_method",
+]
+
+#: The paper's presentation order (Section 3, Tables 1-3).
+PAPER_METHOD_ORDER: tuple[str, ...] = (
+    "random",
+    "colleft",
+    "diag",
+    "cross",
+    "near",
+    "corners",
+    "hotspot",
+)
+
+_FACTORIES: dict[str, Callable[..., AdHocMethod]] = {
+    RandomPlacement.name: RandomPlacement,
+    ColLeftPlacement.name: ColLeftPlacement,
+    DiagPlacement.name: DiagPlacement,
+    CrossPlacement.name: CrossPlacement,
+    NearPlacement.name: NearPlacement,
+    CornersPlacement.name: CornersPlacement,
+    HotSpotPlacement.name: HotSpotPlacement,
+}
+
+
+def available_methods() -> list[str]:
+    """Names of all registered ad hoc methods, sorted."""
+    return sorted(_FACTORIES)
+
+
+def register_method(name: str, factory: Callable[..., AdHocMethod]) -> None:
+    """Register a custom ad hoc method under ``name``."""
+    if name in _FACTORIES:
+        raise ValueError(f"ad hoc method {name!r} is already registered")
+    _FACTORIES[name] = factory
+
+
+def make_method(name: str, **parameters) -> AdHocMethod:
+    """Instantiate the ad hoc method registered under ``name``."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(available_methods())
+        raise ValueError(f"unknown ad hoc method {name!r}; known: {known}") from None
+    return factory(**parameters)
+
+
+def paper_methods() -> list[AdHocMethod]:
+    """The seven methods with default parameters, in the paper's order."""
+    return [make_method(name) for name in PAPER_METHOD_ORDER]

@@ -1,0 +1,375 @@
+"""Command-line interface.
+
+``wmn-placement`` exposes the library's main workflows:
+
+* ``generate`` — materialize a benchmark instance to JSON.
+* ``place`` — run one ad hoc method on an instance and report metrics.
+* ``search`` — run neighborhood search (swap or random movement).
+* ``ga`` — run the genetic algorithm with a chosen initializer.
+* ``reproduce`` — regenerate every table and figure of the paper.
+* ``replicate`` — multi-seed replication of the headline comparisons.
+* ``sweep`` — scaling sweeps around the paper's operating point.
+
+Every command accepts ``--seed`` and prints deterministic results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.adhoc.registry import available_methods, make_method
+from repro.core.evaluation import Evaluator
+from repro.distributions.registry import available_distributions
+from repro.experiments.config import PAPER_SCALE, QUICK_SCALE
+from repro.experiments.runner import run_all
+from repro.genetic.engine import GAConfig, GeneticAlgorithm
+from repro.genetic.initializers import AdHocInitializer
+from repro.instances.generator import InstanceSpec
+from repro.instances.serializer import load_instance, save_instance, save_placement
+from repro.neighborhood.registry import available_movements, make_movement
+from repro.neighborhood.search import NeighborhoodSearch
+from repro.viz.ascii_chart import render_chart
+from repro.viz.ascii_map import render_evaluation
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="wmn-placement",
+        description=(
+            "Mesh router placement in Wireless Mesh Networks: ad hoc and "
+            "neighborhood search methods (Xhafa, Sanchez & Barolli, 2009)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="generate a benchmark instance as JSON"
+    )
+    generate.add_argument("output", help="path of the instance JSON to write")
+    generate.add_argument(
+        "--distribution",
+        default="normal",
+        choices=available_distributions(),
+        help="client distribution (default: normal)",
+    )
+    generate.add_argument("--width", type=int, default=128)
+    generate.add_argument("--height", type=int, default=128)
+    generate.add_argument("--routers", type=int, default=64)
+    generate.add_argument("--clients", type=int, default=192)
+    generate.add_argument("--min-radius", type=float, default=1.5)
+    generate.add_argument("--max-radius", type=float, default=7.0)
+    generate.add_argument("--seed", type=int, default=0)
+
+    place = subparsers.add_parser(
+        "place", help="run one ad hoc placement method on an instance"
+    )
+    place.add_argument("instance", help="instance JSON (from 'generate')")
+    place.add_argument(
+        "--method",
+        default="hotspot",
+        choices=available_methods(),
+        help="ad hoc method (default: hotspot)",
+    )
+    place.add_argument("--seed", type=int, default=0)
+    place.add_argument("--output", help="write the placement JSON here")
+    place.add_argument(
+        "--render", action="store_true", help="print an ASCII map of the result"
+    )
+
+    search = subparsers.add_parser(
+        "search", help="run neighborhood search on an instance"
+    )
+    search.add_argument("instance", help="instance JSON (from 'generate')")
+    search.add_argument(
+        "--movement",
+        default="swap",
+        choices=available_movements(),
+        help="movement type (default: swap)",
+    )
+    search.add_argument(
+        "--init",
+        default="random",
+        choices=available_methods(),
+        help="ad hoc method generating the initial solution",
+    )
+    search.add_argument("--phases", type=int, default=64)
+    search.add_argument("--candidates", type=int, default=16)
+    search.add_argument("--seed", type=int, default=0)
+    search.add_argument("--output", help="write the best placement JSON here")
+    search.add_argument(
+        "--render", action="store_true", help="print an ASCII map of the result"
+    )
+    search.add_argument(
+        "--trace", action="store_true", help="print the phase-by-phase trace"
+    )
+
+    ga = subparsers.add_parser(
+        "ga", help="run the genetic algorithm on an instance"
+    )
+    ga.add_argument("instance", help="instance JSON (from 'generate')")
+    ga.add_argument(
+        "--init",
+        default="hotspot",
+        choices=available_methods(),
+        help="ad hoc method initializing the population",
+    )
+    ga.add_argument("--population", type=int, default=64)
+    ga.add_argument("--generations", type=int, default=200)
+    ga.add_argument("--seed", type=int, default=0)
+    ga.add_argument("--output", help="write the best placement JSON here")
+    ga.add_argument(
+        "--render", action="store_true", help="print an ASCII map of the result"
+    )
+
+    reproduce = subparsers.add_parser(
+        "reproduce", help="regenerate every table and figure of the paper"
+    )
+    reproduce.add_argument(
+        "--scale",
+        default="quick",
+        choices=["quick", "paper"],
+        help="effort level (default: quick)",
+    )
+    reproduce.add_argument("--seed", type=int, default=1)
+    reproduce.add_argument(
+        "--charts",
+        action="store_true",
+        help="also draw each figure as an ASCII chart",
+    )
+    reproduce.add_argument(
+        "--csv-dir", help="also write one CSV per table/figure into this directory"
+    )
+
+    replicate = subparsers.add_parser(
+        "replicate",
+        help="multi-seed replication of the stand-alone and movement studies",
+    )
+    replicate.add_argument("instance", help="instance JSON (from 'generate')")
+    replicate.add_argument("--seeds", type=int, default=5)
+    replicate.add_argument("--phases", type=int, default=30)
+    replicate.add_argument("--candidates", type=int, default=16)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="scaling sweeps around the paper's operating point"
+    )
+    sweep.add_argument(
+        "--parameter",
+        default="routers",
+        choices=["routers", "radius"],
+        help="what to sweep (default: routers)",
+    )
+    sweep.add_argument(
+        "--values",
+        default=None,
+        help="comma-separated parameter values (e.g. 16,32,64)",
+    )
+    sweep.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "place": _cmd_place,
+        "search": _cmd_search,
+        "ga": _cmd_ga,
+        "reproduce": _cmd_reproduce,
+        "replicate": _cmd_replicate,
+        "sweep": _cmd_sweep,
+    }
+    try:
+        return handlers[args.command](args)
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    spec = InstanceSpec(
+        name=f"cli-{args.distribution}",
+        width=args.width,
+        height=args.height,
+        n_routers=args.routers,
+        n_clients=args.clients,
+        distribution=args.distribution,
+        min_radius=args.min_radius,
+        max_radius=args.max_radius,
+        seed=args.seed,
+    )
+    problem = spec.generate()
+    save_instance(problem, args.output)
+    print(f"wrote {args.output}: {spec.describe()}")
+    return 0
+
+
+def _cmd_place(args: argparse.Namespace) -> int:
+    problem = load_instance(args.instance)
+    method = make_method(args.method)
+    rng = np.random.default_rng(args.seed)
+    placement = method.place(problem, rng)
+    evaluation = Evaluator(problem).evaluate(placement)
+    if args.render:
+        print(render_evaluation(problem, evaluation))
+    else:
+        print(evaluation.summary())
+    if args.output:
+        save_placement(placement, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    problem = load_instance(args.instance)
+    rng = np.random.default_rng(args.seed)
+    initial = make_method(args.init).place(problem, rng)
+    evaluator = Evaluator(problem)
+    search = NeighborhoodSearch(
+        movement=make_movement(args.movement),
+        n_candidates=args.candidates,
+        max_phases=args.phases,
+        stall_phases=None,
+    )
+    result = search.run(evaluator, initial, rng)
+    if args.trace:
+        for record in result.trace:
+            marker = "*" if record.improved else " "
+            print(
+                f"phase {record.phase:4d}{marker} giant={record.giant_size:4d} "
+                f"coverage={record.covered_clients:4d} "
+                f"fitness={record.fitness:.4f}"
+            )
+    if args.render:
+        print(render_evaluation(problem, result.best))
+    else:
+        print(result.best.summary())
+    print(f"({result.n_phases} phases, {result.n_evaluations} evaluations)")
+    if args.output:
+        save_placement(result.best.placement, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_ga(args: argparse.Namespace) -> int:
+    problem = load_instance(args.instance)
+    rng = np.random.default_rng(args.seed)
+    evaluator = Evaluator(problem)
+    ga = GeneticAlgorithm(
+        GAConfig(
+            population_size=args.population, n_generations=args.generations
+        )
+    )
+    result = ga.run(evaluator, AdHocInitializer(make_method(args.init)), rng)
+    if args.render:
+        print(render_evaluation(problem, result.best))
+    else:
+        print(result.best.summary())
+    print(f"({result.n_generations} generations, {result.n_evaluations} evaluations)")
+    if args.output:
+        save_placement(result.best.placement, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    scale = PAPER_SCALE if args.scale == "paper" else QUICK_SCALE
+    report = run_all(scale=scale, seed=args.seed)
+    print(report.render_text())
+    if args.charts:
+        for figure in report.figures:
+            print(f"Figure {figure.figure_number} — {figure.title}")
+            print(
+                render_chart(
+                    {
+                        series.label: list(zip(series.x, series.giant_sizes))
+                        for series in figure.series
+                    },
+                    x_label=figure.x_label,
+                    y_label="giant",
+                )
+            )
+            print()
+    if args.csv_dir:
+        written = report.save_csvs(args.csv_dir)
+        for path in written:
+            print(f"wrote {path}")
+    return 0
+
+
+def _cmd_replicate(args: argparse.Namespace) -> int:
+    from repro.experiments.replication import (
+        format_replication,
+        replicate_movements,
+        replicate_standalone,
+    )
+    from repro.instances.serializer import load_instance as _load
+
+    # Replication needs a generation recipe; rebuild one matching the
+    # instance's frame (the radio interval is taken from the actual
+    # fleet, the client law defaults to Normal).
+    problem = _load(args.instance)
+    radii = problem.fleet.radii
+    spec = InstanceSpec(
+        name="cli-replication",
+        width=problem.grid.width,
+        height=problem.grid.height,
+        n_routers=problem.n_routers,
+        n_clients=problem.n_clients,
+        min_radius=float(radii.min()),
+        max_radius=float(radii.max()),
+        link_rule=problem.link_rule,
+        coverage_rule=problem.coverage_rule,
+    )
+    standalone = replicate_standalone(spec, n_seeds=args.seeds)
+    print(format_replication(standalone, "stand-alone ad hoc methods"))
+    movements = replicate_movements(
+        spec,
+        n_seeds=args.seeds,
+        n_candidates=args.candidates,
+        max_phases=args.phases,
+    )
+    print(format_replication(movements, "neighborhood search movements"))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweeps import (
+        format_sweep,
+        sweep_radio_range,
+        sweep_router_count,
+    )
+    from repro.instances.catalog import paper_normal
+
+    base = paper_normal()
+    if args.parameter == "routers":
+        values = (
+            tuple(int(v) for v in args.values.split(","))
+            if args.values
+            else (16, 32, 64)
+        )
+        result = sweep_router_count(base, counts=values, seed=args.seed)
+    else:
+        values = (
+            tuple(float(v) for v in args.values.split(","))
+            if args.values
+            else (4.0, 7.0, 12.0)
+        )
+        result = sweep_radio_range(base, max_radii=values, seed=args.seed)
+    print(format_sweep(result))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,121 @@
+"""Mesh clients ("matrix of clients").
+
+An instance contains "M client mesh nodes located in arbitrary points of
+the considered area, defining a matrix of clients" (Section 2).  Client
+positions are fixed for the lifetime of an instance; only routers move.
+
+:class:`ClientSet` stores the clients both as value objects (for
+readability and serialization) and as a dense ``(M, 2)`` numpy array (for
+the vectorized coverage and density computations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.geometry import Point, Rect
+from repro.core.grid import GridArea
+
+__all__ = ["MeshClient", "ClientSet"]
+
+
+@dataclass(frozen=True, slots=True)
+class MeshClient:
+    """A single mesh client at a fixed grid cell."""
+
+    client_id: int
+    cell: Point
+
+    def __post_init__(self) -> None:
+        if self.client_id < 0:
+            raise ValueError(f"client_id must be non-negative, got {self.client_id}")
+
+
+@dataclass(frozen=True)
+class ClientSet:
+    """An immutable, ordered collection of :class:`MeshClient`.
+
+    Multiple clients may share a cell (real users cluster), so unlike
+    router placements there is no distinctness constraint.
+    """
+
+    clients: tuple[MeshClient, ...]
+    _positions: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        for index, client in enumerate(self.clients):
+            if client.client_id != index:
+                raise ValueError(
+                    f"client at position {index} has id {client.client_id}; "
+                    "client ids must equal positions"
+                )
+        if self.clients:
+            positions = np.array(
+                [[client.cell.x, client.cell.y] for client in self.clients],
+                dtype=float,
+            )
+        else:
+            positions = np.zeros((0, 2), dtype=float)
+        positions.setflags(write=False)
+        object.__setattr__(self, "_positions", positions)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_points(cls, points: Sequence[Point], grid: GridArea | None = None) -> "ClientSet":
+        """Build a client set from explicit cells.
+
+        When ``grid`` is given every cell is validated against it.
+        """
+        cells = [Point(int(point[0]), int(point[1])) for point in points]
+        if grid is not None:
+            for cell in cells:
+                grid.require_inside(cell)
+        return cls(
+            tuple(
+                MeshClient(client_id=index, cell=cell)
+                for index, cell in enumerate(cells)
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.clients)
+
+    def __iter__(self) -> Iterator[MeshClient]:
+        return iter(self.clients)
+
+    def __getitem__(self, index: int) -> MeshClient:
+        return self.clients[index]
+
+    # ------------------------------------------------------------------
+    # Spatial queries
+    # ------------------------------------------------------------------
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Read-only ``(M, 2)`` array of client coordinates."""
+        return self._positions
+
+    def count_in(self, rect: Rect) -> int:
+        """Number of clients inside ``rect``."""
+        if not self.clients:
+            return 0
+        xs = self._positions[:, 0]
+        ys = self._positions[:, 1]
+        inside = (
+            (xs >= rect.x0) & (xs < rect.x1) & (ys >= rect.y0) & (ys < rect.y1)
+        )
+        return int(np.count_nonzero(inside))
+
+    def cells(self) -> list[Point]:
+        """All client cells, in id order (with duplicates preserved)."""
+        return [client.cell for client in self.clients]

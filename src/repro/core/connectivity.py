@@ -1,0 +1,163 @@
+"""Connected components and the giant component.
+
+"Network connectivity is measured through the size of the giant
+component" (Section 2).  This module implements the graph machinery from
+scratch: a union-find (disjoint set union) structure with path
+compression and union by size, component labeling and giant-component
+extraction.  ``networkx`` is used only in the test suite, to
+cross-validate these implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["UnionFind", "ComponentStructure", "connected_components", "giant_component_mask"]
+
+
+class UnionFind:
+    """Disjoint-set union with path compression and union by size.
+
+    Elements are the integers ``0 .. n-1``.  Amortized near-constant time
+    per operation; the evaluation hot path unions the edge list of the
+    router graph on every fitness call.
+    """
+
+    __slots__ = ("_parent", "_size", "_n_components")
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"element count must be non-negative, got {n}")
+        self._parent = list(range(n))
+        self._size = [1] * n
+        self._n_components = n
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    @property
+    def n_components(self) -> int:
+        """Current number of disjoint sets."""
+        return self._n_components
+
+    def find(self, element: int) -> int:
+        """Representative of the set containing ``element``."""
+        parent = self._parent
+        root = element
+        while parent[root] != root:
+            root = parent[root]
+        # Path compression: point every node on the path at the root.
+        while parent[element] != root:
+            parent[element], element = root, parent[element]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets containing ``a`` and ``b``.
+
+        Returns ``True`` when a merge happened (the elements were in
+        different sets), ``False`` when they were already together.
+        """
+        root_a = self.find(a)
+        root_b = self.find(b)
+        if root_a == root_b:
+            return False
+        # Union by size: attach the smaller tree under the larger.
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+        self._n_components -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        """Whether ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def component_size(self, element: int) -> int:
+        """Size of the set containing ``element``."""
+        return self._size[self.find(element)]
+
+    def labels(self) -> np.ndarray:
+        """Canonical component label per element (root index)."""
+        return np.array([self.find(i) for i in range(len(self._parent))], dtype=int)
+
+
+@dataclass(frozen=True)
+class ComponentStructure:
+    """The component decomposition of a graph on ``n`` nodes.
+
+    ``labels[i]`` is the canonical label (root id) of node ``i``'s
+    component; ``sizes`` maps each label to its component size.
+    """
+
+    labels: np.ndarray
+    sizes: dict[int, int]
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the underlying graph."""
+        return int(self.labels.shape[0])
+
+    @property
+    def n_components(self) -> int:
+        """Number of connected components."""
+        return len(self.sizes)
+
+    @property
+    def giant_size(self) -> int:
+        """Size of the largest component (0 for an empty graph)."""
+        if not self.sizes:
+            return 0
+        return max(self.sizes.values())
+
+    def giant_label(self) -> int:
+        """Label of the largest component (smallest label wins ties).
+
+        Deterministic tie-breaking keeps experiment runs reproducible.
+        """
+        if not self.sizes:
+            raise ValueError("empty graph has no components")
+        best = max(self.sizes.values())
+        return min(label for label, size in self.sizes.items() if size == best)
+
+    def giant_mask(self) -> np.ndarray:
+        """Boolean mask of the nodes in the giant component."""
+        if self.n_nodes == 0:
+            return np.zeros(0, dtype=bool)
+        return self.labels == self.giant_label()
+
+    def members(self, label: int) -> list[int]:
+        """The node ids of the component with the given label."""
+        return [int(i) for i in np.flatnonzero(self.labels == label)]
+
+    def component_of(self, node: int) -> int:
+        """Label of the component containing ``node``."""
+        return int(self.labels[node])
+
+
+def connected_components(
+    n_nodes: int, edges: Iterable[tuple[int, int]]
+) -> ComponentStructure:
+    """Component decomposition of the graph ``(range(n_nodes), edges)``."""
+    if n_nodes < 0:
+        raise ValueError(f"node count must be non-negative, got {n_nodes}")
+    dsu = UnionFind(n_nodes)
+    for a, b in edges:
+        if not (0 <= a < n_nodes and 0 <= b < n_nodes):
+            raise ValueError(f"edge ({a}, {b}) out of range for {n_nodes} nodes")
+        dsu.union(a, b)
+    labels = dsu.labels()
+    sizes: dict[int, int] = {}
+    for label in labels:
+        sizes[int(label)] = sizes.get(int(label), 0) + 1
+    return ComponentStructure(labels=labels, sizes=sizes)
+
+
+def giant_component_mask(
+    n_nodes: int, edges: Sequence[tuple[int, int]]
+) -> np.ndarray:
+    """Shortcut: boolean membership mask of the giant component."""
+    return connected_components(n_nodes, edges).giant_mask()

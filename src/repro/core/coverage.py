@@ -1,0 +1,81 @@
+"""User coverage.
+
+"User coverage ... refers to the number of mesh client nodes connected to
+the WMN" (Section 2).  A client is covered when it lies within the radio
+coverage radius of a qualifying router; the instance's
+:class:`~repro.core.radio.CoverageRule` decides whether only routers in
+the giant component qualify (default) or any router does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import ProblemInstance
+from repro.core.radio import CoverageRule
+from repro.core.solution import Placement
+
+__all__ = ["coverage_mask", "covered_clients", "coverage_matrix"]
+
+
+def coverage_matrix(
+    client_positions: np.ndarray, router_positions: np.ndarray, radii: np.ndarray
+) -> np.ndarray:
+    """Boolean ``(M, N)`` matrix: client ``m`` within range of router ``n``."""
+    if client_positions.size == 0:
+        return np.zeros((0, router_positions.shape[0]), dtype=bool)
+    # Per-axis broadcasting beats building an (M, N, 2) delta tensor on
+    # this hot path (called once per fitness evaluation).
+    dx = client_positions[:, 0:1] - router_positions[np.newaxis, :, 0]
+    dy = client_positions[:, 1:2] - router_positions[np.newaxis, :, 1]
+    squared_distance = dx * dx + dy * dy
+    return squared_distance <= (radii * radii)[np.newaxis, :]
+
+
+def coverage_mask(
+    problem: ProblemInstance,
+    placement: Placement,
+    router_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Boolean mask over clients: covered or not.
+
+    ``router_mask`` restricts which routers may cover (typically the
+    giant-component mask).  When ``None``, the rule from the problem
+    instance is applied by the caller — this function covers with every
+    router in the mask (or all routers when no mask is given).
+    """
+    matrix = coverage_matrix(
+        problem.clients.positions, placement.positions_array(), problem.fleet.radii
+    )
+    if router_mask is not None:
+        if router_mask.shape != (problem.n_routers,):
+            raise ValueError(
+                f"router_mask shape {router_mask.shape} does not match "
+                f"{problem.n_routers} routers"
+            )
+        matrix = matrix[:, router_mask]
+    if matrix.shape[1] == 0:
+        return np.zeros(problem.n_clients, dtype=bool)
+    return matrix.any(axis=1)
+
+
+def covered_clients(
+    problem: ProblemInstance,
+    placement: Placement,
+    giant_mask: np.ndarray | None = None,
+) -> int:
+    """Number of covered clients under the instance's coverage rule.
+
+    For ``CoverageRule.GIANT_ONLY`` the caller should pass the giant
+    component's ``giant_mask`` (the evaluation engine already has it); it
+    is computed on demand otherwise.
+    """
+    if problem.coverage_rule is CoverageRule.ANY_ROUTER:
+        mask = coverage_mask(problem, placement, router_mask=None)
+        return int(np.count_nonzero(mask))
+    if giant_mask is None:
+        from repro.core.network import RouterNetwork
+
+        giant_mask = RouterNetwork.build(problem, placement).giant_mask()
+    mask = coverage_mask(problem, placement, router_mask=giant_mask)
+    return int(np.count_nonzero(mask))

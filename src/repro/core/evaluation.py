@@ -1,0 +1,138 @@
+"""The evaluation engine.
+
+Everything an optimizer needs to know about a candidate placement in one
+call: :class:`Evaluator` builds the router network, extracts the giant
+component, computes user coverage under the instance's coverage rule and
+scalarizes the result through the configured fitness function.
+
+The returned :class:`Evaluation` is an immutable snapshot; search
+algorithms compare evaluations, never recompute pieces by hand.  The
+evaluator also counts how many evaluations it has performed —
+experiments report search cost in evaluations, which is
+machine-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.coverage import coverage_mask
+from repro.core.fitness import FitnessFunction, NetworkMetrics, WeightedSumFitness
+from repro.core.network import RouterNetwork
+from repro.core.problem import ProblemInstance
+from repro.core.radio import CoverageRule
+from repro.core.solution import Placement
+
+__all__ = ["Evaluation", "Evaluator"]
+
+
+@dataclass(frozen=True, eq=False)
+class Evaluation:
+    """The full measurement of one placement.
+
+    Carries the placement itself, its metric bundle, the scalar fitness
+    and the giant-component mask (several movements and reports need to
+    know *which* routers form the giant component, not just how many).
+    Evaluations are snapshots and compare by identity (the mask is a
+    numpy array, so field-wise equality would be ill-defined).
+    """
+
+    placement: Placement
+    metrics: NetworkMetrics
+    fitness: float
+    giant_mask: np.ndarray
+
+    @property
+    def giant_size(self) -> int:
+        """Size of the giant component."""
+        return self.metrics.giant_size
+
+    @property
+    def covered_clients(self) -> int:
+        """Number of covered clients."""
+        return self.metrics.covered_clients
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"giant={self.metrics.giant_size}/{self.metrics.n_routers} "
+            f"coverage={self.metrics.covered_clients}/{self.metrics.n_clients} "
+            f"fitness={self.fitness:.4f}"
+        )
+
+
+class Evaluator:
+    """Evaluates placements for one problem instance.
+
+    Parameters
+    ----------
+    problem:
+        The instance to evaluate against.
+    fitness:
+        The scalarization; defaults to the paper-aligned
+        :class:`WeightedSumFitness` (0.7 connectivity / 0.3 coverage).
+    archive:
+        Optional :class:`~repro.core.pareto.ParetoArchive`; when given,
+        every evaluation is offered to it, so any search run through
+        this evaluator also yields the bi-objective front it explored.
+    """
+
+    def __init__(
+        self,
+        problem: ProblemInstance,
+        fitness: FitnessFunction | None = None,
+        archive=None,
+    ) -> None:
+        self._problem = problem
+        self._fitness = fitness if fitness is not None else WeightedSumFitness()
+        self._archive = archive
+        self._n_evaluations = 0
+
+    @property
+    def problem(self) -> ProblemInstance:
+        """The instance this evaluator measures against."""
+        return self._problem
+
+    @property
+    def fitness_function(self) -> FitnessFunction:
+        """The configured scalarization."""
+        return self._fitness
+
+    @property
+    def n_evaluations(self) -> int:
+        """Number of placements evaluated so far (search cost counter)."""
+        return self._n_evaluations
+
+    def reset_counter(self) -> None:
+        """Zero the evaluation counter (e.g. between experiment runs)."""
+        self._n_evaluations = 0
+
+    def evaluate(self, placement: Placement) -> Evaluation:
+        """Measure a placement: network, giant component, coverage, fitness."""
+        self._n_evaluations += 1
+        network = RouterNetwork.build(self._problem, placement)
+        giant_mask = network.giant_mask()
+        if self._problem.coverage_rule is CoverageRule.ANY_ROUTER:
+            covered = coverage_mask(self._problem, placement, router_mask=None)
+        else:
+            covered = coverage_mask(self._problem, placement, router_mask=giant_mask)
+        metrics = NetworkMetrics(
+            giant_size=network.giant_size,
+            n_routers=self._problem.n_routers,
+            covered_clients=int(np.count_nonzero(covered)),
+            n_clients=self._problem.n_clients,
+            n_components=network.components.n_components,
+            n_links=network.n_links,
+            mean_degree=network.mean_degree(),
+        )
+        evaluation = Evaluation(
+            placement=placement,
+            metrics=metrics,
+            fitness=self._fitness.score(metrics),
+            giant_mask=giant_mask,
+        )
+        if self._archive is not None:
+            self._archive.observe(evaluation)
+        return evaluation

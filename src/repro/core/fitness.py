@@ -1,0 +1,141 @@
+"""Fitness functions over network metrics.
+
+The problem is bi-objective: "maximize network connectivity (size of the
+giant component) and client coverage", with "network connectivity ...
+considered as more important than user coverage" (Section 2).  The search
+algorithms need a scalar to compare solutions, so this module provides
+two scalarizations:
+
+* :class:`WeightedSumFitness` — convex combination of the normalized
+  objectives (default 0.7 / 0.3, the split the authors use in their
+  follow-up WMN-GA / WMN-SA systems).
+* :class:`LexicographicFitness` — connectivity strictly first, coverage
+  as tie-break, encoded so larger is always better.
+
+Both are pure functions of :class:`NetworkMetrics` and can be swapped
+anywhere an algorithm takes a ``fitness`` argument.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+__all__ = [
+    "NetworkMetrics",
+    "FitnessFunction",
+    "WeightedSumFitness",
+    "LexicographicFitness",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkMetrics:
+    """The measured properties of one placement.
+
+    ``giant_size`` and ``covered_clients`` are the paper's two reported
+    metrics; the remaining fields support the extended reporting and the
+    ablation benches.
+    """
+
+    giant_size: int
+    n_routers: int
+    covered_clients: int
+    n_clients: int
+    n_components: int
+    n_links: int
+    mean_degree: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.giant_size <= self.n_routers:
+            raise ValueError(
+                f"giant_size {self.giant_size} outside [0, {self.n_routers}]"
+            )
+        if not 0 <= self.covered_clients <= self.n_clients:
+            raise ValueError(
+                f"covered_clients {self.covered_clients} outside "
+                f"[0, {self.n_clients}]"
+            )
+
+    @property
+    def connectivity_ratio(self) -> float:
+        """Giant component size as a fraction of the fleet."""
+        if self.n_routers == 0:
+            return 0.0
+        return self.giant_size / self.n_routers
+
+    @property
+    def coverage_ratio(self) -> float:
+        """Covered clients as a fraction of all clients.
+
+        An instance with no clients counts as fully covered (the coverage
+        objective is vacuous), so optimizers degrade gracefully to
+        single-objective connectivity maximization.
+        """
+        if self.n_clients == 0:
+            return 1.0
+        return self.covered_clients / self.n_clients
+
+    @property
+    def is_fully_connected(self) -> bool:
+        """Whether every router belongs to one component."""
+        return self.giant_size == self.n_routers
+
+
+class FitnessFunction(abc.ABC):
+    """A scalarization of :class:`NetworkMetrics`; larger is better."""
+
+    @abc.abstractmethod
+    def score(self, metrics: NetworkMetrics) -> float:
+        """Scalar fitness of a placement's metrics."""
+
+    def better(self, candidate: NetworkMetrics, incumbent: NetworkMetrics) -> bool:
+        """Whether ``candidate`` strictly improves on ``incumbent``."""
+        return self.score(candidate) > self.score(incumbent)
+
+
+@dataclass(frozen=True)
+class WeightedSumFitness(FitnessFunction):
+    """``w_connectivity * giant/N + w_coverage * coverage/M``.
+
+    The defaults encode the paper's priority ordering (connectivity
+    before coverage).  Weights need not sum to one but must be
+    non-negative and not both zero.
+    """
+
+    connectivity_weight: float = 0.7
+    coverage_weight: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.connectivity_weight < 0 or self.coverage_weight < 0:
+            raise ValueError("fitness weights must be non-negative")
+        if self.connectivity_weight == 0 and self.coverage_weight == 0:
+            raise ValueError("at least one fitness weight must be positive")
+
+    def score(self, metrics: NetworkMetrics) -> float:
+        return (
+            self.connectivity_weight * metrics.connectivity_ratio
+            + self.coverage_weight * metrics.coverage_ratio
+        )
+
+
+@dataclass(frozen=True)
+class LexicographicFitness(FitnessFunction):
+    """Connectivity strictly dominates; coverage breaks ties.
+
+    Encoded as ``giant_size + coverage_ratio * epsilon`` with
+    ``epsilon < 1``: one extra router in the giant component always beats
+    any coverage gain, mirroring "network connectivity is considered as
+    more important than user coverage".
+    """
+
+    epsilon: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0 < self.epsilon < 1:
+            raise ValueError(
+                f"epsilon must lie strictly between 0 and 1, got {self.epsilon}"
+            )
+
+    def score(self, metrics: NetworkMetrics) -> float:
+        return metrics.giant_size + self.epsilon * metrics.coverage_ratio

@@ -1,0 +1,216 @@
+"""The deployment grid area.
+
+Section 2 of the paper defines an instance over "an area W x H where to
+distribute N mesh routers".  :class:`GridArea` models that area as a
+discrete cell grid and provides the spatial queries the placement methods
+need: bounds checks, sub-rectangles (diagonal bands, corner zones, central
+zones) and uniform sampling of free cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.geometry import Point, Rect
+
+__all__ = ["GridArea"]
+
+
+@dataclass(frozen=True, slots=True)
+class GridArea:
+    """A ``width x height`` grid of unit cells.
+
+    The grid is the deployment area of the WMN.  Router positions are
+    cells of this grid; clients also sit on cells.  The class is immutable
+    and cheap to share between solutions.
+    """
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(
+                f"grid dimensions must be positive, got "
+                f"{self.width}x{self.height}"
+            )
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    @property
+    def n_cells(self) -> int:
+        """Total number of cells."""
+        return self.width * self.height
+
+    @property
+    def bounds(self) -> Rect:
+        """The whole grid as a :class:`Rect`."""
+        return Rect(0, 0, self.width, self.height)
+
+    @property
+    def center(self) -> Point:
+        """The central cell."""
+        return self.bounds.center
+
+    def contains(self, point: Point) -> bool:
+        """Whether ``point`` is a valid cell of this grid."""
+        return 0 <= point.x < self.width and 0 <= point.y < self.height
+
+    def require_inside(self, point: Point) -> None:
+        """Raise ``ValueError`` if ``point`` is outside the grid."""
+        if not self.contains(point):
+            raise ValueError(
+                f"cell {tuple(point)} outside {self.width}x{self.height} grid"
+            )
+
+    def cells(self) -> Iterator[Point]:
+        """Iterate every cell in row-major order."""
+        return self.bounds.cells()
+
+    def cell_index(self, point: Point) -> int:
+        """Row-major linear index of a cell (for array-backed maps)."""
+        self.require_inside(point)
+        return point.y * self.width + point.x
+
+    def cell_at(self, index: int) -> Point:
+        """Inverse of :meth:`cell_index`."""
+        if not 0 <= index < self.n_cells:
+            raise ValueError(f"cell index {index} out of range")
+        return Point(index % self.width, index // self.width)
+
+    # ------------------------------------------------------------------
+    # Aspect / applicability checks used by the ad hoc methods
+    # ------------------------------------------------------------------
+
+    def is_near_square(self, tolerance: float = 0.10) -> bool:
+        """Whether width and height differ by at most ``tolerance``.
+
+        The Diag and Cross placements require "height and width must have
+        similar values (we considered the case of 10% difference in their
+        values)" (paper, Section 3).
+        """
+        longer = max(self.width, self.height)
+        shorter = min(self.width, self.height)
+        return (longer - shorter) <= tolerance * longer
+
+    # ------------------------------------------------------------------
+    # Sub-areas
+    # ------------------------------------------------------------------
+
+    def central_rect(self, width: int, height: int) -> Rect:
+        """A ``width x height`` rectangle centred in the grid.
+
+        Used by the *Near* placement ("a rectangle in the central part of
+        the grid area").
+        """
+        if width > self.width or height > self.height:
+            raise ValueError(
+                f"central rect {width}x{height} does not fit in "
+                f"{self.width}x{self.height} grid"
+            )
+        x0 = (self.width - width) // 2
+        y0 = (self.height - height) // 2
+        return Rect(x0, y0, width, height)
+
+    def corner_rects(self, width: int, height: int) -> tuple[Rect, Rect, Rect, Rect]:
+        """The four corner rectangles of size ``width x height``.
+
+        Used by the *Corners* placement.  Order: bottom-left, bottom-right,
+        top-left, top-right.
+        """
+        if width > self.width or height > self.height:
+            raise ValueError(
+                f"corner rect {width}x{height} does not fit in "
+                f"{self.width}x{self.height} grid"
+            )
+        return (
+            Rect(0, 0, width, height),
+            Rect(self.width - width, 0, width, height),
+            Rect(0, self.height - height, width, height),
+            Rect(self.width - width, self.height - height, width, height),
+        )
+
+    def window_positions(self, window_width: int, window_height: int) -> Iterator[Rect]:
+        """All positions of a sliding ``window_width x window_height`` window."""
+        if window_width > self.width or window_height > self.height:
+            raise ValueError(
+                f"window {window_width}x{window_height} larger than grid"
+            )
+        for y0 in range(self.height - window_height + 1):
+            for x0 in range(self.width - window_width + 1):
+                yield Rect(x0, y0, window_width, window_height)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def random_cell(self, rng: np.random.Generator) -> Point:
+        """A uniformly random cell."""
+        return Point(
+            int(rng.integers(0, self.width)), int(rng.integers(0, self.height))
+        )
+
+    def random_cell_in(self, rect: Rect, rng: np.random.Generator) -> Point:
+        """A uniformly random cell inside ``rect`` (clipped to the grid)."""
+        clipped = rect.intersection(self.bounds)
+        if clipped.area == 0:
+            raise ValueError(f"rectangle {rect} has no cells inside the grid")
+        return Point(
+            int(rng.integers(clipped.x0, clipped.x1)),
+            int(rng.integers(clipped.y0, clipped.y1)),
+        )
+
+    def random_free_cell(
+        self,
+        occupied: Iterable[Point],
+        rng: np.random.Generator,
+        within: Rect | None = None,
+    ) -> Point:
+        """A uniformly random unoccupied cell, optionally inside ``within``.
+
+        Uses rejection sampling with a fallback to exhaustive enumeration
+        so it terminates even when the free cells are scarce.
+        """
+        region = self.bounds if within is None else within.intersection(self.bounds)
+        if region.area == 0:
+            raise ValueError("sampling region is empty")
+        occupied_set = set(occupied)
+        # Rejection sampling is fast when occupancy is sparse (the common
+        # case: N routers << W*H cells).
+        max_attempts = 64
+        for _ in range(max_attempts):
+            candidate = self.random_cell_in(region, rng)
+            if candidate not in occupied_set:
+                return candidate
+        free = [cell for cell in region.cells() if cell not in occupied_set]
+        if not free:
+            raise ValueError("no free cell available in the requested region")
+        return free[int(rng.integers(0, len(free)))]
+
+    def sample_distinct_cells(
+        self,
+        count: int,
+        rng: np.random.Generator,
+        within: Rect | None = None,
+        occupied: Sequence[Point] = (),
+    ) -> list[Point]:
+        """Sample ``count`` distinct free cells uniformly at random."""
+        region = self.bounds if within is None else within.intersection(self.bounds)
+        taken = set(occupied)
+        available = region.area - sum(1 for cell in taken if region.contains(cell))
+        if count > available:
+            raise ValueError(
+                f"cannot place {count} nodes in a region with only "
+                f"{available} free cells"
+            )
+        chosen: list[Point] = []
+        for _ in range(count):
+            cell = self.random_free_cell(taken, rng, within=region)
+            chosen.append(cell)
+            taken.add(cell)
+        return chosen

@@ -1,0 +1,106 @@
+"""Pareto archive for the bi-objective view of the problem.
+
+The placement problem is intrinsically bi-objective — "maximize network
+connectivity ... and client coverage" — and the paper scalarizes it.
+Related work the paper cites (Franklin & Murthy's two-tier WMN study)
+treats it as a proper bi-objective problem instead.  This archive offers
+that view on top of any search in this library: feed it every evaluation
+the optimizer produces and it maintains the set of non-dominated
+``(giant component, coverage)`` trade-offs seen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.evaluation import Evaluation
+
+__all__ = ["ParetoPoint", "ParetoArchive", "dominates"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One non-dominated trade-off: objectives plus the witness solution."""
+
+    giant_size: int
+    covered_clients: int
+    evaluation: Evaluation
+
+
+def dominates(a: "tuple[int, int]", b: "tuple[int, int]") -> bool:
+    """Whether objective vector ``a`` Pareto-dominates ``b``.
+
+    Both objectives are maximized; ``a`` dominates when it is at least as
+    good in both coordinates and strictly better in at least one.
+    """
+    return a[0] >= b[0] and a[1] >= b[1] and a != b
+
+
+class ParetoArchive:
+    """The non-dominated front over ``(giant_size, covered_clients)``.
+
+    ``observe`` is O(front size) per call; fronts stay tiny here (both
+    objectives are small integers), so the archive adds negligible cost
+    to a search.
+    """
+
+    def __init__(self) -> None:
+        self._points: dict[tuple[int, int], ParetoPoint] = {}
+        self._n_observed = 0
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def n_observed(self) -> int:
+        """How many evaluations have been offered to the archive."""
+        return self._n_observed
+
+    def observe(self, evaluation: Evaluation) -> bool:
+        """Offer an evaluation; returns ``True`` if the front changed.
+
+        The evaluation enters the archive when no archived point
+        dominates it; any archived points it dominates are evicted.
+        """
+        self._n_observed += 1
+        key = (evaluation.giant_size, evaluation.covered_clients)
+        if key in self._points:
+            return False
+        if any(dominates(existing, key) for existing in self._points):
+            return False
+        evicted = [
+            existing for existing in self._points if dominates(key, existing)
+        ]
+        for existing in evicted:
+            del self._points[existing]
+        self._points[key] = ParetoPoint(
+            giant_size=key[0], covered_clients=key[1], evaluation=evaluation
+        )
+        return True
+
+    def front(self) -> list[ParetoPoint]:
+        """The archived points, sorted by giant size (descending)."""
+        return sorted(
+            self._points.values(),
+            key=lambda point: (-point.giant_size, -point.covered_clients),
+        )
+
+    def best_by(self, fitness) -> ParetoPoint:
+        """The archived point a scalarization would pick.
+
+        ``fitness`` is a :class:`~repro.core.fitness.FitnessFunction`;
+        useful to compare what different weightings would select from the
+        same front.
+        """
+        if not self._points:
+            raise ValueError("empty archive")
+        return max(
+            self._points.values(),
+            key=lambda point: fitness.score(point.evaluation.metrics),
+        )
+
+    def objective_vectors(self) -> list[tuple[int, int]]:
+        """The front's ``(giant, coverage)`` pairs, sorted like front()."""
+        return [
+            (point.giant_size, point.covered_clients) for point in self.front()
+        ]

@@ -1,0 +1,116 @@
+"""Problem instances.
+
+Bundles everything Section 2 of the paper lists as "an instance of the
+problem": the grid area, the vector of routers (with their oscillating
+radio coverage) and the matrix of clients — plus the two modeling rules
+(link predicate and coverage predicate) that the evaluation engine needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.clients import ClientSet
+from repro.core.grid import GridArea
+from repro.core.radio import CoverageRule, LinkRule, RadioProfile
+from repro.core.routers import RouterFleet
+
+__all__ = ["ProblemInstance"]
+
+
+@dataclass(frozen=True)
+class ProblemInstance:
+    """One instance of the mesh router placement problem.
+
+    Attributes
+    ----------
+    grid:
+        The ``W x H`` deployment area.
+    fleet:
+        The ``N`` mesh routers with their coverage radii.
+    clients:
+        The ``M`` fixed mesh clients.
+    link_rule:
+        When two routers form a wireless link (DESIGN.md decision D3).
+    coverage_rule:
+        Which routers cover clients (DESIGN.md decision D4).
+    """
+
+    grid: GridArea
+    fleet: RouterFleet
+    clients: ClientSet
+    link_rule: LinkRule = LinkRule.BIDIRECTIONAL
+    coverage_rule: CoverageRule = CoverageRule.GIANT_ONLY
+
+    def __post_init__(self) -> None:
+        if len(self.fleet) > self.grid.n_cells:
+            raise ValueError(
+                f"{len(self.fleet)} routers cannot be placed on a grid with "
+                f"only {self.grid.n_cells} cells"
+            )
+        for client in self.clients:
+            if not self.grid.contains(client.cell):
+                raise ValueError(
+                    f"client {client.client_id} at {tuple(client.cell)} lies "
+                    f"outside the {self.grid.width}x{self.grid.height} grid"
+                )
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def n_routers(self) -> int:
+        """Number of mesh routers (``N``)."""
+        return len(self.fleet)
+
+    @property
+    def n_clients(self) -> int:
+        """Number of mesh clients (``M``)."""
+        return len(self.clients)
+
+    def with_link_rule(self, link_rule: LinkRule) -> "ProblemInstance":
+        """The same instance under a different link predicate."""
+        return replace(self, link_rule=link_rule)
+
+    def with_coverage_rule(self, coverage_rule: CoverageRule) -> "ProblemInstance":
+        """The same instance under a different coverage predicate."""
+        return replace(self, coverage_rule=coverage_rule)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        width: int,
+        height: int,
+        n_routers: int,
+        client_cells: "np.ndarray | list",
+        radio: RadioProfile,
+        rng: np.random.Generator,
+        link_rule: LinkRule = LinkRule.BIDIRECTIONAL,
+        coverage_rule: CoverageRule = CoverageRule.GIANT_ONLY,
+    ) -> "ProblemInstance":
+        """Assemble an instance from raw ingredients.
+
+        ``client_cells`` is any sequence of ``(x, y)`` pairs; router radii
+        are sampled from ``radio`` using ``rng``.
+        """
+        grid = GridArea(width, height)
+        fleet = RouterFleet.oscillating(n_routers, radio, rng)
+        from repro.core.geometry import Point
+
+        clients = ClientSet.from_points(
+            [Point(int(x), int(y)) for x, y in client_cells], grid=grid
+        )
+        return cls(
+            grid=grid,
+            fleet=fleet,
+            clients=clients,
+            link_rule=link_rule,
+            coverage_rule=coverage_rule,
+        )

@@ -1,0 +1,160 @@
+"""Placement solutions.
+
+A solution to the mesh router placement problem assigns every router of
+the fleet to a distinct grid cell.  :class:`Placement` is that
+assignment.  It is an immutable value object: search operators derive new
+placements via :meth:`with_move` and :meth:`with_swap` instead of
+mutating in place, which keeps traces, populations and tabu lists safe to
+share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.geometry import Point, Rect
+from repro.core.grid import GridArea
+
+__all__ = ["Placement"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """An assignment of router ids to distinct grid cells.
+
+    ``cells[i]`` is the position of router ``i``.  The constructor
+    enforces the two structural invariants of the problem: every cell is
+    inside the grid and no two routers share a cell.
+    """
+
+    grid: GridArea
+    cells: tuple[Point, ...]
+    _occupied: frozenset[Point] = field(init=False, repr=False, compare=False)
+    _positions: "np.ndarray | None" = field(
+        init=False, repr=False, compare=False, default=None
+    )
+
+    def __post_init__(self) -> None:
+        if not self.cells:
+            raise ValueError("a placement must position at least one router")
+        for cell in self.cells:
+            self.grid.require_inside(cell)
+        occupied = frozenset(self.cells)
+        if len(occupied) != len(self.cells):
+            raise ValueError("placement has two routers on the same cell")
+        object.__setattr__(self, "_occupied", occupied)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_cells(cls, grid: GridArea, cells: Sequence[Point]) -> "Placement":
+        """Build a placement from an ordered sequence of cells."""
+        return cls(grid=grid, cells=tuple(Point(int(c[0]), int(c[1])) for c in cells))
+
+    @classmethod
+    def random(
+        cls, grid: GridArea, count: int, rng: np.random.Generator
+    ) -> "Placement":
+        """Uniformly random placement of ``count`` routers."""
+        return cls.from_cells(grid, grid.sample_distinct_cells(count, rng))
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self.cells)
+
+    def __getitem__(self, router_id: int) -> Point:
+        return self.cells[router_id]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def occupied(self) -> frozenset[Point]:
+        """The set of occupied cells."""
+        return self._occupied
+
+    def is_free(self, cell: Point) -> bool:
+        """Whether ``cell`` is inside the grid and not occupied."""
+        return self.grid.contains(cell) and cell not in self._occupied
+
+    def positions_array(self) -> np.ndarray:
+        """``(N, 2)`` float array of router coordinates (id order).
+
+        Computed lazily and cached (the placement is immutable); the
+        array is read-only because network, coverage and density all
+        share it.
+        """
+        if self._positions is None:
+            positions = np.array(
+                [[cell.x, cell.y] for cell in self.cells], dtype=float
+            )
+            positions.setflags(write=False)
+            object.__setattr__(self, "_positions", positions)
+        return self._positions
+
+    def routers_in(self, rect: Rect) -> list[int]:
+        """Ids of routers whose cell lies inside ``rect``."""
+        return [
+            router_id
+            for router_id, cell in enumerate(self.cells)
+            if rect.contains(cell)
+        ]
+
+    def as_mapping(self) -> Mapping[int, Point]:
+        """Router id -> cell dictionary view (a fresh dict)."""
+        return dict(enumerate(self.cells))
+
+    # ------------------------------------------------------------------
+    # Derivation (the local moves build on these)
+    # ------------------------------------------------------------------
+
+    def with_move(self, router_id: int, cell: Point) -> "Placement":
+        """A new placement with ``router_id`` relocated to ``cell``.
+
+        Raises ``ValueError`` when ``cell`` is occupied by another router
+        or outside the grid.
+        """
+        self._require_router(router_id)
+        if cell == self.cells[router_id]:
+            return self
+        if cell in self._occupied:
+            raise ValueError(f"cell {tuple(cell)} is already occupied")
+        new_cells = list(self.cells)
+        new_cells[router_id] = cell
+        return Placement(grid=self.grid, cells=tuple(new_cells))
+
+    def with_swap(self, router_a: int, router_b: int) -> "Placement":
+        """A new placement with the positions of two routers exchanged.
+
+        This is the literal "exchange the placement of two routers" of
+        Algorithm 3: the occupied-cell multiset is unchanged, only the
+        assignment of router hardware to positions changes.
+        """
+        self._require_router(router_a)
+        self._require_router(router_b)
+        if router_a == router_b:
+            return self
+        new_cells = list(self.cells)
+        new_cells[router_a], new_cells[router_b] = (
+            new_cells[router_b],
+            new_cells[router_a],
+        )
+        return Placement(grid=self.grid, cells=tuple(new_cells))
+
+    def _require_router(self, router_id: int) -> None:
+        if not 0 <= router_id < len(self.cells):
+            raise ValueError(
+                f"router id {router_id} out of range for fleet of {len(self.cells)}"
+            )

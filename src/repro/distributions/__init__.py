@@ -1,0 +1,28 @@
+"""Client mesh node distributions (paper Section 2 / Section 5.1).
+
+Uniform, Normal, Exponential and Weibull spatial laws for generating the
+fixed client positions of benchmark instances, plus a registry for
+name-based lookup from the experiment harness and the CLI.
+"""
+
+from repro.distributions.base import ClientDistribution
+from repro.distributions.exponential import ExponentialDistribution
+from repro.distributions.normal import NormalDistribution
+from repro.distributions.registry import (
+    available_distributions,
+    make_distribution,
+    register_distribution,
+)
+from repro.distributions.uniform import UniformDistribution
+from repro.distributions.weibull import WeibullDistribution
+
+__all__ = [
+    "ClientDistribution",
+    "ExponentialDistribution",
+    "NormalDistribution",
+    "UniformDistribution",
+    "WeibullDistribution",
+    "available_distributions",
+    "make_distribution",
+    "register_distribution",
+]

@@ -1,0 +1,102 @@
+"""Client distribution framework.
+
+"Mesh client nodes can be arbitrarily situated in the given area.  For
+evaluation purposes ... different client mesh node distributions should
+be considered" (Section 2).  The paper evaluates Uniform, Normal,
+Exponential and Weibull distributions; each is a subclass of
+:class:`ClientDistribution`.
+
+A distribution samples the x and y coordinates independently from a 1-D
+law parameterized by the axis extent.  Values falling outside the grid
+are resampled (truncation by rejection), so the spatial law is the
+conditional distribution given the grid — this matches how hotspot-style
+client clustering is generated on a bounded area.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import ClassVar
+
+import numpy as np
+
+from repro.core.clients import ClientSet
+from repro.core.geometry import Point
+from repro.core.grid import GridArea
+
+__all__ = ["ClientDistribution"]
+
+
+class ClientDistribution(abc.ABC):
+    """A spatial law for client mesh node positions.
+
+    Subclasses implement :meth:`sample_axis`, drawing raw (possibly
+    out-of-range) coordinates for one axis; the base class handles
+    truncation to the grid and assembling :class:`ClientSet` objects.
+    """
+
+    #: Registry name of the distribution (e.g. ``"normal"``).
+    name: ClassVar[str] = "abstract"
+
+    #: How many resampling rounds to attempt before clamping leftovers.
+    _max_resample_rounds: ClassVar[int] = 64
+
+    @abc.abstractmethod
+    def sample_axis(
+        self, count: int, extent: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw ``count`` raw coordinates for an axis of size ``extent``.
+
+        Returned values are floats and may fall outside ``[0, extent)``;
+        the caller truncates.  ``extent`` lets parameter defaults scale
+        with the grid (e.g. the paper's Normal uses ``sigma = extent/10``).
+        """
+
+    # ------------------------------------------------------------------
+    # Truncated sampling
+    # ------------------------------------------------------------------
+
+    def sample_axis_truncated(
+        self, count: int, extent: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """``count`` integer coordinates inside ``[0, extent)``.
+
+        Out-of-range draws are rejected and resampled; after
+        ``_max_resample_rounds`` rounds any stragglers are clamped to the
+        boundary (this only triggers for pathological parameters, e.g. a
+        mean far outside the grid).
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        values = self.sample_axis(count, extent, rng)
+        values = np.asarray(values, dtype=float)
+        if values.shape != (count,):
+            raise ValueError(
+                f"{type(self).__name__}.sample_axis returned shape "
+                f"{values.shape}, expected ({count},)"
+            )
+        for _ in range(self._max_resample_rounds):
+            out_of_range = (values < 0) | (values >= extent)
+            n_bad = int(np.count_nonzero(out_of_range))
+            if n_bad == 0:
+                break
+            values[out_of_range] = self.sample_axis(n_bad, extent, rng)
+        values = np.clip(values, 0, extent - 1)
+        return np.floor(values).astype(int)
+
+    def sample_points(
+        self, count: int, grid: GridArea, rng: np.random.Generator
+    ) -> list[Point]:
+        """``count`` client cells inside ``grid``."""
+        xs = self.sample_axis_truncated(count, grid.width, rng)
+        ys = self.sample_axis_truncated(count, grid.height, rng)
+        return [Point(int(x), int(y)) for x, y in zip(xs, ys)]
+
+    def sample_clients(
+        self, count: int, grid: GridArea, rng: np.random.Generator
+    ) -> ClientSet:
+        """A :class:`ClientSet` of ``count`` clients inside ``grid``."""
+        return ClientSet.from_points(self.sample_points(count, grid, rng), grid=grid)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,57 @@
+"""Name-based lookup of client distributions.
+
+The experiment harness and the CLI refer to distributions by name
+(``"uniform"``, ``"normal"``, ``"exponential"``, ``"weibull"``); this
+registry resolves those names to distribution instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.distributions.base import ClientDistribution
+from repro.distributions.exponential import ExponentialDistribution
+from repro.distributions.normal import NormalDistribution
+from repro.distributions.uniform import UniformDistribution
+from repro.distributions.weibull import WeibullDistribution
+
+__all__ = ["available_distributions", "make_distribution", "register_distribution"]
+
+_FACTORIES: dict[str, Callable[..., ClientDistribution]] = {
+    UniformDistribution.name: UniformDistribution,
+    NormalDistribution.name: NormalDistribution,
+    ExponentialDistribution.name: ExponentialDistribution,
+    WeibullDistribution.name: WeibullDistribution,
+}
+
+
+def available_distributions() -> list[str]:
+    """Names of all registered distributions, sorted."""
+    return sorted(_FACTORIES)
+
+
+def register_distribution(
+    name: str, factory: Callable[..., ClientDistribution]
+) -> None:
+    """Register a custom distribution under ``name``.
+
+    Raises ``ValueError`` when the name is already taken, so library
+    defaults cannot be silently shadowed.
+    """
+    if name in _FACTORIES:
+        raise ValueError(f"distribution {name!r} is already registered")
+    _FACTORIES[name] = factory
+
+
+def make_distribution(name: str, **parameters) -> ClientDistribution:
+    """Instantiate the distribution registered under ``name``.
+
+    Keyword arguments are forwarded to the distribution constructor,
+    e.g. ``make_distribution("weibull", shape=0.8)``.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(available_distributions())
+        raise ValueError(f"unknown distribution {name!r}; known: {known}") from None
+    return factory(**parameters)

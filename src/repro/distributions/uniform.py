@@ -1,0 +1,26 @@
+"""Uniform client distribution.
+
+Clients spread evenly over the whole grid — the paper's baseline
+distribution and the one used for the Random router placement analogy.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+import numpy as np
+
+from repro.distributions.base import ClientDistribution
+
+__all__ = ["UniformDistribution"]
+
+
+class UniformDistribution(ClientDistribution):
+    """Coordinates uniform over ``[0, extent)`` on each axis."""
+
+    name: ClassVar[str] = "uniform"
+
+    def sample_axis(
+        self, count: int, extent: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        return rng.uniform(0.0, float(extent), size=count)

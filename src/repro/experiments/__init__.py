@@ -1,0 +1,97 @@
+"""Experiment harness (paper Section 5).
+
+Regenerates every table and figure of the paper's evaluation: the scale
+configuration, the table and figure pipelines, text/CSV reporting and
+the run-everything entry point.
+"""
+
+from repro.experiments.config import (
+    ExperimentScale,
+    PAPER_SCALE,
+    QUICK_SCALE,
+    current_scale,
+)
+from repro.experiments.figures import (
+    FigureResult,
+    NS_FIGURE_NUMBER,
+    PAPER_GA_FIGURE_NUMBERS,
+    Series,
+    run_ga_figure,
+    run_ns_figure,
+)
+from repro.experiments.reporting import (
+    figure_to_csv,
+    format_figure,
+    format_table,
+    table_to_csv,
+)
+from repro.experiments.analysis import (
+    area_under_curve,
+    crossover_points,
+    effort_to_reach,
+    speed_summary,
+)
+from repro.experiments.replication import (
+    ReplicatedMetric,
+    format_replication,
+    replicate_movements,
+    replicate_standalone,
+)
+from repro.experiments.runner import ReproductionReport, run_all
+from repro.experiments.sweeps import (
+    SweepPoint,
+    SweepResult,
+    format_sweep,
+    sweep_radio_range,
+    sweep_router_count,
+)
+from repro.experiments.study import (
+    DistributionStudy,
+    MethodStudy,
+    run_distribution_study,
+)
+from repro.experiments.tables import (
+    PAPER_TABLE_NUMBERS,
+    TableResult,
+    TableRow,
+    run_table,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "PAPER_SCALE",
+    "QUICK_SCALE",
+    "current_scale",
+    "FigureResult",
+    "NS_FIGURE_NUMBER",
+    "PAPER_GA_FIGURE_NUMBERS",
+    "Series",
+    "run_ga_figure",
+    "run_ns_figure",
+    "figure_to_csv",
+    "format_figure",
+    "format_table",
+    "table_to_csv",
+    "area_under_curve",
+    "crossover_points",
+    "effort_to_reach",
+    "speed_summary",
+    "ReplicatedMetric",
+    "format_replication",
+    "replicate_movements",
+    "replicate_standalone",
+    "ReproductionReport",
+    "run_all",
+    "SweepPoint",
+    "SweepResult",
+    "format_sweep",
+    "sweep_radio_range",
+    "sweep_router_count",
+    "DistributionStudy",
+    "MethodStudy",
+    "run_distribution_study",
+    "PAPER_TABLE_NUMBERS",
+    "TableResult",
+    "TableRow",
+    "run_table",
+]

@@ -1,0 +1,96 @@
+"""Convergence analysis of evolution curves.
+
+For the neighborhood search "the interest is to see *how fast* (in terms
+of phases of neighborhood search exploration) is achieved a good
+connectivity of the network" (paper, Section 1).  This module turns
+traces and figure series into exactly those speed metrics: effort to
+reach a connectivity target, area under the curve and curve crossovers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.figures import FigureResult, Series
+
+__all__ = [
+    "effort_to_reach",
+    "area_under_curve",
+    "crossover_points",
+    "speed_summary",
+]
+
+
+def effort_to_reach(series: Series, target: int) -> int | None:
+    """First x value (generations/phases) where the curve hits ``target``.
+
+    ``None`` when the curve never reaches the target — the caller decides
+    whether that means "failed" or "needs a longer budget".
+    """
+    for x, giant in zip(series.x, series.giant_sizes):
+        if giant >= target:
+            return x
+    return None
+
+
+def area_under_curve(series: Series) -> float:
+    """Trapezoidal area under the giant-size curve, normalized by span.
+
+    A scale-free "average giant size over the run": two curves with the
+    same endpoints but different climb speeds separate clearly.
+    """
+    if len(series.x) < 2:
+        return float(series.giant_sizes[0]) if series.x else 0.0
+    area = 0.0
+    for (x0, y0), (x1, y1) in zip(
+        zip(series.x, series.giant_sizes),
+        zip(series.x[1:], series.giant_sizes[1:]),
+    ):
+        area += (x1 - x0) * (y0 + y1) / 2.0
+    span = series.x[-1] - series.x[0]
+    return area / span if span else float(series.giant_sizes[-1])
+
+
+def crossover_points(a: Series, b: Series) -> list[int]:
+    """The x values where the sign of ``a - b`` changes.
+
+    Only x coordinates shared by both series are compared (the series of
+    one figure share their sampling grid).
+    """
+    shared = sorted(set(a.x) & set(b.x))
+    if not shared:
+        return []
+    lookup_a = dict(zip(a.x, a.giant_sizes))
+    lookup_b = dict(zip(b.x, b.giant_sizes))
+    crossings: list[int] = []
+    previous_sign = 0
+    for x in shared:
+        diff = lookup_a[x] - lookup_b[x]
+        sign = (diff > 0) - (diff < 0)
+        if sign != 0 and previous_sign != 0 and sign != previous_sign:
+            crossings.append(x)
+        if sign != 0:
+            previous_sign = sign
+    return crossings
+
+
+def speed_summary(
+    figure: FigureResult, targets: Sequence[float] = (0.5, 0.75)
+) -> str:
+    """Text table: per curve, effort to reach each connectivity target.
+
+    Targets are fractions of the fleet (0.5 = half the routers in the
+    giant component).
+    """
+    n = figure.spec.n_routers
+    header = f"{'series':12s} {'AUC':>8s}" + "".join(
+        f"{f'x@{int(t * 100)}%':>10s}" for t in targets
+    )
+    lines = [header, "-" * len(header)]
+    for series in figure.series:
+        cells = [f"{series.label:12s}", f"{area_under_curve(series):8.1f}"]
+        for target in targets:
+            effort = effort_to_reach(series, int(target * n))
+            cells.append(f"{'-' if effort is None else effort:>10}")
+        lines.append(" ".join(cells))
+    return "\n".join(lines) + "\n"

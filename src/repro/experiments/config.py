@@ -1,0 +1,84 @@
+"""Experiment scales.
+
+The paper's runs use roughly 800 GA generations and 60+ neighborhood
+search phases on the 64-router instance.  Regenerating every table and
+figure at that scale takes minutes; CI and `pytest benchmarks/` need
+seconds.  :class:`ExperimentScale` captures the knobs, and
+:func:`current_scale` picks the scale from the ``REPRO_SCALE``
+environment variable (``quick`` by default, ``paper`` for full runs).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["ExperimentScale", "QUICK_SCALE", "PAPER_SCALE", "current_scale"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Effort knobs shared by all experiments."""
+
+    name: str
+    #: GA population size.
+    population_size: int
+    #: GA generations (Figures 1-3 run to ~800 in the paper).
+    n_generations: int
+    #: Neighborhood search phases (Figure 4 runs to ~61).
+    ns_phases: int
+    #: Neighbor candidates sampled per phase (Algorithm 2).
+    ns_candidates: int
+    #: Every how many generations a figure series samples a point.
+    record_step: int
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError(
+                f"population_size must be >= 2, got {self.population_size}"
+            )
+        if self.n_generations <= 0:
+            raise ValueError(
+                f"n_generations must be positive, got {self.n_generations}"
+            )
+        if self.ns_phases <= 0:
+            raise ValueError(f"ns_phases must be positive, got {self.ns_phases}")
+        if self.ns_candidates <= 0:
+            raise ValueError(
+                f"ns_candidates must be positive, got {self.ns_candidates}"
+            )
+        if self.record_step <= 0:
+            raise ValueError(f"record_step must be positive, got {self.record_step}")
+
+
+#: Fast setting for CI / default bench runs (minutes for everything).
+QUICK_SCALE = ExperimentScale(
+    name="quick",
+    population_size=24,
+    n_generations=80,
+    ns_phases=40,
+    ns_candidates=32,
+    record_step=5,
+)
+
+#: Paper-faithful setting (Figures 1-3 to 800 generations).
+PAPER_SCALE = ExperimentScale(
+    name="paper",
+    population_size=64,
+    n_generations=800,
+    ns_phases=64,
+    ns_candidates=128,
+    record_step=20,
+)
+
+_SCALES = {scale.name: scale for scale in (QUICK_SCALE, PAPER_SCALE)}
+
+
+def current_scale(default: str = "quick") -> ExperimentScale:
+    """The scale selected by ``REPRO_SCALE`` (falling back to ``default``)."""
+    name = os.environ.get("REPRO_SCALE", default).strip().lower()
+    try:
+        return _SCALES[name]
+    except KeyError:
+        known = ", ".join(sorted(_SCALES))
+        raise ValueError(f"unknown REPRO_SCALE {name!r}; known: {known}") from None

@@ -1,0 +1,144 @@
+"""Text rendering of regenerated tables and figures.
+
+The harness prints the same rows and series the paper reports:
+:func:`format_table` mirrors the Tables 1-3 layout,
+:func:`format_figure` prints each figure's curves as aligned columns
+(a terminal-friendly stand-in for the plots), and the CSV helpers feed
+external plotting tools.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.tables import TableResult
+
+__all__ = [
+    "format_table",
+    "format_figure",
+    "table_to_csv",
+    "figure_to_csv",
+]
+
+_METHOD_DISPLAY = {
+    "random": "Random",
+    "colleft": "ColLeft",
+    "diag": "Diag",
+    "cross": "Cross",
+    "near": "Near",
+    "corners": "Corners",
+    "hotspot": "HotSpot",
+}
+
+
+def display_method(name: str) -> str:
+    """Paper-style capitalization of a method name."""
+    return _METHOD_DISPLAY.get(name, name)
+
+
+def format_table(result: TableResult) -> str:
+    """The paper's table layout as aligned text."""
+    title_number = (
+        f"Table {result.table_number}. " if result.table_number else ""
+    )
+    header = (
+        f"{title_number}Values of size of giant component and user coverage\n"
+        f"(client mesh nodes generated with {result.distribution.capitalize()} "
+        f"distribution)\n"
+        f"[instance: {result.spec.describe()}; scale={result.scale_name}, "
+        f"seed={result.seed}]\n"
+    )
+    columns = [
+        "Method",
+        "Giant by GA",
+        "Coverage by GA",
+        "Giant standalone",
+        "Coverage standalone",
+    ]
+    rows = [
+        [
+            display_method(row.method),
+            str(row.giant_by_ga),
+            str(row.coverage_by_ga),
+            str(row.giant_standalone),
+            str(row.coverage_standalone),
+        ]
+        for row in result.rows
+    ]
+    return header + _render_grid([columns] + rows)
+
+
+def format_figure(result: FigureResult) -> str:
+    """A figure's series as aligned columns (x + one column per curve)."""
+    header = (
+        f"Figure {result.figure_number}. {result.title}\n"
+        f"[instance: {result.spec.describe()}; scale={result.scale_name}, "
+        f"seed={result.seed}]\n"
+    )
+    labels = [series.label for series in result.series]
+    columns = [result.x_label] + [display_method(label) for label in labels]
+    # Union of x coordinates keeps curves of different lengths aligned.
+    xs = sorted({x for series in result.series for x in series.x})
+    lookup = {
+        series.label: dict(zip(series.x, series.giant_sizes))
+        for series in result.series
+    }
+    rows = []
+    for x in xs:
+        row = [str(x)]
+        for label in labels:
+            value = lookup[label].get(x)
+            row.append("" if value is None else str(value))
+        rows.append(row)
+    return header + _render_grid([columns] + rows)
+
+
+def table_to_csv(result: TableResult) -> str:
+    """CSV form of a table (paper column order)."""
+    buffer = io.StringIO()
+    buffer.write(
+        "method,giant_by_ga,coverage_by_ga,giant_standalone,coverage_standalone\n"
+    )
+    for row in result.rows:
+        buffer.write(
+            f"{row.method},{row.giant_by_ga},{row.coverage_by_ga},"
+            f"{row.giant_standalone},{row.coverage_standalone}\n"
+        )
+    return buffer.getvalue()
+
+
+def figure_to_csv(result: FigureResult) -> str:
+    """CSV form of a figure (x column + one column per series)."""
+    buffer = io.StringIO()
+    labels = [series.label for series in result.series]
+    buffer.write(",".join(["x"] + labels) + "\n")
+    xs = sorted({x for series in result.series for x in series.x})
+    lookup = {
+        series.label: dict(zip(series.x, series.giant_sizes))
+        for series in result.series
+    }
+    for x in xs:
+        cells = [str(x)]
+        for label in labels:
+            value = lookup[label].get(x)
+            cells.append("" if value is None else str(value))
+        buffer.write(",".join(cells) + "\n")
+    return buffer.getvalue()
+
+
+def _render_grid(rows: list[list[str]]) -> str:
+    """Align a list of string rows into fixed-width columns."""
+    if not rows:
+        return ""
+    widths = [
+        max(len(row[column]) for row in rows) for column in range(len(rows[0]))
+    ]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines) + "\n"

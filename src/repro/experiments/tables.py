@@ -1,0 +1,112 @@
+"""Tables 1-3: ad hoc methods stand-alone and as GA initializers.
+
+Each table reports, per ad hoc method, four numbers: the size of the
+giant component and the user coverage achieved (a) by the GA initialized
+with that method and (b) by the method used stand-alone.  Tables differ
+only in the client distribution: Normal (Table 1), Exponential
+(Table 2), Weibull (Table 3).
+
+The underlying runs come from
+:func:`repro.experiments.study.run_distribution_study`, which the figure
+pipeline shares — Table *k* and Figure *k* are two views of the same GA
+runs, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.fitness import FitnessFunction
+from repro.experiments.config import ExperimentScale
+from repro.experiments.study import DistributionStudy, run_distribution_study
+from repro.instances.generator import InstanceSpec
+
+__all__ = ["TableRow", "TableResult", "run_table", "table_from_study", "PAPER_TABLE_NUMBERS"]
+
+#: Which paper table corresponds to which client distribution.
+PAPER_TABLE_NUMBERS = {"normal": 1, "exponential": 2, "weibull": 3}
+
+
+@dataclass(frozen=True)
+class TableRow:
+    """One method's line in a table (paper column order)."""
+
+    method: str
+    giant_by_ga: int
+    coverage_by_ga: int
+    giant_standalone: int
+    coverage_standalone: int
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for serialization and reporting."""
+        return {
+            "method": self.method,
+            "giant_by_ga": self.giant_by_ga,
+            "coverage_by_ga": self.coverage_by_ga,
+            "giant_standalone": self.giant_standalone,
+            "coverage_standalone": self.coverage_standalone,
+        }
+
+
+@dataclass(frozen=True)
+class TableResult:
+    """A regenerated table plus its provenance."""
+
+    distribution: str
+    table_number: int
+    rows: tuple[TableRow, ...]
+    spec: InstanceSpec
+    scale_name: str
+    seed: int
+
+    def row(self, method: str) -> TableRow:
+        """The row for a given method name."""
+        for row in self.rows:
+            if row.method == method:
+                return row
+        raise KeyError(f"no row for method {method!r}")
+
+    def best_ga_method(self) -> str:
+        """The initializer achieving the largest giant component by GA."""
+        return max(self.rows, key=lambda row: row.giant_by_ga).method
+
+
+def table_from_study(study: DistributionStudy) -> TableResult:
+    """The table view of an initializer study."""
+    rows = tuple(
+        TableRow(
+            method=entry.method,
+            giant_by_ga=entry.giant_by_ga,
+            coverage_by_ga=entry.coverage_by_ga,
+            giant_standalone=entry.giant_standalone,
+            coverage_standalone=entry.coverage_standalone,
+        )
+        for entry in study.methods
+    )
+    return TableResult(
+        distribution=study.distribution,
+        table_number=PAPER_TABLE_NUMBERS.get(study.distribution, 0),
+        rows=rows,
+        spec=study.spec,
+        scale_name=study.scale_name,
+        seed=study.seed,
+    )
+
+
+def run_table(
+    distribution: str,
+    scale: ExperimentScale | None = None,
+    seed: int = 1,
+    spec: InstanceSpec | None = None,
+    fitness: FitnessFunction | None = None,
+) -> TableResult:
+    """Regenerate the paper table for the given client distribution.
+
+    ``seed`` controls the algorithms' randomness (the instance itself is
+    fixed by the catalog spec, mirroring "an instance in which 64 routers
+    are to be placed ...").
+    """
+    study = run_distribution_study(
+        distribution, scale=scale, seed=seed, spec=spec, fitness=fitness
+    )
+    return table_from_study(study)

@@ -1,0 +1,184 @@
+"""Crossover operators.
+
+A chromosome is the vector of router cells, so crossover mixes the
+positions two parents assign to each router.  Children can inherit
+colliding cells (two routers on one cell); the shared ``_repair`` step
+nudges collisions apart, preserving the placement invariants.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import ClassVar
+
+import numpy as np
+
+from repro.adhoc.base import resolve_collisions
+from repro.core.geometry import Point, Rect
+from repro.core.solution import Placement
+
+__all__ = [
+    "CrossoverOperator",
+    "UniformCrossover",
+    "OnePointCrossover",
+    "RegionExchangeCrossover",
+]
+
+
+def _repair(grid, cells: list[Point], rng: np.random.Generator) -> Placement:
+    """Nudge duplicate cells apart and build a valid placement."""
+    return Placement.from_cells(grid, resolve_collisions(grid, cells, rng))
+
+
+class CrossoverOperator(abc.ABC):
+    """Produces two children from two parent placements."""
+
+    name: ClassVar[str] = "abstract"
+
+    @abc.abstractmethod
+    def crossover(
+        self,
+        parent_a: Placement,
+        parent_b: Placement,
+        rng: np.random.Generator,
+    ) -> tuple[Placement, Placement]:
+        """Two valid child placements."""
+
+    def _check_parents(self, parent_a: Placement, parent_b: Placement) -> None:
+        if len(parent_a) != len(parent_b):
+            raise ValueError(
+                f"parents place {len(parent_a)} and {len(parent_b)} routers; "
+                "crossover needs equal-length chromosomes"
+            )
+        if parent_a.grid != parent_b.grid:
+            raise ValueError("parents live on different grids")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class UniformCrossover(CrossoverOperator):
+    """Each gene comes from either parent with probability ``mix_rate``.
+
+    Child 1 takes parent A's cell for router ``i`` unless a coin flip
+    says otherwise; child 2 takes the complementary choices.
+    """
+
+    name: ClassVar[str] = "uniform"
+
+    def __init__(self, mix_rate: float = 0.5) -> None:
+        if not 0.0 <= mix_rate <= 1.0:
+            raise ValueError(f"mix_rate must be in [0, 1], got {mix_rate}")
+        self.mix_rate = mix_rate
+
+    def crossover(
+        self,
+        parent_a: Placement,
+        parent_b: Placement,
+        rng: np.random.Generator,
+    ) -> tuple[Placement, Placement]:
+        self._check_parents(parent_a, parent_b)
+        take_b = rng.uniform(size=len(parent_a)) < self.mix_rate
+        child1 = [
+            parent_b[i] if take_b[i] else parent_a[i] for i in range(len(parent_a))
+        ]
+        child2 = [
+            parent_a[i] if take_b[i] else parent_b[i] for i in range(len(parent_a))
+        ]
+        return (
+            _repair(parent_a.grid, child1, rng),
+            _repair(parent_a.grid, child2, rng),
+        )
+
+    def __repr__(self) -> str:
+        return f"UniformCrossover(mix_rate={self.mix_rate})"
+
+
+class OnePointCrossover(CrossoverOperator):
+    """Classic single cut point over the router index order."""
+
+    name: ClassVar[str] = "one-point"
+
+    def crossover(
+        self,
+        parent_a: Placement,
+        parent_b: Placement,
+        rng: np.random.Generator,
+    ) -> tuple[Placement, Placement]:
+        self._check_parents(parent_a, parent_b)
+        n = len(parent_a)
+        cut = int(rng.integers(1, n)) if n > 1 else 0
+        child1 = list(parent_a.cells[:cut]) + list(parent_b.cells[cut:])
+        child2 = list(parent_b.cells[:cut]) + list(parent_a.cells[cut:])
+        return (
+            _repair(parent_a.grid, child1, rng),
+            _repair(parent_a.grid, child2, rng),
+        )
+
+
+class RegionExchangeCrossover(CrossoverOperator):
+    """Exchange the routers inside a random rectangle of the grid.
+
+    Child 1 keeps parent A's assignment for routers that parent A placed
+    inside the rectangle and takes parent B's genes elsewhere (child 2 is
+    the mirror image).  This is a *spatial* crossover: it trades whole
+    sub-topologies (a corner cluster, a diagonal segment) between
+    parents, which suits a problem whose fitness is spatial.
+    """
+
+    name: ClassVar[str] = "region-exchange"
+
+    def __init__(
+        self, min_fraction: float = 0.25, max_fraction: float = 0.75
+    ) -> None:
+        if not 0.0 < min_fraction <= max_fraction <= 1.0:
+            raise ValueError(
+                "require 0 < min_fraction <= max_fraction <= 1, got "
+                f"{min_fraction}, {max_fraction}"
+            )
+        self.min_fraction = min_fraction
+        self.max_fraction = max_fraction
+
+    def _random_region(self, grid, rng: np.random.Generator) -> Rect:
+        width = max(
+            1,
+            int(
+                rng.uniform(self.min_fraction, self.max_fraction) * grid.width
+            ),
+        )
+        height = max(
+            1,
+            int(
+                rng.uniform(self.min_fraction, self.max_fraction) * grid.height
+            ),
+        )
+        x0 = int(rng.integers(0, grid.width - width + 1))
+        y0 = int(rng.integers(0, grid.height - height + 1))
+        return Rect(x0, y0, width, height)
+
+    def crossover(
+        self,
+        parent_a: Placement,
+        parent_b: Placement,
+        rng: np.random.Generator,
+    ) -> tuple[Placement, Placement]:
+        self._check_parents(parent_a, parent_b)
+        region = self._random_region(parent_a.grid, rng)
+        child1 = [
+            parent_a[i] if region.contains(parent_a[i]) else parent_b[i]
+            for i in range(len(parent_a))
+        ]
+        child2 = [
+            parent_b[i] if region.contains(parent_b[i]) else parent_a[i]
+            for i in range(len(parent_a))
+        ]
+        return (
+            _repair(parent_a.grid, child1, rng),
+            _repair(parent_a.grid, child2, rng),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RegionExchangeCrossover(min_fraction={self.min_fraction}, "
+            f"max_fraction={self.max_fraction})"
+        )

@@ -1,0 +1,213 @@
+"""The genetic algorithm engine.
+
+Section 5 evaluates the ad hoc methods "by using a genetic algorithm
+implementation for the problem".  The paper does not publish its GA
+internals, so this is a standard generational GA with elitism (DESIGN.md
+decision D8): tournament selection, spatial crossover and composite
+mutation by default, all operators pluggable.
+
+The engine reports a :class:`~repro.genetic.trace.GATrace` whose
+``best_giant_size`` series is exactly what Figures 1-3 plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.evaluation import Evaluation, Evaluator
+from repro.genetic.crossover import CrossoverOperator, RegionExchangeCrossover
+from repro.genetic.individual import Individual
+from repro.genetic.initializers import PopulationInitializer
+from repro.genetic.mutation import (
+    CompositeMutation,
+    JiggleMutation,
+    MutationOperator,
+    ResetMutation,
+    TowardCentroidMutation,
+)
+from repro.genetic.population import Population
+from repro.genetic.selection import SelectionOperator, TournamentSelection
+from repro.genetic.trace import GATrace, GenerationRecord
+
+__all__ = ["GAConfig", "GAResult", "GeneticAlgorithm"]
+
+
+def _default_crossover() -> CrossoverOperator:
+    return RegionExchangeCrossover()
+
+
+def _default_mutation() -> MutationOperator:
+    # Local refinement, centroid-directed compaction (the follow-up
+    # WMN-GA directed mutation) and occasional teleports for exploration.
+    return CompositeMutation(
+        [
+            JiggleMutation(radius=4, per_gene_rate=0.1),
+            TowardCentroidMutation(),
+            ResetMutation(count=1),
+        ],
+        weights=[0.5, 0.35, 0.15],
+    )
+
+
+def _default_selection() -> SelectionOperator:
+    return TournamentSelection(size=3)
+
+
+@dataclass
+class GAConfig:
+    """Hyper-parameters of one GA run."""
+
+    population_size: int = 64
+    n_generations: int = 200
+    crossover_rate: float = 0.8
+    mutation_rate: float = 0.3
+    n_elites: int = 2
+    selection: SelectionOperator = field(default_factory=_default_selection)
+    crossover: CrossoverOperator = field(default_factory=_default_crossover)
+    mutation: MutationOperator = field(default_factory=_default_mutation)
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError(
+                f"population_size must be >= 2, got {self.population_size}"
+            )
+        if self.n_generations < 0:
+            raise ValueError(
+                f"n_generations must be non-negative, got {self.n_generations}"
+            )
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise ValueError(
+                f"crossover_rate must be in [0, 1], got {self.crossover_rate}"
+            )
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise ValueError(
+                f"mutation_rate must be in [0, 1], got {self.mutation_rate}"
+            )
+        if not 0 <= self.n_elites < self.population_size:
+            raise ValueError(
+                f"n_elites must be in [0, population_size), got {self.n_elites}"
+            )
+
+
+@dataclass(frozen=True)
+class GAResult:
+    """Outcome of one GA run."""
+
+    best: Evaluation
+    trace: GATrace
+    n_generations: int
+    n_evaluations: int
+
+    @property
+    def giant_size(self) -> int:
+        """Giant component size of the best individual found."""
+        return self.best.giant_size
+
+    @property
+    def covered_clients(self) -> int:
+        """Covered clients of the best individual found."""
+        return self.best.covered_clients
+
+
+class GeneticAlgorithm:
+    """Generational GA with elitism over placement chromosomes."""
+
+    def __init__(self, config: GAConfig | None = None) -> None:
+        self.config = config if config is not None else GAConfig()
+
+    def run(
+        self,
+        evaluator: Evaluator,
+        initializer: PopulationInitializer,
+        rng: np.random.Generator,
+        fitness_target: float | None = None,
+    ) -> GAResult:
+        """Evolve from ``initializer``'s population; returns best + trace."""
+        config = self.config
+        evaluations_before = evaluator.n_evaluations
+        placements = initializer.generate(
+            evaluator.problem, config.population_size, rng
+        )
+        population = Population.from_placements(placements)
+        population.evaluate_all(evaluator)
+
+        trace = GATrace()
+        best = population.best().evaluation
+        assert best is not None
+        self._record(trace, 0, population, best, evaluator, evaluations_before)
+
+        generation = 0
+        for generation in range(1, config.n_generations + 1):
+            population = self._next_generation(population, evaluator, rng)
+            generation_best = population.best().evaluation
+            assert generation_best is not None
+            if generation_best.fitness > best.fitness:
+                best = generation_best
+            self._record(
+                trace, generation, population, best, evaluator, evaluations_before
+            )
+            if fitness_target is not None and best.fitness >= fitness_target:
+                break
+        return GAResult(
+            best=best,
+            trace=trace,
+            n_generations=generation,
+            n_evaluations=evaluator.n_evaluations - evaluations_before,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _next_generation(
+        self,
+        population: Population,
+        evaluator: Evaluator,
+        rng: np.random.Generator,
+    ) -> Population:
+        config = self.config
+        offspring: list[Individual] = population.elites(config.n_elites)
+        while len(offspring) < config.population_size:
+            parent_a, parent_b = config.selection.select_pair(population, rng)
+            if rng.uniform() < config.crossover_rate:
+                child_a, child_b = config.crossover.crossover(
+                    parent_a.placement, parent_b.placement, rng
+                )
+                children = [Individual(child_a), Individual(child_b)]
+            else:
+                children = [parent_a.copy(), parent_b.copy()]
+            for child in children:
+                if rng.uniform() < config.mutation_rate:
+                    child = Individual(config.mutation.mutate(child.placement, rng))
+                offspring.append(child)
+                if len(offspring) == config.population_size:
+                    break
+        next_population = Population(offspring)
+        next_population.evaluate_all(evaluator)
+        return next_population
+
+    @staticmethod
+    def _record(
+        trace: GATrace,
+        generation: int,
+        population: Population,
+        best: Evaluation,
+        evaluator: Evaluator,
+        evaluations_before: int,
+    ) -> None:
+        trace.append(
+            GenerationRecord(
+                generation=generation,
+                best_fitness=best.fitness,
+                mean_fitness=population.mean_fitness(),
+                best_giant_size=best.giant_size,
+                best_covered_clients=best.covered_clients,
+                diversity=population.diversity(),
+                n_evaluations=evaluator.n_evaluations - evaluations_before,
+            )
+        )
+
+    def __repr__(self) -> str:
+        return f"GeneticAlgorithm(config={self.config!r})"

@@ -1,0 +1,47 @@
+"""GA individuals.
+
+A chromosome for the placement problem *is* a placement: gene ``i`` is
+the cell of router ``i`` (the "genetic information encoded in the
+chromosomes" of Section 5).  :class:`Individual` pairs a placement with
+its cached evaluation so the engine never evaluates the same individual
+twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.evaluation import Evaluation, Evaluator
+from repro.core.solution import Placement
+
+__all__ = ["Individual"]
+
+
+@dataclass
+class Individual:
+    """One member of a GA population."""
+
+    placement: Placement
+    evaluation: Evaluation | None = None
+
+    @property
+    def is_evaluated(self) -> bool:
+        """Whether a cached evaluation exists."""
+        return self.evaluation is not None
+
+    @property
+    def fitness(self) -> float:
+        """Cached fitness; raises if the individual is not evaluated yet."""
+        if self.evaluation is None:
+            raise ValueError("individual has not been evaluated")
+        return self.evaluation.fitness
+
+    def ensure_evaluated(self, evaluator: Evaluator) -> Evaluation:
+        """Evaluate on first use, reuse the cache afterwards."""
+        if self.evaluation is None:
+            self.evaluation = evaluator.evaluate(self.placement)
+        return self.evaluation
+
+    def copy(self) -> "Individual":
+        """A shallow copy sharing the immutable placement and evaluation."""
+        return Individual(placement=self.placement, evaluation=self.evaluation)

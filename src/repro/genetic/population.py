@@ -1,0 +1,112 @@
+"""GA populations.
+
+A thin, explicit container over :class:`~repro.genetic.individual.Individual`
+with the aggregate queries the engine and the diversity analysis need
+(best individual, mean fitness, spatial diversity of the gene pool).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.evaluation import Evaluator
+from repro.genetic.individual import Individual
+
+__all__ = ["Population"]
+
+
+@dataclass
+class Population:
+    """An ordered collection of individuals."""
+
+    individuals: list[Individual] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.individuals:
+            raise ValueError("a population must contain at least one individual")
+
+    def __len__(self) -> int:
+        return len(self.individuals)
+
+    def __iter__(self) -> Iterator[Individual]:
+        return iter(self.individuals)
+
+    def __getitem__(self, index: int) -> Individual:
+        return self.individuals[index]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate_all(self, evaluator: Evaluator) -> None:
+        """Ensure every individual carries an evaluation."""
+        for individual in self.individuals:
+            individual.ensure_evaluated(evaluator)
+
+    def require_evaluated(self) -> None:
+        """Raise unless every individual is evaluated."""
+        for index, individual in enumerate(self.individuals):
+            if not individual.is_evaluated:
+                raise ValueError(f"individual {index} has not been evaluated")
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+
+    def best(self) -> Individual:
+        """The fittest individual (first on ties, deterministic)."""
+        self.require_evaluated()
+        return max(self.individuals, key=lambda ind: ind.fitness)
+
+    def elites(self, count: int) -> list[Individual]:
+        """The ``count`` fittest individuals, fittest first."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        self.require_evaluated()
+        ranked = sorted(self.individuals, key=lambda ind: ind.fitness, reverse=True)
+        return [individual.copy() for individual in ranked[:count]]
+
+    def mean_fitness(self) -> float:
+        """Average fitness over the population."""
+        self.require_evaluated()
+        return float(
+            np.mean([individual.fitness for individual in self.individuals])
+        )
+
+    def fitness_values(self) -> np.ndarray:
+        """Fitness of every individual, in population order."""
+        self.require_evaluated()
+        return np.array([individual.fitness for individual in self.individuals])
+
+    def diversity(self) -> float:
+        """Mean pairwise distance between chromosomes (gene-averaged).
+
+        "The diversity of the population ... is a crucial factor to avoid
+        premature convergence" (Section 5): this metric lets experiments
+        quantify what the different ad hoc initializers contribute.
+        Computed as the average over router ids of the mean pairwise
+        Euclidean distance between the routers' cells across individuals.
+        """
+        if len(self.individuals) < 2:
+            return 0.0
+        # stack: (P, N, 2) — population size x routers x coordinates
+        stack = np.stack(
+            [ind.placement.positions_array() for ind in self.individuals]
+        )
+        total = 0.0
+        pairs = 0
+        for i in range(len(self.individuals)):
+            deltas = stack[i + 1 :] - stack[i]
+            if deltas.size:
+                distances = np.sqrt((deltas**2).sum(axis=2))
+                total += float(distances.mean(axis=1).sum())
+                pairs += deltas.shape[0]
+        return total / pairs if pairs else 0.0
+
+    @classmethod
+    def from_placements(cls, placements: Sequence) -> "Population":
+        """Wrap raw placements into unevaluated individuals."""
+        return cls([Individual(placement=placement) for placement in placements])

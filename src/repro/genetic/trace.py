@@ -1,0 +1,109 @@
+"""GA evolution traces.
+
+Figures 1-3 plot "the evolution of size of giant component" against
+"nb generations" for each initializing ad hoc method.  The engine
+records one :class:`GenerationRecord` per generation; the harness prints
+selected generations as the figures' series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["GenerationRecord", "GATrace"]
+
+
+@dataclass(frozen=True, slots=True)
+class GenerationRecord:
+    """Aggregate state of the population after one generation.
+
+    ``best_giant_size`` / ``best_covered_clients`` describe the best
+    individual *by fitness* found so far: the fitness series is monotone
+    under elitism, while the giant series may occasionally dip when a
+    fitter solution trades connectivity for coverage.
+    """
+
+    generation: int
+    best_fitness: float
+    mean_fitness: float
+    best_giant_size: int
+    best_covered_clients: int
+    diversity: float
+    n_evaluations: int
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for serialization and reporting."""
+        return {
+            "generation": self.generation,
+            "best_fitness": self.best_fitness,
+            "mean_fitness": self.mean_fitness,
+            "best_giant_size": self.best_giant_size,
+            "best_covered_clients": self.best_covered_clients,
+            "diversity": self.diversity,
+            "n_evaluations": self.n_evaluations,
+        }
+
+
+@dataclass
+class GATrace:
+    """Generation-by-generation history of one GA run."""
+
+    records: list[GenerationRecord] = field(default_factory=list)
+
+    def append(self, record: GenerationRecord) -> None:
+        """Add the next generation record (in order)."""
+        if self.records and record.generation <= self.records[-1].generation:
+            raise ValueError(
+                f"generation {record.generation} out of order after "
+                f"{self.records[-1].generation}"
+            )
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[GenerationRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> GenerationRecord:
+        return self.records[index]
+
+    @property
+    def generations(self) -> list[int]:
+        """Generation numbers (the figures' x axis)."""
+        return [record.generation for record in self.records]
+
+    @property
+    def giant_sizes(self) -> list[int]:
+        """Best giant component size per generation (the y axis)."""
+        return [record.best_giant_size for record in self.records]
+
+    @property
+    def best_fitnesses(self) -> list[float]:
+        """Best fitness per generation."""
+        return [record.best_fitness for record in self.records]
+
+    def final(self) -> GenerationRecord:
+        """The last generation record."""
+        if not self.records:
+            raise ValueError("empty trace")
+        return self.records[-1]
+
+    def at_generation(self, generation: int) -> GenerationRecord:
+        """The record for an exact generation number."""
+        for record in self.records:
+            if record.generation == generation:
+                return record
+        raise KeyError(f"no record for generation {generation}")
+
+    def sampled(self, step: int) -> list[GenerationRecord]:
+        """Every ``step``-th record plus the final one (figure series)."""
+        if step <= 0:
+            raise ValueError(f"step must be positive, got {step}")
+        picked = [
+            record for index, record in enumerate(self.records) if index % step == 0
+        ]
+        if self.records and picked[-1] is not self.records[-1]:
+            picked.append(self.records[-1])
+        return picked

@@ -1,0 +1,51 @@
+"""Benchmark instances (paper Section 5.1).
+
+Declarative instance recipes, the catalog of the paper's canonical
+instances (Tables 1-3) and JSON (de)serialization for archiving runs.
+"""
+
+from repro.instances.catalog import (
+    PAPER_SEED,
+    catalog,
+    paper_exponential,
+    paper_normal,
+    paper_spec,
+    paper_uniform,
+    paper_weibull,
+    tiny_spec,
+)
+from repro.instances.generator import InstanceSpec
+from repro.instances.serializer import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    load_placement,
+    placement_from_dict,
+    placement_to_dict,
+    save_instance,
+    save_placement,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+__all__ = [
+    "PAPER_SEED",
+    "catalog",
+    "paper_exponential",
+    "paper_normal",
+    "paper_spec",
+    "paper_uniform",
+    "paper_weibull",
+    "tiny_spec",
+    "InstanceSpec",
+    "instance_from_dict",
+    "instance_to_dict",
+    "load_instance",
+    "load_placement",
+    "placement_from_dict",
+    "placement_to_dict",
+    "save_instance",
+    "save_placement",
+    "spec_from_dict",
+    "spec_to_dict",
+]

@@ -1,0 +1,88 @@
+"""The paper's benchmark instances.
+
+Tables 1-3 all use the same frame — "64 routers are to be placed in a
+128 x 128 grid area for covering 192 clients" — and vary the client
+distribution: Normal ``N(mu = 64, sigma = 128/10)`` (Table 1),
+Exponential (Table 2) and Weibull (Table 3); Section 5.1 also mentions
+Uniform.  This catalog pins those instances down as named
+:class:`~repro.instances.generator.InstanceSpec` objects so every
+experiment, test and bench references the identical workload.
+"""
+
+from __future__ import annotations
+
+from repro.instances.generator import InstanceSpec
+
+__all__ = [
+    "PAPER_SEED",
+    "paper_spec",
+    "paper_normal",
+    "paper_exponential",
+    "paper_weibull",
+    "paper_uniform",
+    "catalog",
+    "tiny_spec",
+]
+
+#: Seed for the canonical paper instances; replications use other seeds.
+PAPER_SEED = 20090629  # ICDCS 2009 workshop date.
+
+
+def paper_spec(distribution: str, seed: int = PAPER_SEED, **params) -> InstanceSpec:
+    """The paper frame (64 routers / 128x128 / 192 clients) with the
+    given client distribution."""
+    return InstanceSpec(
+        name=f"paper-{distribution}",
+        width=128,
+        height=128,
+        n_routers=64,
+        n_clients=192,
+        distribution=distribution,
+        distribution_params=dict(params),
+        seed=seed,
+    )
+
+
+def paper_normal(seed: int = PAPER_SEED) -> InstanceSpec:
+    """Table 1 / Figure 1 instance: Normal N(64, 12.8) clients."""
+    return paper_spec("normal", seed=seed, mean=64.0, std=12.8)
+
+
+def paper_exponential(seed: int = PAPER_SEED) -> InstanceSpec:
+    """Table 2 / Figure 2 instance: Exponential clients (scale = 32)."""
+    return paper_spec("exponential", seed=seed, scale=32.0)
+
+
+def paper_weibull(seed: int = PAPER_SEED) -> InstanceSpec:
+    """Table 3 / Figure 3 instance: Weibull clients (shape 1.2)."""
+    return paper_spec("weibull", seed=seed, shape=1.2)
+
+
+def paper_uniform(seed: int = PAPER_SEED) -> InstanceSpec:
+    """Uniform-clients instance (Section 5.1 mentions it; no table)."""
+    return paper_spec("uniform", seed=seed)
+
+
+def catalog() -> dict[str, InstanceSpec]:
+    """All named instances, keyed by distribution name."""
+    return {
+        "uniform": paper_uniform(),
+        "normal": paper_normal(),
+        "exponential": paper_exponential(),
+        "weibull": paper_weibull(),
+    }
+
+
+def tiny_spec(distribution: str = "normal", seed: int = 7) -> InstanceSpec:
+    """A small instance for tests and quick demos (16 routers, 32x32)."""
+    return InstanceSpec(
+        name=f"tiny-{distribution}",
+        width=32,
+        height=32,
+        n_routers=16,
+        n_clients=48,
+        distribution=distribution,
+        min_radius=2.0,
+        max_radius=8.0,
+        seed=seed,
+    )

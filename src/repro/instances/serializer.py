@@ -1,0 +1,164 @@
+"""JSON (de)serialization of instances, specs and placements.
+
+Benchmark instances and solutions survive to disk so runs can be
+archived, diffed and replayed.  The format is plain JSON with a
+``format`` tag and explicit fields — no pickling, so files remain
+readable and versionable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.clients import ClientSet
+from repro.core.geometry import Point
+from repro.core.grid import GridArea
+from repro.core.problem import ProblemInstance
+from repro.core.radio import CoverageRule, LinkRule
+from repro.core.routers import RouterFleet
+from repro.core.solution import Placement
+from repro.instances.generator import InstanceSpec
+
+__all__ = [
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance",
+    "load_instance",
+    "spec_to_dict",
+    "spec_from_dict",
+    "placement_to_dict",
+    "placement_from_dict",
+    "save_placement",
+    "load_placement",
+]
+
+_INSTANCE_FORMAT = "repro.instance.v1"
+_SPEC_FORMAT = "repro.spec.v1"
+_PLACEMENT_FORMAT = "repro.placement.v1"
+
+
+# ----------------------------------------------------------------------
+# Problem instances
+# ----------------------------------------------------------------------
+
+def instance_to_dict(problem: ProblemInstance) -> dict:
+    """Explicit JSON-ready form of a problem instance."""
+    return {
+        "format": _INSTANCE_FORMAT,
+        "grid": {"width": problem.grid.width, "height": problem.grid.height},
+        "radii": [router.radius for router in problem.fleet],
+        "clients": [[client.cell.x, client.cell.y] for client in problem.clients],
+        "link_rule": problem.link_rule.value,
+        "coverage_rule": problem.coverage_rule.value,
+    }
+
+
+def instance_from_dict(payload: dict) -> ProblemInstance:
+    """Inverse of :func:`instance_to_dict` (validates the format tag)."""
+    if payload.get("format") != _INSTANCE_FORMAT:
+        raise ValueError(
+            f"not a {_INSTANCE_FORMAT} document: format={payload.get('format')!r}"
+        )
+    grid = GridArea(payload["grid"]["width"], payload["grid"]["height"])
+    fleet = RouterFleet.from_radii(payload["radii"])
+    clients = ClientSet.from_points(
+        [Point(int(x), int(y)) for x, y in payload["clients"]], grid=grid
+    )
+    return ProblemInstance(
+        grid=grid,
+        fleet=fleet,
+        clients=clients,
+        link_rule=LinkRule(payload["link_rule"]),
+        coverage_rule=CoverageRule(payload["coverage_rule"]),
+    )
+
+
+def save_instance(problem: ProblemInstance, path: "str | Path") -> None:
+    """Write an instance to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(instance_to_dict(problem), indent=2))
+
+
+def load_instance(path: "str | Path") -> ProblemInstance:
+    """Read an instance previously written by :func:`save_instance`."""
+    return instance_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Instance specs
+# ----------------------------------------------------------------------
+
+def spec_to_dict(spec: InstanceSpec) -> dict:
+    """JSON-ready form of a generation recipe."""
+    return {
+        "format": _SPEC_FORMAT,
+        "name": spec.name,
+        "width": spec.width,
+        "height": spec.height,
+        "n_routers": spec.n_routers,
+        "n_clients": spec.n_clients,
+        "distribution": spec.distribution,
+        "distribution_params": dict(spec.distribution_params),
+        "min_radius": spec.min_radius,
+        "max_radius": spec.max_radius,
+        "link_rule": spec.link_rule.value,
+        "coverage_rule": spec.coverage_rule.value,
+        "seed": spec.seed,
+    }
+
+
+def spec_from_dict(payload: dict) -> InstanceSpec:
+    """Inverse of :func:`spec_to_dict`."""
+    if payload.get("format") != _SPEC_FORMAT:
+        raise ValueError(
+            f"not a {_SPEC_FORMAT} document: format={payload.get('format')!r}"
+        )
+    return InstanceSpec(
+        name=payload["name"],
+        width=payload["width"],
+        height=payload["height"],
+        n_routers=payload["n_routers"],
+        n_clients=payload["n_clients"],
+        distribution=payload["distribution"],
+        distribution_params=dict(payload["distribution_params"]),
+        min_radius=payload["min_radius"],
+        max_radius=payload["max_radius"],
+        link_rule=LinkRule(payload["link_rule"]),
+        coverage_rule=CoverageRule(payload["coverage_rule"]),
+        seed=payload["seed"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Placements
+# ----------------------------------------------------------------------
+
+def placement_to_dict(placement: Placement) -> dict:
+    """JSON-ready form of a placement."""
+    return {
+        "format": _PLACEMENT_FORMAT,
+        "grid": {"width": placement.grid.width, "height": placement.grid.height},
+        "cells": [[cell.x, cell.y] for cell in placement.cells],
+    }
+
+
+def placement_from_dict(payload: dict) -> Placement:
+    """Inverse of :func:`placement_to_dict`."""
+    if payload.get("format") != _PLACEMENT_FORMAT:
+        raise ValueError(
+            f"not a {_PLACEMENT_FORMAT} document: format={payload.get('format')!r}"
+        )
+    grid = GridArea(payload["grid"]["width"], payload["grid"]["height"])
+    return Placement.from_cells(
+        grid, [Point(int(x), int(y)) for x, y in payload["cells"]]
+    )
+
+
+def save_placement(placement: Placement, path: "str | Path") -> None:
+    """Write a placement to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(placement_to_dict(placement), indent=2))
+
+
+def load_placement(path: "str | Path") -> Placement:
+    """Read a placement previously written by :func:`save_placement`."""
+    return placement_from_dict(json.loads(Path(path).read_text()))

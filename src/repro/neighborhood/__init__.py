@@ -1,0 +1,47 @@
+"""Neighborhood search methods (paper Section 4) and extensions.
+
+The paper's Algorithm 1 (best-improvement neighborhood search),
+Algorithm 2 (sampled best-neighbor selection) and Algorithm 3 (the swap
+movement), the purely-random movement baseline, plus the "full featured
+local search methods" announced as future work: simulated annealing and
+tabu search.
+"""
+
+from repro.neighborhood.annealing import AnnealingSchedule, SimulatedAnnealing
+from repro.neighborhood.best_neighbor import best_neighbor
+from repro.neighborhood.moves import Move, RelocateMove, SwapMove
+from repro.neighborhood.movements import (
+    CombinedMovement,
+    MovementType,
+    RandomMovement,
+    SwapMovement,
+)
+from repro.neighborhood.registry import (
+    available_movements,
+    make_movement,
+    register_movement,
+)
+from repro.neighborhood.search import NeighborhoodSearch, SearchResult
+from repro.neighborhood.tabu import TabuSearch
+from repro.neighborhood.trace import PhaseRecord, SearchTrace
+
+__all__ = [
+    "AnnealingSchedule",
+    "SimulatedAnnealing",
+    "best_neighbor",
+    "Move",
+    "RelocateMove",
+    "SwapMove",
+    "CombinedMovement",
+    "MovementType",
+    "RandomMovement",
+    "SwapMovement",
+    "available_movements",
+    "make_movement",
+    "register_movement",
+    "NeighborhoodSearch",
+    "SearchResult",
+    "TabuSearch",
+    "PhaseRecord",
+    "SearchTrace",
+]

@@ -1,0 +1,57 @@
+"""Best-neighbor selection (paper Algorithm 2).
+
+"The exploration of the neighborhood can be done in different ways.  For
+instance, we can systematically generate all movements ... or, in case
+of large neighborhoods, just a pre-fixed number of movements is
+generated and corresponding neighboring solutions are examined."
+
+The placement neighborhoods here are large (every router x every free
+cell), so the sampled variant is the work-horse:
+:func:`best_neighbor` draws a pre-fixed number of candidate moves from
+the movement type and returns the fittest resulting solution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.evaluation import Evaluation, Evaluator
+from repro.neighborhood.movements import MovementType
+
+__all__ = ["best_neighbor"]
+
+
+def best_neighbor(
+    evaluator: Evaluator,
+    current: Evaluation,
+    movement: MovementType,
+    rng: np.random.Generator,
+    n_candidates: int = 16,
+) -> Evaluation | None:
+    """The best solution among ``n_candidates`` sampled neighbors.
+
+    Follows Algorithm 2: repeatedly generate a movement of the chosen
+    type, apply it to the current solution and keep the best neighboring
+    solution seen.  Invalid or unavailable candidates (the movement
+    returns ``None``, or the move no longer applies) are skipped; they
+    still count against ``n_candidates`` so a phase has bounded cost.
+
+    Returns ``None`` when no candidate produced a valid neighbor —
+    Algorithm 1 treats that as an idle phase.
+    """
+    if n_candidates <= 0:
+        raise ValueError(f"n_candidates must be positive, got {n_candidates}")
+    best: Evaluation | None = None
+    for _ in range(n_candidates):
+        move = movement.propose(current, evaluator.problem, rng)
+        if move is None:
+            continue
+        try:
+            neighbor_placement = move.apply(current.placement)
+        except ValueError:
+            # The sampled move is stale (e.g. target cell occupied).
+            continue
+        candidate = evaluator.evaluate(neighbor_placement)
+        if best is None or candidate.fitness > best.fitness:
+            best = candidate
+    return best

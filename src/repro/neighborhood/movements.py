@@ -1,0 +1,332 @@
+"""Movement types — neighborhood structures (paper Section 4).
+
+"Starting from an initial solution, the algorithm first selects a
+movement type, that is the way the small local perturbation is
+performed, which defines the neighborhood structure."
+
+Two movement types come from the paper:
+
+* :class:`SwapMovement` — Algorithm 3: the worst router of the most
+  dense ``Hg x Wg`` area is exchanged with the best router of the most
+  sparse area, "to promote the placement of best routers in most dense
+  areas of the grid area".
+* :class:`RandomMovement` — the "purely random search exploration"
+  baseline of Section 5.2.2: a random router relocates to a random free
+  cell.
+
+:class:`CombinedMovement` mixes movement types stochastically — the
+building block for the "full featured local search methods" the paper
+announces as future work.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import ClassVar, Sequence
+
+import numpy as np
+
+from repro.core.density import DensityMap
+from repro.core.evaluation import Evaluation
+from repro.core.geometry import Point, Rect
+from repro.core.grid import GridArea
+from repro.core.problem import ProblemInstance
+from repro.neighborhood.moves import Move, RelocateMove, SwapMove
+
+__all__ = ["MovementType", "SwapMovement", "RandomMovement", "CombinedMovement"]
+
+
+class MovementType(abc.ABC):
+    """A neighborhood structure: proposes candidate moves."""
+
+    #: Registry name of the movement (e.g. ``"swap"``).
+    name: ClassVar[str] = "abstract"
+
+    @abc.abstractmethod
+    def propose(
+        self,
+        current: Evaluation,
+        problem: ProblemInstance,
+        rng: np.random.Generator,
+    ) -> Move | None:
+        """One candidate move from the neighborhood of ``current``.
+
+        ``None`` signals that no move of this type is available (e.g. no
+        router in the chosen window); Algorithm 2 simply samples again.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class RandomMovement(MovementType):
+    """Relocate a uniformly random router to a uniformly random free cell."""
+
+    name: ClassVar[str] = "random"
+
+    def propose(
+        self,
+        current: Evaluation,
+        problem: ProblemInstance,
+        rng: np.random.Generator,
+    ) -> Move | None:
+        placement = current.placement
+        router_id = int(rng.integers(0, len(placement)))
+        try:
+            target = problem.grid.random_free_cell(placement.occupied, rng)
+        except ValueError:
+            # Fully packed grid: no relocation exists.
+            return None
+        return RelocateMove(router_id=router_id, target=target)
+
+
+class SwapMovement(MovementType):
+    """The swap movement of Algorithm 3.
+
+    Parameters
+    ----------
+    window_fraction, window_width, window_height:
+        Size of the ``Hg x Wg`` sub-areas ranked by density (fraction of
+        the grid, or explicit cells).
+    density_source:
+        What "dense" counts — ``"routers"`` (default), ``"clients"`` or
+        ``"both"``.  Algorithm 3 speaks of the most dense/sparse areas of
+        the mesh without the "in terms of client nodes" qualifier that
+        HotSpot carries, and only the router reading sustains the giant
+        component growth of Fig. 4: as routers accrete, the dense window
+        tracks the growing cluster instead of saturating on a fixed
+        client hotspot (see DESIGN.md, decision D6).
+    relocate:
+        DESIGN.md decision D6.  ``False`` = literal Algorithm 3: the two
+        routers exchange positions.  ``True`` (default) = the best
+        sparse-area router also *relocates into* the dense window, the
+        reading consistent with the growth shown in Fig. 4.
+    pool:
+        Candidate windows are sampled from the ``pool`` most extreme
+        windows rather than always the single most extreme, so repeated
+        proposals differ (Algorithm 2 samples several movements per
+        phase).
+    """
+
+    name: ClassVar[str] = "swap"
+
+    def __init__(
+        self,
+        window_fraction: float = 0.125,
+        window_width: int | None = None,
+        window_height: int | None = None,
+        density_source: str = "routers",
+        relocate: bool = True,
+        pool: int = 8,
+    ) -> None:
+        if not 0.0 < window_fraction <= 1.0:
+            raise ValueError(
+                f"window_fraction must be in (0, 1], got {window_fraction}"
+            )
+        if density_source not in ("clients", "routers", "both"):
+            raise ValueError(
+                "density_source must be 'clients', 'routers' or 'both', "
+                f"got {density_source!r}"
+            )
+        if pool <= 0:
+            raise ValueError(f"pool must be positive, got {pool}")
+        if window_width is not None and window_width <= 0:
+            raise ValueError(f"window_width must be positive, got {window_width}")
+        if window_height is not None and window_height <= 0:
+            raise ValueError(f"window_height must be positive, got {window_height}")
+        self.window_fraction = window_fraction
+        self.window_width = window_width
+        self.window_height = window_height
+        self.density_source = density_source
+        self.relocate = relocate
+        self.pool = pool
+        # Best-neighbor selection proposes many moves from the same
+        # current solution; the ranked windows only depend on that
+        # solution, so a one-entry cache removes the repeated density
+        # computations (the placement is immutable, identity is safe).
+        self._cached_placement = None
+        self._cached_pools: tuple[list[Rect], list[Rect]] | None = None
+
+    # ------------------------------------------------------------------
+    # Algorithm 3, steps 1-3: windows
+    # ------------------------------------------------------------------
+
+    def window_size(self, grid: GridArea) -> tuple[int, int]:
+        """Effective ``(Wg, Hg)`` on the given grid."""
+        width = (
+            self.window_width
+            if self.window_width is not None
+            else max(1, int(round(grid.width * self.window_fraction)))
+        )
+        height = (
+            self.window_height
+            if self.window_height is not None
+            else max(1, int(round(grid.height * self.window_fraction)))
+        )
+        return min(width, grid.width), min(height, grid.height)
+
+    def _density_points(
+        self, current: Evaluation, problem: ProblemInstance
+    ) -> np.ndarray:
+        client_points = problem.clients.positions
+        router_points = current.placement.positions_array()
+        if self.density_source == "clients":
+            return client_points
+        if self.density_source == "routers":
+            return router_points
+        return np.vstack([client_points, router_points])
+
+    def _window_pools(
+        self, current: Evaluation, problem: ProblemInstance
+    ) -> tuple[list[Rect], list[Rect]]:
+        """The top dense and sparse windows for the current solution."""
+        placement = current.placement
+        if self._cached_placement is placement and self._cached_pools is not None:
+            return self._cached_pools
+        width, height = self.window_size(problem.grid)
+        density = DensityMap.build(
+            problem.grid, self._density_points(current, problem), width, height
+        )
+        pools = (
+            density.ranked_windows(self.pool, densest=True),
+            density.ranked_windows(self.pool, densest=False),
+        )
+        self._cached_placement = placement
+        self._cached_pools = pools
+        return pools
+
+    def _windows(
+        self,
+        current: Evaluation,
+        problem: ProblemInstance,
+        rng: np.random.Generator,
+    ) -> tuple[Rect, Rect]:
+        dense_pool, sparse_pool = self._window_pools(current, problem)
+        dense = dense_pool[int(rng.integers(0, len(dense_pool)))]
+        sparse = sparse_pool[int(rng.integers(0, len(sparse_pool)))]
+        return dense, sparse
+
+    # ------------------------------------------------------------------
+    # Algorithm 3, steps 4-7: pick routers and build the move
+    # ------------------------------------------------------------------
+
+    def propose(
+        self,
+        current: Evaluation,
+        problem: ProblemInstance,
+        rng: np.random.Generator,
+    ) -> Move | None:
+        placement = current.placement
+        dense, sparse = self._windows(current, problem, rng)
+        dense_routers = placement.routers_in(dense)
+        sparse_routers = placement.routers_in(sparse)
+
+        if not self.relocate:
+            # Literal Algorithm 3: both windows must contain a router and
+            # the two routers must differ.
+            if not dense_routers or not sparse_routers:
+                return None
+            weak_dense = problem.fleet.weakest_among(dense_routers)
+            strong_sparse = problem.fleet.strongest_among(sparse_routers)
+            if weak_dense == strong_sparse:
+                return None
+            return SwapMove(router_a=weak_dense, router_b=strong_sparse)
+
+        # Relocating reading (D6): the best router available outside the
+        # dense window moves into a free cell of the dense window.
+        mover = self._pick_mover(problem, placement, dense, sparse_routers)
+        if mover is None:
+            return None
+        target = self._free_cell_in(problem.grid, placement, dense, rng)
+        if target is None:
+            return None
+        return RelocateMove(router_id=mover, target=target)
+
+    def _pick_mover(
+        self,
+        problem: ProblemInstance,
+        placement,
+        dense: Rect,
+        sparse_routers: list[int],
+    ) -> int | None:
+        """The router that should migrate towards the dense window."""
+        if sparse_routers:
+            return problem.fleet.strongest_among(sparse_routers)
+        # The sparse window holds no router (common: its density is 0
+        # because it is empty of everything).  Fall back to the most
+        # powerful router currently outside the dense window.
+        outside = [
+            router_id
+            for router_id in range(len(placement))
+            if not dense.contains(placement[router_id])
+        ]
+        if not outside:
+            return None
+        return problem.fleet.strongest_among(outside)
+
+    @staticmethod
+    def _free_cell_in(
+        grid: GridArea, placement, window: Rect, rng: np.random.Generator
+    ) -> Point | None:
+        """A random free cell inside ``window`` (``None`` when full)."""
+        try:
+            return grid.random_free_cell(placement.occupied, rng, within=window)
+        except ValueError:
+            return None
+
+    def __repr__(self) -> str:
+        return (
+            f"SwapMovement(window_fraction={self.window_fraction}, "
+            f"density_source={self.density_source!r}, relocate={self.relocate}, "
+            f"pool={self.pool})"
+        )
+
+
+class CombinedMovement(MovementType):
+    """A stochastic mixture of movement types.
+
+    Each proposal draws one of the constituent movements according to
+    ``weights`` (uniform when omitted).  Mixing a density-guided movement
+    with a random one adds exploration — the standard diversification
+    trick in the "full featured" local search methods the paper points
+    to as future work.
+    """
+
+    name: ClassVar[str] = "combined"
+
+    def __init__(
+        self,
+        movements: Sequence[MovementType],
+        weights: Sequence[float] | None = None,
+    ) -> None:
+        if not movements:
+            raise ValueError("CombinedMovement needs at least one movement")
+        self.movements = list(movements)
+        if weights is None:
+            weights = [1.0] * len(self.movements)
+        if len(weights) != len(self.movements):
+            raise ValueError(
+                f"{len(weights)} weights for {len(self.movements)} movements"
+            )
+        if any(weight < 0 for weight in weights) or sum(weights) <= 0:
+            raise ValueError("weights must be non-negative and not all zero")
+        total = float(sum(weights))
+        self._probabilities = np.array([weight / total for weight in weights])
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Normalized selection probabilities, aligned with ``movements``."""
+        return self._probabilities
+
+    def propose(
+        self,
+        current: Evaluation,
+        problem: ProblemInstance,
+        rng: np.random.Generator,
+    ) -> Move | None:
+        index = int(rng.choice(len(self.movements), p=self._probabilities))
+        return self.movements[index].propose(current, problem, rng)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(movement) for movement in self.movements)
+        return f"CombinedMovement([{inner}])"

@@ -1,0 +1,75 @@
+"""Local moves on placements.
+
+A *move* is a small, concrete perturbation of one placement — the "local
+moves" of Section 4.  Moves are immutable descriptions; applying one
+yields a new placement and never mutates the original, so the search can
+evaluate many candidate moves against the same current solution.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.core.geometry import Point
+from repro.core.solution import Placement
+
+__all__ = ["Move", "SwapMove", "RelocateMove"]
+
+
+class Move(abc.ABC):
+    """A reproducible perturbation of a placement."""
+
+    @abc.abstractmethod
+    def apply(self, placement: Placement) -> Placement:
+        """The placement after performing this move.
+
+        Raises ``ValueError`` when the move is invalid for ``placement``
+        (e.g. the target cell is now occupied); proposers treat that as
+        "candidate unavailable" and skip it.
+        """
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Human-readable one-liner for traces and logs."""
+
+
+@dataclass(frozen=True, slots=True)
+class SwapMove(Move):
+    """Exchange the positions of two routers (Algorithm 3, literal).
+
+    The occupied-cell set is invariant under this move; only the
+    assignment of router hardware (radii) to positions changes.
+    """
+
+    router_a: int
+    router_b: int
+
+    def __post_init__(self) -> None:
+        if self.router_a == self.router_b:
+            raise ValueError("a swap needs two distinct routers")
+
+    def apply(self, placement: Placement) -> Placement:
+        return placement.with_swap(self.router_a, self.router_b)
+
+    def describe(self) -> str:
+        return f"swap(router {self.router_a} <-> router {self.router_b})"
+
+
+@dataclass(frozen=True, slots=True)
+class RelocateMove(Move):
+    """Move one router to a new (free) cell.
+
+    This is the relocating reading of the swap movement (DESIGN.md
+    decision D6) and the primitive behind the purely random movement the
+    paper compares against.
+    """
+
+    router_id: int
+    target: Point
+
+    def apply(self, placement: Placement) -> Placement:
+        return placement.with_move(self.router_id, self.target)
+
+    def describe(self) -> str:
+        return f"relocate(router {self.router_id} -> {tuple(self.target)})"

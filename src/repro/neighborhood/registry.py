@@ -1,0 +1,66 @@
+"""Name-based lookup of movement types.
+
+Mirrors the ad hoc and distribution registries: the CLI and experiment
+configuration refer to neighborhood structures by name (``"swap"``,
+``"swap-literal"``, ``"random"``, ``"combined"``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.neighborhood.movements import (
+    CombinedMovement,
+    MovementType,
+    RandomMovement,
+    SwapMovement,
+)
+
+__all__ = ["available_movements", "make_movement", "register_movement"]
+
+
+def _make_swap(**parameters) -> SwapMovement:
+    parameters.setdefault("relocate", True)
+    return SwapMovement(**parameters)
+
+
+def _make_swap_literal(**parameters) -> SwapMovement:
+    parameters["relocate"] = False
+    return SwapMovement(**parameters)
+
+
+def _make_combined(**parameters) -> CombinedMovement:
+    movements = parameters.pop("movements", None)
+    if movements is None:
+        movements = [SwapMovement(), RandomMovement()]
+    return CombinedMovement(movements, **parameters)
+
+
+_FACTORIES: dict[str, Callable[..., MovementType]] = {
+    "random": RandomMovement,
+    "swap": _make_swap,
+    "swap-literal": _make_swap_literal,
+    "combined": _make_combined,
+}
+
+
+def available_movements() -> list[str]:
+    """Names of all registered movement types, sorted."""
+    return sorted(_FACTORIES)
+
+
+def register_movement(name: str, factory: Callable[..., MovementType]) -> None:
+    """Register a custom movement type under ``name``."""
+    if name in _FACTORIES:
+        raise ValueError(f"movement {name!r} is already registered")
+    _FACTORIES[name] = factory
+
+
+def make_movement(name: str, **parameters) -> MovementType:
+    """Instantiate the movement registered under ``name``."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(available_movements())
+        raise ValueError(f"unknown movement {name!r}; known: {known}") from None
+    return factory(**parameters)

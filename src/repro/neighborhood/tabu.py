@@ -1,0 +1,137 @@
+"""Tabu search over placement movements.
+
+The second "full featured local search method" extension (the authors'
+follow-up line also includes WMN-TS).  Classic short-term-memory tabu
+search: the best sampled neighbor is taken even when worsening, recently
+touched routers are tabu for ``tenure`` phases, and an aspiration
+criterion overrides the tabu status of a move that beats the global
+best.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.evaluation import Evaluator
+from repro.core.solution import Placement
+from repro.neighborhood.moves import Move, RelocateMove, SwapMove
+from repro.neighborhood.movements import MovementType
+from repro.neighborhood.search import SearchResult
+from repro.neighborhood.trace import SearchTrace
+
+__all__ = ["TabuSearch"]
+
+
+def _touched_routers(move: Move) -> tuple[int, ...]:
+    """The router ids a move modifies (used as the tabu attribute)."""
+    if isinstance(move, SwapMove):
+        return (move.router_a, move.router_b)
+    if isinstance(move, RelocateMove):
+        return (move.router_id,)
+    return ()
+
+
+class TabuSearch:
+    """Best-of-sample tabu search with router-attribute memory."""
+
+    def __init__(
+        self,
+        movement: MovementType,
+        tenure: int = 8,
+        n_candidates: int = 16,
+        max_phases: int = 64,
+    ) -> None:
+        if tenure < 0:
+            raise ValueError(f"tenure must be non-negative, got {tenure}")
+        if n_candidates <= 0:
+            raise ValueError(f"n_candidates must be positive, got {n_candidates}")
+        if max_phases <= 0:
+            raise ValueError(f"max_phases must be positive, got {max_phases}")
+        self.movement = movement
+        self.tenure = tenure
+        self.n_candidates = n_candidates
+        self.max_phases = max_phases
+
+    def run(
+        self,
+        evaluator: Evaluator,
+        initial: Placement,
+        rng: np.random.Generator,
+    ) -> SearchResult:
+        """Search from ``initial``; returns the best solution and trace."""
+        evaluations_before = evaluator.n_evaluations
+        current = evaluator.evaluate(initial)
+        best = current
+        trace = SearchTrace()
+        trace.record_phase(
+            phase=0,
+            evaluation=current,
+            improved=False,
+            n_evaluations=evaluator.n_evaluations - evaluations_before,
+        )
+        # Router id -> phase until which it is tabu; a deque of
+        # (router, expiry) keeps eviction O(1).
+        tabu_until: dict[int, int] = {}
+        expiry_queue: deque[tuple[int, int]] = deque()
+
+        for phase in range(1, self.max_phases + 1):
+            while expiry_queue and expiry_queue[0][1] <= phase:
+                router, expiry = expiry_queue.popleft()
+                if tabu_until.get(router) == expiry:
+                    del tabu_until[router]
+
+            chosen = None
+            chosen_move: Move | None = None
+            for _ in range(self.n_candidates):
+                move = self.movement.propose(current, evaluator.problem, rng)
+                if move is None:
+                    continue
+                try:
+                    neighbor_placement = move.apply(current.placement)
+                except ValueError:
+                    continue
+                candidate = evaluator.evaluate(neighbor_placement)
+                is_tabu = any(
+                    tabu_until.get(router, 0) > phase
+                    for router in _touched_routers(move)
+                )
+                # Aspiration: a tabu move that improves the global best
+                # is always admissible.
+                if is_tabu and candidate.fitness <= best.fitness:
+                    continue
+                if chosen is None or candidate.fitness > chosen.fitness:
+                    chosen = candidate
+                    chosen_move = move
+            improved = False
+            if chosen is not None:
+                # Tabu search always moves to the best admissible
+                # neighbor, even when it worsens the incumbent.
+                current = chosen
+                if current.fitness > best.fitness:
+                    best = current
+                    improved = True
+                if chosen_move is not None and self.tenure > 0:
+                    for router in _touched_routers(chosen_move):
+                        expiry = phase + self.tenure
+                        tabu_until[router] = expiry
+                        expiry_queue.append((router, expiry))
+            trace.record_phase(
+                phase=phase,
+                evaluation=current,
+                improved=improved,
+                n_evaluations=evaluator.n_evaluations - evaluations_before,
+            )
+        return SearchResult(
+            best=best,
+            trace=trace,
+            n_phases=self.max_phases,
+            n_evaluations=evaluator.n_evaluations - evaluations_before,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TabuSearch(movement={self.movement!r}, tenure={self.tenure}, "
+            f"n_candidates={self.n_candidates}, max_phases={self.max_phases})"
+        )

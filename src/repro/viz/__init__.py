@@ -1,0 +1,6 @@
+"""Terminal visualization of deployments and evolution curves."""
+
+from repro.viz.ascii_chart import render_chart
+from repro.viz.ascii_map import render_evaluation, render_placement
+
+__all__ = ["render_chart", "render_evaluation", "render_placement"]

@@ -1,0 +1,101 @@
+"""ASCII line charts for evolution curves.
+
+The paper's figures are line plots of giant-component size against
+generations or phases.  :func:`render_chart` draws the same curves in a
+terminal so ``wmn-placement reproduce`` and the benches can show the
+*shape* of each figure, not just its numbers.
+
+Each series gets a marker character; when several series share a chart
+cell the marker of the later series wins (series are drawn in order, so
+list the most important one last).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["render_chart", "SERIES_MARKERS"]
+
+#: Default marker cycle, chosen to stay readable in dense plots.
+SERIES_MARKERS = "*o+x#@%&"
+
+
+def render_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Plot ``{label: [(x, y), ...]}`` as an ASCII chart.
+
+    The chart auto-scales both axes over the union of all points,
+    connects consecutive points with linear interpolation and appends a
+    legend mapping markers to labels.
+    """
+    if width < 8 or height < 4:
+        raise ValueError("chart needs at least 8x4 characters")
+    points = [
+        (float(x), float(y))
+        for values in series.values()
+        for x, y in values
+    ]
+    if not points:
+        raise ValueError("no data to plot")
+    x_min = min(x for x, _ in points)
+    x_max = max(x for x, _ in points)
+    y_min = min(y for _, y in points)
+    y_max = max(y for _, y in points)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    def column_of(x: float) -> int:
+        return min(width - 1, int((x - x_min) / x_span * (width - 1) + 0.5))
+
+    def row_of(y: float) -> int:
+        return min(height - 1, int((y - y_min) / y_span * (height - 1) + 0.5))
+
+    canvas = [[" "] * width for _ in range(height)]
+    legend: list[str] = []
+    for index, (label, values) in enumerate(series.items()):
+        marker = SERIES_MARKERS[index % len(SERIES_MARKERS)]
+        legend.append(f"{marker} {label}")
+        ordered = sorted((float(x), float(y)) for x, y in values)
+        previous: tuple[int, int] | None = None
+        for x, y in ordered:
+            column, row = column_of(x), row_of(y)
+            if previous is not None:
+                # Linear interpolation column-by-column between points.
+                prev_column, prev_row = previous
+                span = column - prev_column
+                for step in range(1, span):
+                    t = step / span
+                    inter_row = int(prev_row + (row - prev_row) * t + 0.5)
+                    canvas[inter_row][prev_column + step] = marker
+            canvas[row][column] = marker
+            previous = (column, row)
+
+    lines: list[str] = []
+    top_label = f"{y_max:g}"
+    bottom_label = f"{y_min:g}"
+    gutter = max(len(top_label), len(bottom_label), len(y_label))
+    for row_index in range(height - 1, -1, -1):
+        if row_index == height - 1:
+            prefix = top_label.rjust(gutter)
+        elif row_index == 0:
+            prefix = bottom_label.rjust(gutter)
+        elif row_index == height // 2:
+            prefix = y_label[:gutter].rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix} |{''.join(canvas[row_index])}")
+    axis = " " * gutter + " +" + "-" * width
+    lines.append(axis)
+    x_axis_legend = (
+        " " * gutter
+        + f"  {x_min:g}"
+        + f"{x_label} -> {x_max:g}".rjust(width - len(f"{x_min:g}"))
+    )
+    lines.append(x_axis_legend)
+    lines.append("legend: " + "   ".join(legend))
+    return "\n".join(lines)

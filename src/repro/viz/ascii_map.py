@@ -1,0 +1,96 @@
+"""ASCII rendering of deployments.
+
+Terminal-friendly maps of a problem instance and a placement: clients,
+routers and giant-component membership at a glance.  Large grids are
+down-sampled into character cells; each character summarizes the most
+interesting content of its block:
+
+* ``#`` — router in the giant component
+* ``r`` — router outside the giant component
+* ``.`` — client(s) only
+* `` `` — empty
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.evaluation import Evaluation
+from repro.core.problem import ProblemInstance
+from repro.core.solution import Placement
+
+__all__ = ["render_placement", "render_evaluation"]
+
+
+def render_placement(
+    problem: ProblemInstance,
+    placement: Placement,
+    giant_mask: np.ndarray | None = None,
+    max_width: int = 64,
+    max_height: int = 32,
+) -> str:
+    """An ASCII map of the placement over the instance's grid.
+
+    ``giant_mask`` marks giant-component routers with ``#`` (all routers
+    render as ``#`` when omitted — callers with an
+    :class:`~repro.core.evaluation.Evaluation` should prefer
+    :func:`render_evaluation`).
+    """
+    if max_width <= 0 or max_height <= 0:
+        raise ValueError("character viewport must be positive")
+    grid = problem.grid
+    columns = min(max_width, grid.width)
+    rows = min(max_height, grid.height)
+    x_scale = grid.width / columns
+    y_scale = grid.height / rows
+
+    router_blocks: dict[tuple[int, int], bool] = {}
+    for router_id, cell in enumerate(placement):
+        block = (min(int(cell.x / x_scale), columns - 1),
+                 min(int(cell.y / y_scale), rows - 1))
+        in_giant = bool(giant_mask[router_id]) if giant_mask is not None else True
+        router_blocks[block] = router_blocks.get(block, False) or in_giant
+
+    client_blocks: set[tuple[int, int]] = set()
+    for client in problem.clients:
+        client_blocks.add(
+            (
+                min(int(client.cell.x / x_scale), columns - 1),
+                min(int(client.cell.y / y_scale), rows - 1),
+            )
+        )
+
+    lines: list[str] = []
+    border = "+" + "-" * columns + "+"
+    lines.append(border)
+    # Render top row (largest y) first so the map reads like a plan.
+    for row in range(rows - 1, -1, -1):
+        characters = []
+        for column in range(columns):
+            block = (column, row)
+            if block in router_blocks:
+                characters.append("#" if router_blocks[block] else "r")
+            elif block in client_blocks:
+                characters.append(".")
+            else:
+                characters.append(" ")
+        lines.append("|" + "".join(characters) + "|")
+    lines.append(border)
+    return "\n".join(lines)
+
+
+def render_evaluation(
+    problem: ProblemInstance,
+    evaluation: Evaluation,
+    max_width: int = 64,
+    max_height: int = 32,
+) -> str:
+    """Map plus the metrics line for an evaluated placement."""
+    art = render_placement(
+        problem,
+        evaluation.placement,
+        giant_mask=evaluation.giant_mask,
+        max_width=max_width,
+        max_height=max_height,
+    )
+    return f"{art}\n{evaluation.summary()}"

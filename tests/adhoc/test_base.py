@@ -1,0 +1,123 @@
+"""Unit tests for the ad hoc method framework."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adhoc.base import (
+    MethodNotApplicableError,
+    PatternedAdHocMethod,
+    nudge_to_free,
+    resolve_collisions,
+)
+from repro.core.geometry import Point
+from repro.core.grid import GridArea
+from repro.core.problem import ProblemInstance
+
+
+class ConstantPattern(PatternedAdHocMethod):
+    """Test double: every pattern cell is the same corner cell."""
+
+    name = "constant"
+
+    def pattern_cells(self, problem, count, rng):
+        return [Point(0, 0)] * count
+
+
+class WrongCountPattern(PatternedAdHocMethod):
+    name = "wrong-count"
+
+    def pattern_cells(self, problem, count, rng):
+        return [Point(0, 0)]
+
+
+class NeverApplicable(ConstantPattern):
+    name = "never"
+
+    def is_applicable(self, grid):
+        return False
+
+
+class TestNudgeToFree:
+    def test_free_cell_returned_as_is(self, grid, rng):
+        assert nudge_to_free(grid, Point(5, 5), set(), rng) == Point(5, 5)
+
+    def test_occupied_cell_nudges_to_neighbor(self, grid, rng):
+        taken = {Point(5, 5)}
+        nudged = nudge_to_free(grid, Point(5, 5), taken, rng)
+        assert nudged != Point(5, 5)
+        assert max(abs(nudged.x - 5), abs(nudged.y - 5)) == 1
+
+    def test_out_of_grid_anchor_clamped(self, grid, rng):
+        nudged = nudge_to_free(grid, Point(100, 100), set(), rng)
+        assert nudged == Point(31, 31)
+
+    def test_dense_occupancy_finds_distant_cell(self, rng):
+        g = GridArea(4, 4)
+        taken = set(g.cells()) - {Point(3, 3)}
+        assert nudge_to_free(g, Point(0, 0), taken, rng) == Point(3, 3)
+
+    def test_full_grid_raises(self, rng):
+        g = GridArea(2, 2)
+        with pytest.raises(ValueError, match="no free cell"):
+            nudge_to_free(g, Point(0, 0), set(g.cells()), rng)
+
+
+class TestResolveCollisions:
+    def test_distinct_input_unchanged(self, grid, rng):
+        cells = [Point(0, 0), Point(5, 5)]
+        assert resolve_collisions(grid, cells, rng) == cells
+
+    def test_duplicates_resolved(self, grid, rng):
+        cells = [Point(3, 3)] * 5
+        resolved = resolve_collisions(grid, cells, rng)
+        assert len(set(resolved)) == 5
+        # All stay near the anchor.
+        assert all(max(abs(c.x - 3), abs(c.y - 3)) <= 2 for c in resolved)
+
+    def test_respects_pre_taken(self, grid, rng):
+        resolved = resolve_collisions(
+            grid, [Point(0, 0)], rng, taken=[Point(0, 0)]
+        )
+        assert resolved[0] != Point(0, 0)
+
+
+class TestPatternedMethod:
+    def test_pattern_fraction_validation(self):
+        with pytest.raises(ValueError):
+            ConstantPattern(pattern_fraction=0.0)
+        with pytest.raises(ValueError):
+            ConstantPattern(pattern_fraction=1.5)
+
+    def test_place_produces_valid_placement(self, tiny_problem, rng):
+        placement = ConstantPattern().place(tiny_problem, rng)
+        assert len(placement) == tiny_problem.n_routers
+        assert len(placement.occupied) == tiny_problem.n_routers
+
+    def test_pattern_share_honoured(self, tiny_problem, rng):
+        placement = ConstantPattern(pattern_fraction=0.5).place(tiny_problem, rng)
+        # Half the routers cluster near the corner anchor (nudged apart).
+        near_corner = [
+            c for c in placement if max(c.x, c.y) <= 4
+        ]
+        assert len(near_corner) >= tiny_problem.n_routers // 2
+
+    def test_wrong_pattern_count_detected(self, tiny_problem, rng):
+        with pytest.raises(ValueError, match="pattern cells"):
+            WrongCountPattern().place(tiny_problem, rng)
+
+    def test_strict_mode_raises_when_not_applicable(self, tiny_problem, rng):
+        with pytest.raises(MethodNotApplicableError):
+            NeverApplicable(strict=True).place(tiny_problem, rng)
+
+    def test_lenient_mode_ignores_applicability(self, tiny_problem, rng):
+        placement = NeverApplicable(strict=False).place(tiny_problem, rng)
+        assert len(placement) == tiny_problem.n_routers
+
+    def test_full_pattern_fraction(self, tiny_problem, rng):
+        placement = ConstantPattern(pattern_fraction=1.0).place(tiny_problem, rng)
+        assert len(placement) == tiny_problem.n_routers
+
+    def test_repr_mentions_parameters(self):
+        assert "pattern_fraction=0.9" in repr(ConstantPattern())

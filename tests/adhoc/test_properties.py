@@ -1,0 +1,63 @@
+"""Property-based tests: every ad hoc method on arbitrary instances.
+
+Hypothesis drives random instance shapes (grid aspect, fleet size,
+client count, distribution) through all seven methods; the placement
+invariants must hold everywhere, not just on the paper's frame.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adhoc.registry import PAPER_METHOD_ORDER, make_method
+from repro.instances.generator import InstanceSpec
+
+
+@st.composite
+def instance_specs(draw):
+    width = draw(st.integers(8, 48))
+    height = draw(st.integers(8, 48))
+    n_routers = draw(st.integers(1, min(24, width * height // 4)))
+    n_clients = draw(st.integers(0, 40))
+    distribution = draw(
+        st.sampled_from(["uniform", "normal", "exponential", "weibull"])
+    )
+    seed = draw(st.integers(0, 10_000))
+    return InstanceSpec(
+        name="prop",
+        width=width,
+        height=height,
+        n_routers=n_routers,
+        n_clients=n_clients,
+        distribution=distribution,
+        min_radius=1.0,
+        max_radius=5.0,
+        seed=seed,
+    )
+
+
+@pytest.mark.parametrize("method_name", PAPER_METHOD_ORDER)
+@settings(max_examples=15, deadline=None)
+@given(spec=instance_specs(), method_seed=st.integers(0, 10_000))
+def test_method_invariants_on_arbitrary_instances(method_name, spec, method_seed):
+    problem = spec.generate()
+    method = make_method(method_name)
+    placement = method.place(problem, np.random.default_rng(method_seed))
+    # Full fleet placed, all cells distinct and inside the grid.
+    assert len(placement) == problem.n_routers
+    assert len(placement.occupied) == problem.n_routers
+    assert all(problem.grid.contains(cell) for cell in placement)
+
+
+@settings(max_examples=10, deadline=None)
+@given(spec=instance_specs(), method_seed=st.integers(0, 10_000))
+def test_methods_are_deterministic_under_seed(spec, method_seed):
+    problem = spec.generate()
+    for method_name in PAPER_METHOD_ORDER:
+        method = make_method(method_name)
+        first = method.place(problem, np.random.default_rng(method_seed))
+        second = method.place(problem, np.random.default_rng(method_seed))
+        assert first.cells == second.cells, method_name

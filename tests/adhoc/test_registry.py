@@ -1,0 +1,61 @@
+"""Unit tests for the ad hoc method registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adhoc import (
+    PAPER_METHOD_ORDER,
+    RandomPlacement,
+    available_methods,
+    make_method,
+    paper_methods,
+    register_method,
+)
+from repro.adhoc import registry as registry_module
+
+
+class TestRegistry:
+    def test_paper_order_is_section3_order(self):
+        assert PAPER_METHOD_ORDER == (
+            "random",
+            "colleft",
+            "diag",
+            "cross",
+            "near",
+            "corners",
+            "hotspot",
+        )
+
+    def test_all_paper_methods_registered(self):
+        assert set(PAPER_METHOD_ORDER) <= set(available_methods())
+
+    def test_make_method_names_match(self):
+        for name in PAPER_METHOD_ORDER:
+            assert make_method(name).name == name
+
+    def test_make_method_with_parameters(self):
+        method = make_method("near", zone_fraction=0.2)
+        assert method.zone_fraction == 0.2
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown ad hoc method"):
+            make_method("magic")
+
+    def test_paper_methods_order_and_types(self):
+        methods = paper_methods()
+        assert [m.name for m in methods] == list(PAPER_METHOD_ORDER)
+
+    def test_register_custom(self, monkeypatch):
+        monkeypatch.setattr(
+            registry_module, "_FACTORIES", dict(registry_module._FACTORIES)
+        )
+        register_method("custom", RandomPlacement)
+        assert isinstance(make_method("custom"), RandomPlacement)
+
+    def test_register_duplicate_rejected(self, monkeypatch):
+        monkeypatch.setattr(
+            registry_module, "_FACTORIES", dict(registry_module._FACTORIES)
+        )
+        with pytest.raises(ValueError, match="already registered"):
+            register_method("random", RandomPlacement)

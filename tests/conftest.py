@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.clients import ClientSet
+from repro.core.geometry import Point
+from repro.core.grid import GridArea
+from repro.core.problem import ProblemInstance
+from repro.core.routers import RouterFleet
+from repro.instances.catalog import tiny_spec
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic RNG per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def grid() -> GridArea:
+    """A 32x32 grid."""
+    return GridArea(32, 32)
+
+
+@pytest.fixture
+def tiny_problem() -> ProblemInstance:
+    """The catalog's tiny instance (16 routers, 32x32, 48 normal clients)."""
+    return tiny_spec().generate()
+
+
+@pytest.fixture
+def micro_problem() -> ProblemInstance:
+    """A hand-built 4-router instance with known geometry.
+
+    Routers 0-3 have radii 4, 3, 2 and 5; clients sit at known cells, so
+    tests can compute links and coverage by hand.
+    """
+    grid = GridArea(16, 16)
+    fleet = RouterFleet.from_radii([4.0, 3.0, 2.0, 5.0])
+    clients = ClientSet.from_points(
+        [Point(1, 1), Point(2, 2), Point(8, 8), Point(14, 14), Point(15, 0)],
+        grid=grid,
+    )
+    return ProblemInstance(grid=grid, fleet=fleet, clients=clients)

@@ -1,0 +1,82 @@
+"""Unit tests for mesh clients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.clients import ClientSet, MeshClient
+from repro.core.geometry import Point, Rect
+from repro.core.grid import GridArea
+
+
+class TestMeshClient:
+    def test_valid(self):
+        c = MeshClient(client_id=0, cell=Point(1, 2))
+        assert c.cell == Point(1, 2)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            MeshClient(client_id=-1, cell=Point(0, 0))
+
+
+class TestClientSet:
+    def test_from_points(self):
+        cs = ClientSet.from_points([Point(1, 1), Point(2, 3)])
+        assert len(cs) == 2
+        assert cs[0].client_id == 0
+        assert cs[1].cell == Point(2, 3)
+
+    def test_from_points_validates_against_grid(self):
+        grid = GridArea(4, 4)
+        with pytest.raises(ValueError):
+            ClientSet.from_points([Point(5, 0)], grid=grid)
+
+    def test_duplicate_cells_allowed(self):
+        cs = ClientSet.from_points([Point(1, 1), Point(1, 1)])
+        assert len(cs) == 2
+
+    def test_empty_set(self):
+        cs = ClientSet.from_points([])
+        assert len(cs) == 0
+        assert cs.positions.shape == (0, 2)
+        assert cs.count_in(Rect(0, 0, 10, 10)) == 0
+
+    def test_mismatched_ids_rejected(self):
+        with pytest.raises(ValueError, match="ids must equal positions"):
+            ClientSet((MeshClient(5, Point(0, 0)),))
+
+    def test_positions_array(self):
+        cs = ClientSet.from_points([Point(1, 2), Point(3, 4)])
+        assert np.array_equal(cs.positions, [[1.0, 2.0], [3.0, 4.0]])
+
+    def test_positions_read_only(self):
+        cs = ClientSet.from_points([Point(1, 2)])
+        with pytest.raises(ValueError):
+            cs.positions[0, 0] = 99.0
+
+    def test_count_in(self):
+        cs = ClientSet.from_points(
+            [Point(0, 0), Point(1, 1), Point(5, 5), Point(1, 1)]
+        )
+        assert cs.count_in(Rect(0, 0, 2, 2)) == 3
+        assert cs.count_in(Rect(5, 5, 1, 1)) == 1
+        assert cs.count_in(Rect(10, 10, 2, 2)) == 0
+
+    def test_count_in_half_open(self):
+        cs = ClientSet.from_points([Point(2, 2)])
+        assert cs.count_in(Rect(0, 0, 2, 2)) == 0
+        assert cs.count_in(Rect(2, 2, 1, 1)) == 1
+
+    def test_cells_preserves_duplicates_and_order(self):
+        pts = [Point(3, 3), Point(1, 1), Point(3, 3)]
+        cs = ClientSet.from_points(pts)
+        assert cs.cells() == pts
+
+    def test_iteration(self):
+        cs = ClientSet.from_points([Point(0, 0), Point(1, 0)])
+        assert [c.client_id for c in cs] == [0, 1]
+
+    def test_from_points_coerces_tuples(self):
+        cs = ClientSet.from_points([(4, 5)])
+        assert cs[0].cell == Point(4, 5)

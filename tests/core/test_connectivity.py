@@ -1,0 +1,188 @@
+"""Unit and property tests for union-find and components.
+
+The component engine is cross-validated against ``networkx`` on random
+graphs — our implementation must agree exactly on the partition.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.connectivity import (
+    UnionFind,
+    connected_components,
+    giant_component_mask,
+)
+
+
+class TestUnionFind:
+    def test_initial_state(self):
+        dsu = UnionFind(5)
+        assert len(dsu) == 5
+        assert dsu.n_components == 5
+        assert all(dsu.find(i) == i for i in range(5))
+
+    def test_union_reduces_components(self):
+        dsu = UnionFind(4)
+        assert dsu.union(0, 1)
+        assert dsu.n_components == 3
+        assert dsu.connected(0, 1)
+        assert not dsu.connected(0, 2)
+
+    def test_union_idempotent(self):
+        dsu = UnionFind(3)
+        assert dsu.union(0, 1)
+        assert not dsu.union(0, 1)
+        assert not dsu.union(1, 0)
+        assert dsu.n_components == 2
+
+    def test_transitivity(self):
+        dsu = UnionFind(4)
+        dsu.union(0, 1)
+        dsu.union(1, 2)
+        assert dsu.connected(0, 2)
+        assert dsu.component_size(0) == 3
+        assert dsu.component_size(3) == 1
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_empty(self):
+        dsu = UnionFind(0)
+        assert dsu.n_components == 0
+        assert dsu.labels().shape == (0,)
+
+    def test_labels_consistent(self):
+        dsu = UnionFind(6)
+        dsu.union(0, 3)
+        dsu.union(3, 5)
+        labels = dsu.labels()
+        assert labels[0] == labels[3] == labels[5]
+        assert labels[1] != labels[0]
+
+    @settings(max_examples=30)
+    @given(
+        st.integers(1, 30),
+        st.lists(st.tuples(st.integers(0, 29), st.integers(0, 29)), max_size=60),
+    )
+    def test_component_count_matches_label_count(self, n, pairs):
+        dsu = UnionFind(n)
+        for a, b in pairs:
+            dsu.union(a % n, b % n)
+        assert dsu.n_components == len(set(dsu.find(i) for i in range(n)))
+
+    @settings(max_examples=30)
+    @given(
+        st.integers(1, 30),
+        st.lists(st.tuples(st.integers(0, 29), st.integers(0, 29)), max_size=60),
+    )
+    def test_sizes_sum_to_n(self, n, pairs):
+        dsu = UnionFind(n)
+        for a, b in pairs:
+            dsu.union(a % n, b % n)
+        roots = set(dsu.find(i) for i in range(n))
+        assert sum(dsu.component_size(r) for r in roots) == n
+
+
+class TestConnectedComponents:
+    def test_no_edges(self):
+        cs = connected_components(4, [])
+        assert cs.n_components == 4
+        assert cs.giant_size == 1
+
+    def test_single_component(self):
+        cs = connected_components(4, [(0, 1), (1, 2), (2, 3)])
+        assert cs.n_components == 1
+        assert cs.giant_size == 4
+        assert cs.giant_mask().all()
+
+    def test_two_components(self):
+        cs = connected_components(5, [(0, 1), (1, 2), (3, 4)])
+        assert cs.n_components == 2
+        assert cs.giant_size == 3
+        mask = cs.giant_mask()
+        assert list(mask) == [True, True, True, False, False]
+
+    def test_tie_breaking_deterministic(self):
+        # Two components of equal size: the one with the smaller label wins.
+        cs = connected_components(4, [(0, 1), (2, 3)])
+        assert cs.giant_size == 2
+        first = cs.giant_mask()
+        again = connected_components(4, [(0, 1), (2, 3)]).giant_mask()
+        assert np.array_equal(first, again)
+
+    def test_members(self):
+        cs = connected_components(5, [(0, 2), (2, 4)])
+        label = cs.component_of(0)
+        assert cs.members(label) == [0, 2, 4]
+
+    def test_empty_graph(self):
+        cs = connected_components(0, [])
+        assert cs.n_components == 0
+        assert cs.giant_size == 0
+        assert cs.giant_mask().shape == (0,)
+        with pytest.raises(ValueError):
+            cs.giant_label()
+
+    def test_edge_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            connected_components(3, [(0, 3)])
+        with pytest.raises(ValueError):
+            connected_components(3, [(-1, 0)])
+
+    def test_negative_node_count_rejected(self):
+        with pytest.raises(ValueError):
+            connected_components(-2, [])
+
+    def test_self_loop_harmless(self):
+        cs = connected_components(2, [(0, 0)])
+        assert cs.n_components == 2
+
+
+class TestAgainstNetworkx:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 40), st.integers(0, 10_000))
+    def test_matches_networkx_partition(self, n, seed):
+        rng = np.random.default_rng(seed)
+        n_edges = int(rng.integers(0, max(1, 2 * n)))
+        edges = [
+            (int(rng.integers(0, n)), int(rng.integers(0, n)))
+            for _ in range(n_edges)
+        ]
+        edges = [(a, b) for a, b in edges if a != b]
+
+        ours = connected_components(n, edges)
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        graph.add_edges_from(edges)
+        theirs = list(nx.connected_components(graph))
+
+        assert ours.n_components == len(theirs)
+        assert ours.giant_size == max(len(c) for c in theirs)
+        # Same partition: every networkx component maps to one label.
+        for component in theirs:
+            labels = {ours.component_of(v) for v in component}
+            assert len(labels) == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 30), st.integers(0, 10_000))
+    def test_giant_mask_is_a_real_component(self, n, seed):
+        rng = np.random.default_rng(seed)
+        edges = [
+            (int(rng.integers(0, n)), int(rng.integers(0, n)))
+            for _ in range(n)
+        ]
+        edges = [(a, b) for a, b in edges if a != b]
+        mask = giant_component_mask(n, edges)
+        members = set(np.flatnonzero(mask))
+        # No edge crosses the component boundary.
+        for a, b in edges:
+            assert (a in members) == (b in members) or not (
+                a in members or b in members
+            )
+        assert len(members) == connected_components(n, edges).giant_size

@@ -1,0 +1,122 @@
+"""Unit tests for user coverage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.clients import ClientSet
+from repro.core.coverage import coverage_mask, coverage_matrix, covered_clients
+from repro.core.geometry import Point
+from repro.core.grid import GridArea
+from repro.core.problem import ProblemInstance
+from repro.core.radio import CoverageRule, LinkRule
+from repro.core.routers import RouterFleet
+from repro.core.solution import Placement
+
+
+@pytest.fixture
+def coverage_problem():
+    """Two far-apart router pairs; clients sprinkled around them.
+
+    Routers 0,1 (radius 4) sit together near the origin and link; routers
+    2,3 (radius 3 and 2) sit together near (30, 0) and link.  The pairs
+    are far apart, so the giant component is {0, 1}.
+    """
+    grid = GridArea(40, 10)
+    fleet = RouterFleet.from_radii([4.0, 4.0, 3.0, 2.0])
+    clients = ClientSet.from_points(
+        [
+            Point(1, 1),    # near routers 0/1 -> covered by giant
+            Point(3, 0),    # near routers 0/1 -> covered by giant
+            Point(31, 1),   # near routers 2/3 -> only covered by non-giant
+            Point(20, 5),   # in the gap -> covered by nobody
+        ],
+        grid=grid,
+    )
+    problem = ProblemInstance(
+        grid=grid,
+        fleet=fleet,
+        clients=clients,
+        link_rule=LinkRule.BIDIRECTIONAL,
+        coverage_rule=CoverageRule.GIANT_ONLY,
+    )
+    placement = Placement.from_cells(
+        grid, [Point(0, 0), Point(2, 0), Point(30, 0), Point(32, 0)]
+    )
+    return problem, placement
+
+
+class TestCoverageMatrix:
+    def test_known_geometry(self):
+        clients = np.array([[0.0, 0.0], [5.0, 0.0]])
+        routers = np.array([[0.0, 0.0], [10.0, 0.0]])
+        radii = np.array([3.0, 6.0])
+        matrix = coverage_matrix(clients, routers, radii)
+        assert matrix.shape == (2, 2)
+        assert matrix[0, 0]        # distance 0 <= 3
+        assert not matrix[0, 1]    # distance 10 > 6
+        assert not matrix[1, 0]    # distance 5 > 3
+        assert matrix[1, 1]        # distance 5 <= 6
+
+    def test_boundary_inclusive(self):
+        matrix = coverage_matrix(
+            np.array([[3.0, 0.0]]), np.array([[0.0, 0.0]]), np.array([3.0])
+        )
+        assert matrix[0, 0]
+
+    def test_empty_clients(self):
+        matrix = coverage_matrix(
+            np.zeros((0, 2)), np.array([[0.0, 0.0]]), np.array([1.0])
+        )
+        assert matrix.shape == (0, 1)
+
+
+class TestCoverageMask:
+    def test_giant_only_vs_any(self, coverage_problem):
+        problem, placement = coverage_problem
+        all_mask = coverage_mask(problem, placement)
+        assert list(all_mask) == [True, True, True, False]
+
+        giant = np.array([True, True, False, False])
+        giant_covered = coverage_mask(problem, placement, router_mask=giant)
+        assert list(giant_covered) == [True, True, False, False]
+
+    def test_empty_router_mask(self, coverage_problem):
+        problem, placement = coverage_problem
+        mask = coverage_mask(
+            problem, placement, router_mask=np.zeros(4, dtype=bool)
+        )
+        assert not mask.any()
+
+    def test_bad_mask_shape_rejected(self, coverage_problem):
+        problem, placement = coverage_problem
+        with pytest.raises(ValueError):
+            coverage_mask(problem, placement, router_mask=np.ones(3, dtype=bool))
+
+
+class TestCoveredClients:
+    def test_giant_only_rule(self, coverage_problem):
+        problem, placement = coverage_problem
+        # Giant = routers 0,1 -> clients 0,1 covered.
+        assert covered_clients(problem, placement) == 2
+
+    def test_any_router_rule(self, coverage_problem):
+        problem, placement = coverage_problem
+        problem_any = problem.with_coverage_rule(CoverageRule.ANY_ROUTER)
+        assert covered_clients(problem_any, placement) == 3
+
+    def test_explicit_giant_mask_short_circuits(self, coverage_problem):
+        problem, placement = coverage_problem
+        mask = np.array([False, False, True, True])
+        assert covered_clients(problem, placement, giant_mask=mask) == 1
+
+    def test_no_clients(self):
+        grid = GridArea(8, 8)
+        problem = ProblemInstance(
+            grid=grid,
+            fleet=RouterFleet.from_radii([2.0]),
+            clients=ClientSet.from_points([]),
+        )
+        placement = Placement.from_cells(grid, [Point(0, 0)])
+        assert covered_clients(problem, placement) == 0

@@ -1,0 +1,105 @@
+"""Unit tests for the evaluation engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.clients import ClientSet
+from repro.core.evaluation import Evaluator
+from repro.core.fitness import LexicographicFitness, WeightedSumFitness
+from repro.core.geometry import Point
+from repro.core.grid import GridArea
+from repro.core.network import RouterNetwork
+from repro.core.problem import ProblemInstance
+from repro.core.radio import CoverageRule
+from repro.core.routers import RouterFleet
+from repro.core.solution import Placement
+
+
+@pytest.fixture
+def simple():
+    """Two linked routers plus one isolated; one client per region."""
+    grid = GridArea(40, 8)
+    problem = ProblemInstance(
+        grid=grid,
+        fleet=RouterFleet.from_radii([4.0, 4.0, 4.0]),
+        clients=ClientSet.from_points(
+            [Point(1, 1), Point(31, 1)], grid=grid
+        ),
+    )
+    placement = Placement.from_cells(
+        grid, [Point(0, 0), Point(3, 0), Point(30, 0)]
+    )
+    return problem, placement
+
+
+class TestEvaluator:
+    def test_metrics_consistent_with_network(self, simple):
+        problem, placement = simple
+        evaluation = Evaluator(problem).evaluate(placement)
+        network = RouterNetwork.build(problem, placement)
+        assert evaluation.metrics.giant_size == network.giant_size
+        assert evaluation.metrics.n_links == network.n_links
+        assert evaluation.metrics.n_components == network.components.n_components
+        assert evaluation.metrics.mean_degree == pytest.approx(
+            network.mean_degree()
+        )
+        assert np.array_equal(evaluation.giant_mask, network.giant_mask())
+
+    def test_giant_only_coverage(self, simple):
+        problem, placement = simple
+        evaluation = Evaluator(problem).evaluate(placement)
+        # Giant = routers 0,1 near client 0; client 1 is only near the
+        # isolated router 2.
+        assert evaluation.covered_clients == 1
+
+    def test_any_router_coverage(self, simple):
+        problem, placement = simple
+        problem_any = problem.with_coverage_rule(CoverageRule.ANY_ROUTER)
+        evaluation = Evaluator(problem_any).evaluate(placement)
+        assert evaluation.covered_clients == 2
+
+    def test_default_fitness_is_weighted_sum(self, simple):
+        problem, placement = simple
+        evaluator = Evaluator(problem)
+        assert isinstance(evaluator.fitness_function, WeightedSumFitness)
+        evaluation = evaluator.evaluate(placement)
+        expected = 0.7 * (2 / 3) + 0.3 * (1 / 2)
+        assert evaluation.fitness == pytest.approx(expected)
+
+    def test_custom_fitness(self, simple):
+        problem, placement = simple
+        evaluation = Evaluator(problem, LexicographicFitness()).evaluate(placement)
+        assert evaluation.fitness == pytest.approx(2 + 0.5 * 0.5)
+
+    def test_counter_increments(self, simple):
+        problem, placement = simple
+        evaluator = Evaluator(problem)
+        assert evaluator.n_evaluations == 0
+        evaluator.evaluate(placement)
+        evaluator.evaluate(placement)
+        assert evaluator.n_evaluations == 2
+        evaluator.reset_counter()
+        assert evaluator.n_evaluations == 0
+
+    def test_summary_format(self, simple):
+        problem, placement = simple
+        text = Evaluator(problem).evaluate(placement).summary()
+        assert "giant=2/3" in text
+        assert "coverage=1/2" in text
+        assert "fitness=" in text
+
+    def test_evaluation_properties(self, simple):
+        problem, placement = simple
+        evaluation = Evaluator(problem).evaluate(placement)
+        assert evaluation.giant_size == evaluation.metrics.giant_size
+        assert evaluation.covered_clients == evaluation.metrics.covered_clients
+        assert evaluation.placement is placement
+
+    def test_deterministic(self, simple):
+        problem, placement = simple
+        a = Evaluator(problem).evaluate(placement)
+        b = Evaluator(problem).evaluate(placement)
+        assert a.fitness == b.fitness
+        assert a.metrics == b.metrics

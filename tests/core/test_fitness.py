@@ -1,0 +1,144 @@
+"""Unit and property tests for fitness functions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.fitness import (
+    LexicographicFitness,
+    NetworkMetrics,
+    WeightedSumFitness,
+)
+
+
+def metrics(
+    giant=10, routers=64, covered=50, clients=192, components=5, links=20, degree=1.0
+) -> NetworkMetrics:
+    return NetworkMetrics(
+        giant_size=giant,
+        n_routers=routers,
+        covered_clients=covered,
+        n_clients=clients,
+        n_components=components,
+        n_links=links,
+        mean_degree=degree,
+    )
+
+
+class TestNetworkMetrics:
+    def test_ratios(self):
+        m = metrics(giant=32, routers=64, covered=96, clients=192)
+        assert m.connectivity_ratio == 0.5
+        assert m.coverage_ratio == 0.5
+
+    def test_full_connectivity_flag(self):
+        assert metrics(giant=64, routers=64).is_fully_connected
+        assert not metrics(giant=63, routers=64).is_fully_connected
+
+    def test_no_clients_coverage_is_vacuous(self):
+        m = metrics(covered=0, clients=0)
+        assert m.coverage_ratio == 1.0
+
+    def test_giant_bounds_validated(self):
+        with pytest.raises(ValueError):
+            metrics(giant=65, routers=64)
+        with pytest.raises(ValueError):
+            metrics(giant=-1)
+
+    def test_coverage_bounds_validated(self):
+        with pytest.raises(ValueError):
+            metrics(covered=193, clients=192)
+
+
+class TestWeightedSum:
+    def test_default_weights_match_paper_priority(self):
+        f = WeightedSumFitness()
+        assert f.connectivity_weight > f.coverage_weight
+
+    def test_known_value(self):
+        f = WeightedSumFitness(0.7, 0.3)
+        m = metrics(giant=32, routers=64, covered=96, clients=192)
+        assert f.score(m) == pytest.approx(0.7 * 0.5 + 0.3 * 0.5)
+
+    def test_perfect_solution_scores_weight_sum(self):
+        f = WeightedSumFitness(0.7, 0.3)
+        m = metrics(giant=64, routers=64, covered=192, clients=192)
+        assert f.score(m) == pytest.approx(1.0)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedSumFitness(-0.1, 0.5)
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedSumFitness(0.0, 0.0)
+
+    def test_single_objective_allowed(self):
+        f = WeightedSumFitness(1.0, 0.0)
+        better = metrics(giant=20, covered=0)
+        worse = metrics(giant=10, covered=192)
+        assert f.better(better, worse)
+
+    def test_better_is_strict(self):
+        f = WeightedSumFitness()
+        m = metrics()
+        assert not f.better(m, m)
+
+    @given(
+        st.integers(0, 64),
+        st.integers(0, 64),
+        st.integers(0, 192),
+    )
+    def test_monotone_in_giant(self, g1, g2, covered):
+        f = WeightedSumFitness()
+        m1 = metrics(giant=g1, covered=covered)
+        m2 = metrics(giant=g2, covered=covered)
+        if g1 > g2:
+            assert f.score(m1) > f.score(m2)
+
+    @given(st.integers(0, 192), st.integers(0, 192), st.integers(0, 64))
+    def test_monotone_in_coverage(self, c1, c2, giant):
+        f = WeightedSumFitness()
+        m1 = metrics(covered=c1, giant=giant)
+        m2 = metrics(covered=c2, giant=giant)
+        if c1 > c2:
+            assert f.score(m1) > f.score(m2)
+
+
+class TestLexicographic:
+    def test_connectivity_strictly_dominates(self):
+        f = LexicographicFitness()
+        more_giant = metrics(giant=11, covered=0)
+        more_coverage = metrics(giant=10, covered=192)
+        assert f.better(more_giant, more_coverage)
+
+    def test_coverage_breaks_ties(self):
+        f = LexicographicFitness()
+        a = metrics(giant=10, covered=100)
+        b = metrics(giant=10, covered=99)
+        assert f.better(a, b)
+
+    def test_epsilon_bounds(self):
+        with pytest.raises(ValueError):
+            LexicographicFitness(epsilon=0.0)
+        with pytest.raises(ValueError):
+            LexicographicFitness(epsilon=1.0)
+
+    @given(
+        st.integers(0, 64),
+        st.integers(0, 192),
+        st.integers(0, 64),
+        st.integers(0, 192),
+    )
+    def test_lexicographic_order_property(self, g1, c1, g2, c2):
+        f = LexicographicFitness()
+        m1 = metrics(giant=g1, covered=c1)
+        m2 = metrics(giant=g2, covered=c2)
+        if g1 > g2:
+            assert f.score(m1) > f.score(m2)
+        elif g1 == g2 and c1 > c2:
+            assert f.score(m1) > f.score(m2)
+        elif (g1, c1) == (g2, c2):
+            assert f.score(m1) == f.score(m2)

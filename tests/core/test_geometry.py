@@ -1,0 +1,188 @@
+"""Unit and property tests for geometry primitives."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.geometry import (
+    Point,
+    Rect,
+    chebyshev,
+    euclidean,
+    euclidean_squared,
+    manhattan,
+)
+
+coords = st.integers(min_value=-200, max_value=200)
+points = st.builds(Point, coords, coords)
+
+
+class TestPoint:
+    def test_unpacking_and_fields(self):
+        p = Point(3, 7)
+        x, y = p
+        assert (x, y) == (3, 7)
+        assert p.x == 3 and p.y == 7
+
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -5) == Point(4, -3)
+
+    def test_distance_to_matches_euclidean(self):
+        a, b = Point(0, 0), Point(3, 4)
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    def test_hashable_and_set_member(self):
+        assert len({Point(1, 1), Point(1, 1), Point(2, 1)}) == 2
+
+    def test_lexicographic_ordering(self):
+        assert Point(1, 5) < Point(2, 0)
+        assert Point(1, 2) < Point(1, 3)
+
+
+class TestDistances:
+    def test_euclidean_known_value(self):
+        assert euclidean(Point(0, 0), Point(3, 4)) == pytest.approx(5.0)
+
+    def test_euclidean_squared_exact_integer(self):
+        assert euclidean_squared(Point(-1, -1), Point(2, 3)) == 25
+
+    def test_manhattan_known_value(self):
+        assert manhattan(Point(0, 0), Point(3, -4)) == 7
+
+    def test_chebyshev_known_value(self):
+        assert chebyshev(Point(0, 0), Point(3, -4)) == 4
+
+    @given(points, points)
+    def test_symmetry(self, a, b):
+        assert euclidean(a, b) == euclidean(b, a)
+        assert manhattan(a, b) == manhattan(b, a)
+        assert chebyshev(a, b) == chebyshev(b, a)
+
+    @given(points, points)
+    def test_identity_of_indiscernibles(self, a, b):
+        if a == b:
+            assert euclidean(a, b) == 0
+        else:
+            assert euclidean(a, b) > 0
+
+    @given(points, points, points)
+    def test_euclidean_triangle_inequality(self, a, b, c):
+        assert euclidean(a, c) <= euclidean(a, b) + euclidean(b, c) + 1e-9
+
+    @given(points, points)
+    def test_metric_ordering(self, a, b):
+        # chebyshev <= euclidean <= manhattan for integer grids
+        assert chebyshev(a, b) <= euclidean(a, b) + 1e-9
+        assert euclidean(a, b) <= manhattan(a, b) + 1e-9
+
+    @given(points, points)
+    def test_squared_consistency(self, a, b):
+        assert euclidean(a, b) == pytest.approx(
+            math.sqrt(euclidean_squared(a, b))
+        )
+
+
+class TestRect:
+    def test_basic_properties(self):
+        r = Rect(2, 3, 4, 5)
+        assert r.x1 == 6
+        assert r.y1 == 8
+        assert r.area == 20
+        assert r.center == Point(4, 5)
+
+    def test_negative_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, -1, 3)
+        with pytest.raises(ValueError):
+            Rect(0, 0, 3, -1)
+
+    def test_empty_rect_allowed(self):
+        assert Rect(5, 5, 0, 0).area == 0
+
+    def test_contains_half_open(self):
+        r = Rect(0, 0, 3, 3)
+        assert r.contains(Point(0, 0))
+        assert r.contains(Point(2, 2))
+        assert not r.contains(Point(3, 0))
+        assert not r.contains(Point(0, 3))
+        assert not r.contains(Point(-1, 0))
+
+    def test_cells_enumerates_area(self):
+        r = Rect(1, 1, 2, 3)
+        cells = list(r.cells())
+        assert len(cells) == r.area
+        assert len(set(cells)) == r.area
+        assert all(r.contains(cell) for cell in cells)
+        # Row-major: first cell is the origin corner.
+        assert cells[0] == Point(1, 1)
+
+    def test_intersection_overlap(self):
+        a = Rect(0, 0, 4, 4)
+        b = Rect(2, 2, 4, 4)
+        inter = a.intersection(b)
+        assert inter == Rect(2, 2, 2, 2)
+        assert a.intersects(b)
+
+    def test_intersection_disjoint_is_empty(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(5, 5, 2, 2)
+        assert a.intersection(b).area == 0
+        assert not a.intersects(b)
+
+    def test_intersection_touching_edges_is_empty(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(2, 0, 2, 2)
+        assert not a.intersects(b)
+
+    def test_clamped_inside_unchanged(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.clamped(Point(5, 5)) == Point(5, 5)
+
+    def test_clamped_outside_projects_to_edge(self):
+        r = Rect(2, 2, 4, 4)
+        assert r.clamped(Point(-5, 3)) == Point(2, 3)
+        assert r.clamped(Point(100, 100)) == Point(5, 5)
+
+    def test_clamped_empty_rect_raises(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 0, 0).clamped(Point(1, 1))
+
+    @given(
+        st.builds(
+            Rect,
+            st.integers(-50, 50),
+            st.integers(-50, 50),
+            st.integers(0, 50),
+            st.integers(0, 50),
+        ),
+        st.builds(
+            Rect,
+            st.integers(-50, 50),
+            st.integers(-50, 50),
+            st.integers(0, 50),
+            st.integers(0, 50),
+        ),
+    )
+    def test_intersection_commutative_and_contained(self, a, b):
+        inter_ab = a.intersection(b)
+        inter_ba = b.intersection(a)
+        assert inter_ab.area == inter_ba.area
+        for cell in inter_ab.cells():
+            assert a.contains(cell) and b.contains(cell)
+
+    @given(
+        st.builds(
+            Rect,
+            st.integers(-20, 20),
+            st.integers(-20, 20),
+            st.integers(1, 20),
+            st.integers(1, 20),
+        ),
+        points,
+    )
+    def test_clamped_always_inside(self, rect, point):
+        assert rect.contains(rect.clamped(point))

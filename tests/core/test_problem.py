@@ -1,0 +1,99 @@
+"""Unit tests for problem instances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.clients import ClientSet
+from repro.core.geometry import Point
+from repro.core.grid import GridArea
+from repro.core.problem import ProblemInstance
+from repro.core.radio import CoverageRule, LinkRule, RadioProfile
+from repro.core.routers import RouterFleet
+
+
+class TestConstruction:
+    def test_valid(self):
+        problem = ProblemInstance(
+            grid=GridArea(8, 8),
+            fleet=RouterFleet.from_radii([2.0, 3.0]),
+            clients=ClientSet.from_points([Point(1, 1)]),
+        )
+        assert problem.n_routers == 2
+        assert problem.n_clients == 1
+        assert problem.link_rule is LinkRule.BIDIRECTIONAL
+        assert problem.coverage_rule is CoverageRule.GIANT_ONLY
+
+    def test_too_many_routers_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            ProblemInstance(
+                grid=GridArea(2, 2),
+                fleet=RouterFleet.from_radii([1.0] * 5),
+                clients=ClientSet.from_points([]),
+            )
+
+    def test_client_outside_grid_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            ProblemInstance(
+                grid=GridArea(4, 4),
+                fleet=RouterFleet.from_radii([1.0]),
+                clients=ClientSet.from_points([Point(4, 0)]),
+            )
+
+
+class TestDerivation:
+    def test_with_link_rule(self):
+        problem = ProblemInstance(
+            grid=GridArea(8, 8),
+            fleet=RouterFleet.from_radii([2.0]),
+            clients=ClientSet.from_points([]),
+        )
+        changed = problem.with_link_rule(LinkRule.OVERLAP)
+        assert changed.link_rule is LinkRule.OVERLAP
+        assert problem.link_rule is LinkRule.BIDIRECTIONAL
+        assert changed.fleet is problem.fleet
+
+    def test_with_coverage_rule(self):
+        problem = ProblemInstance(
+            grid=GridArea(8, 8),
+            fleet=RouterFleet.from_radii([2.0]),
+            clients=ClientSet.from_points([]),
+        )
+        changed = problem.with_coverage_rule(CoverageRule.ANY_ROUTER)
+        assert changed.coverage_rule is CoverageRule.ANY_ROUTER
+        assert problem.coverage_rule is CoverageRule.GIANT_ONLY
+
+
+class TestBuild:
+    def test_build_assembles_everything(self, rng):
+        problem = ProblemInstance.build(
+            width=16,
+            height=12,
+            n_routers=5,
+            client_cells=[(0, 0), (3, 4)],
+            radio=RadioProfile(1.0, 4.0),
+            rng=rng,
+            link_rule=LinkRule.OVERLAP,
+            coverage_rule=CoverageRule.ANY_ROUTER,
+        )
+        assert problem.grid.width == 16
+        assert problem.grid.height == 12
+        assert problem.n_routers == 5
+        assert problem.n_clients == 2
+        assert problem.fleet.radii.min() >= 1.0
+        assert problem.fleet.radii.max() <= 4.0
+        assert problem.link_rule is LinkRule.OVERLAP
+        assert problem.coverage_rule is CoverageRule.ANY_ROUTER
+
+    def test_build_accepts_numpy_cells(self, rng):
+        cells = np.array([[1, 2], [3, 4]])
+        problem = ProblemInstance.build(
+            width=8,
+            height=8,
+            n_routers=2,
+            client_cells=cells,
+            radio=RadioProfile(1.0, 2.0),
+            rng=rng,
+        )
+        assert problem.clients[0].cell == Point(1, 2)

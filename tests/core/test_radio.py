@@ -1,0 +1,117 @@
+"""Unit and property tests for the radio coverage model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.radio import CoverageRule, LinkRule, RadioProfile
+
+radii = st.floats(min_value=0.1, max_value=50, allow_nan=False)
+
+
+class TestLinkRule:
+    def test_overlap_range(self):
+        assert LinkRule.OVERLAP.link_range(3, 4) == 7
+
+    def test_bidirectional_range(self):
+        assert LinkRule.BIDIRECTIONAL.link_range(3, 4) == 3
+
+    def test_unidirectional_range(self):
+        assert LinkRule.UNIDIRECTIONAL.link_range(3, 4) == 4
+
+    def test_links_at_boundary_inclusive(self):
+        assert LinkRule.OVERLAP.links(7.0, 3, 4)
+        assert not LinkRule.OVERLAP.links(7.0001, 3, 4)
+
+    def test_rules_ordering(self):
+        # bidirectional is the strictest, overlap the loosest
+        for d in [1.0, 3.5, 6.9]:
+            if LinkRule.BIDIRECTIONAL.links(d, 3, 4):
+                assert LinkRule.UNIDIRECTIONAL.links(d, 3, 4)
+            if LinkRule.UNIDIRECTIONAL.links(d, 3, 4):
+                assert LinkRule.OVERLAP.links(d, 3, 4)
+
+    @given(radii, radii)
+    def test_link_range_symmetric(self, a, b):
+        for rule in LinkRule:
+            assert rule.link_range(a, b) == rule.link_range(b, a)
+
+    @pytest.mark.parametrize("rule", list(LinkRule))
+    def test_range_matrix_matches_scalar(self, rule):
+        values = np.array([1.0, 2.5, 4.0, 7.0])
+        matrix = rule.range_matrix(values)
+        assert matrix.shape == (4, 4)
+        for i in range(4):
+            for j in range(4):
+                assert matrix[i, j] == pytest.approx(
+                    rule.link_range(values[i], values[j])
+                )
+
+    @pytest.mark.parametrize("rule", list(LinkRule))
+    def test_range_matrix_symmetric(self, rule):
+        values = np.array([3.0, 1.0, 9.0, 2.0, 5.5])
+        matrix = rule.range_matrix(values)
+        assert np.array_equal(matrix, matrix.T)
+
+    def test_enum_round_trip_by_value(self):
+        assert LinkRule("overlap") is LinkRule.OVERLAP
+        assert LinkRule("bidirectional") is LinkRule.BIDIRECTIONAL
+        assert LinkRule("unidirectional") is LinkRule.UNIDIRECTIONAL
+
+
+class TestCoverageRule:
+    def test_values(self):
+        assert CoverageRule("giant-only") is CoverageRule.GIANT_ONLY
+        assert CoverageRule("any-router") is CoverageRule.ANY_ROUTER
+
+
+class TestRadioProfile:
+    def test_valid(self):
+        p = RadioProfile(2.0, 8.0)
+        assert p.mean_radius == 5.0
+
+    def test_degenerate_interval_allowed(self):
+        p = RadioProfile(3.0, 3.0)
+        assert p.mean_radius == 3.0
+
+    def test_non_positive_min_rejected(self):
+        with pytest.raises(ValueError):
+            RadioProfile(0.0, 5.0)
+        with pytest.raises(ValueError):
+            RadioProfile(-1.0, 5.0)
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(ValueError):
+            RadioProfile(5.0, 2.0)
+
+    def test_sample_radii_within_interval(self, rng):
+        p = RadioProfile(2.0, 8.0)
+        samples = p.sample_radii(1000, rng)
+        assert samples.shape == (1000,)
+        assert samples.min() >= 2.0
+        assert samples.max() <= 8.0
+
+    def test_sample_radii_degenerate(self, rng):
+        samples = RadioProfile(4.0, 4.0).sample_radii(10, rng)
+        assert np.allclose(samples, 4.0)
+
+    def test_sample_radii_negative_count(self, rng):
+        with pytest.raises(ValueError):
+            RadioProfile(1.0, 2.0).sample_radii(-1, rng)
+
+    def test_sample_radii_zero_count(self, rng):
+        assert RadioProfile(1.0, 2.0).sample_radii(0, rng).shape == (0,)
+
+    def test_sampling_deterministic_by_seed(self):
+        p = RadioProfile(1.0, 9.0)
+        a = p.sample_radii(32, np.random.default_rng(7))
+        b = p.sample_radii(32, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_sample_mean_approximates_profile_mean(self):
+        p = RadioProfile(2.0, 10.0)
+        samples = p.sample_radii(20_000, np.random.default_rng(0))
+        assert samples.mean() == pytest.approx(p.mean_radius, abs=0.1)

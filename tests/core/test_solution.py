@@ -1,0 +1,159 @@
+"""Unit and property tests for placements."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import Point, Rect
+from repro.core.grid import GridArea
+from repro.core.solution import Placement
+
+
+def make_placement(*cells: tuple[int, int], size: int = 16) -> Placement:
+    return Placement.from_cells(GridArea(size, size), [Point(*c) for c in cells])
+
+
+class TestInvariants:
+    def test_valid_placement(self):
+        p = make_placement((0, 0), (1, 1), (2, 2))
+        assert len(p) == 3
+        assert p[1] == Point(1, 1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Placement.from_cells(GridArea(4, 4), [])
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            make_placement((0, 0), (16, 0))
+
+    def test_collision_rejected(self):
+        with pytest.raises(ValueError, match="same cell"):
+            make_placement((3, 3), (3, 3))
+
+    def test_occupied_set(self):
+        p = make_placement((0, 0), (5, 5))
+        assert p.occupied == {Point(0, 0), Point(5, 5)}
+
+    def test_is_free(self):
+        p = make_placement((0, 0))
+        assert p.is_free(Point(1, 1))
+        assert not p.is_free(Point(0, 0))
+        assert not p.is_free(Point(99, 99))
+
+
+class TestRandom:
+    def test_random_valid(self, rng):
+        grid = GridArea(10, 10)
+        p = Placement.random(grid, 30, rng)
+        assert len(p) == 30
+        assert len(p.occupied) == 30
+
+    def test_random_full_grid(self, rng):
+        grid = GridArea(5, 5)
+        p = Placement.random(grid, 25, rng)
+        assert p.occupied == frozenset(grid.cells())
+
+    def test_random_too_many(self, rng):
+        with pytest.raises(ValueError):
+            Placement.random(GridArea(3, 3), 10, rng)
+
+
+class TestQueries:
+    def test_positions_array(self):
+        p = make_placement((1, 2), (3, 4))
+        assert np.array_equal(p.positions_array(), [[1.0, 2.0], [3.0, 4.0]])
+
+    def test_routers_in(self):
+        p = make_placement((0, 0), (5, 5), (1, 1))
+        assert p.routers_in(Rect(0, 0, 2, 2)) == [0, 2]
+        assert p.routers_in(Rect(10, 10, 2, 2)) == []
+
+    def test_as_mapping(self):
+        p = make_placement((0, 0), (5, 5))
+        assert p.as_mapping() == {0: Point(0, 0), 1: Point(5, 5)}
+
+
+class TestMoves:
+    def test_with_move(self):
+        p = make_placement((0, 0), (5, 5))
+        q = p.with_move(0, Point(2, 2))
+        assert q[0] == Point(2, 2)
+        assert q[1] == Point(5, 5)
+        # Original untouched.
+        assert p[0] == Point(0, 0)
+
+    def test_with_move_to_same_cell_is_noop(self):
+        p = make_placement((0, 0), (5, 5))
+        assert p.with_move(0, Point(0, 0)) is p
+
+    def test_with_move_occupied_rejected(self):
+        p = make_placement((0, 0), (5, 5))
+        with pytest.raises(ValueError, match="occupied"):
+            p.with_move(0, Point(5, 5))
+
+    def test_with_move_out_of_bounds_rejected(self):
+        p = make_placement((0, 0))
+        with pytest.raises(ValueError):
+            p.with_move(0, Point(99, 0))
+
+    def test_with_move_bad_router_rejected(self):
+        p = make_placement((0, 0))
+        with pytest.raises(ValueError, match="out of range"):
+            p.with_move(5, Point(1, 1))
+
+    def test_with_swap(self):
+        p = make_placement((0, 0), (5, 5))
+        q = p.with_swap(0, 1)
+        assert q[0] == Point(5, 5)
+        assert q[1] == Point(0, 0)
+        assert p[0] == Point(0, 0)
+
+    def test_with_swap_same_router_is_noop(self):
+        p = make_placement((0, 0), (5, 5))
+        assert p.with_swap(1, 1) is p
+
+    def test_with_swap_bad_router_rejected(self):
+        p = make_placement((0, 0), (1, 1))
+        with pytest.raises(ValueError):
+            p.with_swap(0, 7)
+
+
+# ----------------------------------------------------------------------
+# Property tests
+# ----------------------------------------------------------------------
+
+placement_strategy = st.integers(0, 10_000).map(
+    lambda seed: Placement.random(GridArea(12, 12), 10, np.random.default_rng(seed))
+)
+
+
+@settings(max_examples=50)
+@given(placement_strategy, st.integers(0, 9), st.integers(0, 9))
+def test_swap_preserves_occupied_cells(placement, a, b):
+    swapped = placement.with_swap(a, b)
+    assert swapped.occupied == placement.occupied
+    assert len(swapped) == len(placement)
+
+
+@settings(max_examples=50)
+@given(placement_strategy, st.integers(0, 9), st.integers(0, 11), st.integers(0, 11))
+def test_move_changes_exactly_one_router(placement, router, x, y):
+    target = Point(x, y)
+    if target in placement.occupied:
+        return
+    moved = placement.with_move(router, target)
+    differences = [
+        i for i in range(len(placement)) if moved[i] != placement[i]
+    ]
+    assert differences == [router]
+    assert moved[router] == target
+
+
+@settings(max_examples=50)
+@given(placement_strategy, st.integers(0, 9), st.integers(0, 9))
+def test_swap_is_involution(placement, a, b):
+    assert placement.with_swap(a, b).with_swap(a, b).cells == placement.cells

@@ -1,0 +1,185 @@
+"""Unit, property and statistical tests for the client distributions.
+
+Statistical checks compare our from-scratch samplers (Box-Muller,
+inverse transforms) against ``scipy.stats`` reference moments on large
+samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.stats
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grid import GridArea
+from repro.distributions import (
+    ExponentialDistribution,
+    NormalDistribution,
+    UniformDistribution,
+    WeibullDistribution,
+)
+
+ALL_DISTRIBUTIONS = [
+    UniformDistribution(),
+    NormalDistribution(),
+    ExponentialDistribution(),
+    WeibullDistribution(),
+]
+
+
+@pytest.mark.parametrize("law", ALL_DISTRIBUTIONS, ids=lambda d: d.name)
+class TestCommonBehaviour:
+    def test_samples_inside_grid(self, law, rng):
+        grid = GridArea(24, 16)
+        points = law.sample_points(200, grid, rng)
+        assert len(points) == 200
+        assert all(grid.contains(p) for p in points)
+
+    def test_sample_clients_builds_valid_set(self, law, rng):
+        grid = GridArea(16, 16)
+        clients = law.sample_clients(32, grid, rng)
+        assert len(clients) == 32
+        assert all(grid.contains(c.cell) for c in clients)
+
+    def test_deterministic_by_seed(self, law):
+        grid = GridArea(20, 20)
+        a = law.sample_points(64, grid, np.random.default_rng(42))
+        b = law.sample_points(64, grid, np.random.default_rng(42))
+        assert a == b
+
+    def test_zero_count(self, law, rng):
+        grid = GridArea(8, 8)
+        assert law.sample_points(0, grid, rng) == []
+
+    def test_negative_count_rejected(self, law, rng):
+        with pytest.raises(ValueError):
+            law.sample_axis_truncated(-1, 8, rng)
+
+    @settings(max_examples=15, deadline=None)
+    @given(extent=st.integers(1, 64), seed=st.integers(0, 10_000))
+    def test_truncated_axis_always_in_range(self, law, extent, seed):
+        values = law.sample_axis_truncated(
+            100, extent, np.random.default_rng(seed)
+        )
+        assert values.min() >= 0
+        assert values.max() < extent
+        assert values.dtype.kind == "i"
+
+
+class TestUniform:
+    def test_mean_matches_reference(self):
+        law = UniformDistribution()
+        samples = law.sample_axis(50_000, 100, np.random.default_rng(0))
+        assert samples.mean() == pytest.approx(50.0, abs=0.5)
+
+    def test_spread_covers_grid(self, rng):
+        grid = GridArea(10, 10)
+        points = law_points = UniformDistribution().sample_points(2000, grid, rng)
+        xs = {p.x for p in law_points}
+        assert len(xs) == 10  # every column hit
+
+
+class TestNormal:
+    def test_defaults_follow_paper(self):
+        law = NormalDistribution()
+        assert law.axis_mean(128) == 64.0
+        assert law.axis_std(128) == pytest.approx(12.8)
+
+    def test_explicit_parameters(self):
+        law = NormalDistribution(mean=10.0, std=2.0)
+        assert law.axis_mean(128) == 10.0
+        assert law.axis_std(128) == 2.0
+
+    def test_invalid_std_rejected(self):
+        with pytest.raises(ValueError):
+            NormalDistribution(std=0.0)
+
+    def test_box_muller_moments_match_scipy(self):
+        law = NormalDistribution(mean=0.0, std=1.0)
+        samples = law.sample_axis(100_000, 128, np.random.default_rng(1))
+        ref = scipy.stats.norm(loc=0.0, scale=1.0)
+        assert samples.mean() == pytest.approx(ref.mean(), abs=0.02)
+        assert samples.std() == pytest.approx(ref.std(), abs=0.02)
+        # Normality sanity via skewness and excess kurtosis.
+        assert scipy.stats.skew(samples) == pytest.approx(0.0, abs=0.05)
+        assert scipy.stats.kurtosis(samples) == pytest.approx(0.0, abs=0.1)
+
+    def test_clusters_near_center(self, rng):
+        grid = GridArea(128, 128)
+        points = NormalDistribution().sample_points(1000, grid, rng)
+        xs = np.array([p.x for p in points])
+        # ~95% of mass within 2 sigma of the mean.
+        within = np.abs(xs - 64) <= 2 * 12.8
+        assert within.mean() > 0.9
+
+    def test_odd_count_box_muller(self, rng):
+        # Odd counts exercise the pair-generation trim.
+        samples = NormalDistribution().sample_axis(7, 128, rng)
+        assert samples.shape == (7,)
+
+
+class TestExponential:
+    def test_default_scale(self):
+        assert ExponentialDistribution().axis_scale(128) == 32.0
+        assert ExponentialDistribution(scale=10.0).axis_scale(128) == 10.0
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialDistribution(scale=-1.0)
+
+    def test_inverse_transform_moments_match_scipy(self):
+        law = ExponentialDistribution(scale=5.0)
+        samples = law.sample_axis(100_000, 128, np.random.default_rng(2))
+        ref = scipy.stats.expon(scale=5.0)
+        assert samples.mean() == pytest.approx(ref.mean(), rel=0.02)
+        assert samples.std() == pytest.approx(ref.std(), rel=0.02)
+
+    def test_clusters_near_origin(self, rng):
+        grid = GridArea(128, 128)
+        points = ExponentialDistribution().sample_points(1000, grid, rng)
+        xs = np.array([p.x for p in points])
+        # More than half the mass in the first quarter of the axis.
+        assert (xs < 32).mean() > 0.5
+
+    def test_non_negative(self, rng):
+        samples = ExponentialDistribution().sample_axis(1000, 128, rng)
+        assert samples.min() >= 0
+
+
+class TestWeibull:
+    def test_default_parameters(self):
+        law = WeibullDistribution()
+        assert law.shape == 1.2
+        assert law.axis_scale(128) == pytest.approx(128 / 3)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            WeibullDistribution(shape=0.0)
+        with pytest.raises(ValueError):
+            WeibullDistribution(scale=0.0)
+
+    def test_inverse_transform_moments_match_scipy(self):
+        law = WeibullDistribution(shape=1.5, scale=10.0)
+        samples = law.sample_axis(100_000, 128, np.random.default_rng(3))
+        ref = scipy.stats.weibull_min(c=1.5, scale=10.0)
+        assert samples.mean() == pytest.approx(ref.mean(), rel=0.02)
+        assert samples.std() == pytest.approx(ref.std(), rel=0.03)
+
+    def test_shape_one_equals_exponential(self):
+        # Weibull(k=1, scale) is Exponential(scale); same seeds, same draws.
+        seed = 99
+        weibull = WeibullDistribution(shape=1.0, scale=7.0).sample_axis(
+            1000, 128, np.random.default_rng(seed)
+        )
+        exponential = ExponentialDistribution(scale=7.0).sample_axis(
+            1000, 128, np.random.default_rng(seed)
+        )
+        assert np.allclose(weibull, exponential)
+
+    def test_clusters_near_origin(self, rng):
+        grid = GridArea(128, 128)
+        points = WeibullDistribution().sample_points(1000, grid, rng)
+        xs = np.array([p.x for p in points])
+        assert (xs < 64).mean() > 0.6

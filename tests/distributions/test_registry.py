@@ -1,0 +1,51 @@
+"""Unit tests for the distribution registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributions import (
+    ExponentialDistribution,
+    NormalDistribution,
+    UniformDistribution,
+    WeibullDistribution,
+    available_distributions,
+    make_distribution,
+    register_distribution,
+)
+from repro.distributions import registry as registry_module
+
+
+class TestRegistry:
+    def test_paper_distributions_available(self):
+        names = available_distributions()
+        assert {"uniform", "normal", "exponential", "weibull"} <= set(names)
+
+    def test_make_by_name(self):
+        assert isinstance(make_distribution("uniform"), UniformDistribution)
+        assert isinstance(make_distribution("normal"), NormalDistribution)
+        assert isinstance(make_distribution("exponential"), ExponentialDistribution)
+        assert isinstance(make_distribution("weibull"), WeibullDistribution)
+
+    def test_make_with_parameters(self):
+        law = make_distribution("weibull", shape=0.8, scale=10.0)
+        assert law.shape == 0.8
+        assert law.scale == 10.0
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            make_distribution("zipf")
+
+    def test_register_custom(self, monkeypatch):
+        monkeypatch.setattr(
+            registry_module, "_FACTORIES", dict(registry_module._FACTORIES)
+        )
+        register_distribution("custom", UniformDistribution)
+        assert isinstance(make_distribution("custom"), UniformDistribution)
+
+    def test_register_duplicate_rejected(self, monkeypatch):
+        monkeypatch.setattr(
+            registry_module, "_FACTORIES", dict(registry_module._FACTORIES)
+        )
+        with pytest.raises(ValueError, match="already registered"):
+            register_distribution("uniform", UniformDistribution)

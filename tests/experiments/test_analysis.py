@@ -1,0 +1,99 @@
+"""Unit tests for the convergence analysis helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.analysis import (
+    area_under_curve,
+    crossover_points,
+    effort_to_reach,
+    speed_summary,
+)
+from repro.experiments.figures import FigureResult, Series
+from repro.instances.catalog import tiny_spec
+
+
+def series(label, points):
+    xs, ys = zip(*points)
+    return Series(label=label, x=tuple(xs), giant_sizes=tuple(ys))
+
+
+class TestEffortToReach:
+    def test_first_hit_returned(self):
+        s = series("a", [(0, 2), (5, 8), (10, 12), (15, 12)])
+        assert effort_to_reach(s, 8) == 5
+        assert effort_to_reach(s, 9) == 10
+
+    def test_target_met_at_start(self):
+        s = series("a", [(0, 10), (5, 12)])
+        assert effort_to_reach(s, 10) == 0
+
+    def test_unreachable_target(self):
+        s = series("a", [(0, 2), (10, 4)])
+        assert effort_to_reach(s, 100) is None
+
+
+class TestAreaUnderCurve:
+    def test_constant_curve(self):
+        s = series("a", [(0, 10), (10, 10)])
+        assert area_under_curve(s) == pytest.approx(10.0)
+
+    def test_linear_ramp(self):
+        s = series("a", [(0, 0), (10, 10)])
+        assert area_under_curve(s) == pytest.approx(5.0)
+
+    def test_faster_climb_has_larger_area(self):
+        fast = series("fast", [(0, 0), (2, 10), (10, 10)])
+        slow = series("slow", [(0, 0), (8, 10), (10, 10)])
+        assert area_under_curve(fast) > area_under_curve(slow)
+
+    def test_single_point(self):
+        assert area_under_curve(series("a", [(3, 7)])) == 7.0
+
+
+class TestCrossoverPoints:
+    def test_single_crossover(self):
+        a = series("a", [(0, 0), (5, 5), (10, 10)])
+        b = series("b", [(0, 3), (5, 4), (10, 5)])
+        assert crossover_points(a, b) == [5]
+
+    def test_no_crossover(self):
+        a = series("a", [(0, 5), (10, 15)])
+        b = series("b", [(0, 3), (10, 10)])
+        assert crossover_points(a, b) == []
+
+    def test_disjoint_x_axes(self):
+        a = series("a", [(0, 5), (2, 15)])
+        b = series("b", [(1, 3), (3, 10)])
+        assert crossover_points(a, b) == []
+
+    def test_ties_not_counted(self):
+        a = series("a", [(0, 5), (5, 7), (10, 9)])
+        b = series("b", [(0, 5), (5, 7), (10, 9)])
+        assert crossover_points(a, b) == []
+
+
+class TestSpeedSummary:
+    def test_summary_table(self):
+        spec = tiny_spec()
+        figure = FigureResult(
+            figure_number=1,
+            title="test",
+            x_label="nb generations",
+            series=(
+                series("fast", [(0, 0), (4, 12), (20, 16)]),
+                series("slow", [(0, 0), (16, 8), (20, 8)]),
+            ),
+            spec=spec,
+            scale_name="tiny",
+            seed=1,
+        )
+        text = speed_summary(figure, targets=(0.5,))
+        assert "fast" in text and "slow" in text
+        assert "x@50%" in text
+        # fast reaches 8 (=50% of 16 routers) by x=4; slow at x=16.
+        lines = {line.split()[0]: line for line in text.splitlines()[2:] if line}
+        assert "4" in lines["fast"]
+        assert "16" in lines["slow"]
+        assert "AUC" in text

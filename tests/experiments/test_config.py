@@ -1,0 +1,70 @@
+"""Unit tests for the experiment scale configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import (
+    ExperimentScale,
+    PAPER_SCALE,
+    QUICK_SCALE,
+    current_scale,
+)
+
+
+class TestScales:
+    def test_quick_smaller_than_paper(self):
+        assert QUICK_SCALE.n_generations < PAPER_SCALE.n_generations
+        assert QUICK_SCALE.population_size < PAPER_SCALE.population_size
+        assert QUICK_SCALE.ns_phases <= PAPER_SCALE.ns_phases
+
+    def test_paper_scale_matches_paper_figures(self):
+        # Figures 1-3 run to ~800 generations; Fig. 4 to ~61 phases.
+        assert PAPER_SCALE.n_generations == 800
+        assert PAPER_SCALE.ns_phases >= 61
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"population_size": 1},
+            {"n_generations": 0},
+            {"ns_phases": 0},
+            {"ns_candidates": 0},
+            {"record_step": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = dict(
+            name="x",
+            population_size=8,
+            n_generations=10,
+            ns_phases=10,
+            ns_candidates=4,
+            record_step=2,
+        )
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            ExperimentScale(**base)
+
+
+class TestCurrentScale:
+    def test_default_is_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert current_scale() is QUICK_SCALE
+
+    def test_env_selects_paper(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert current_scale() is PAPER_SCALE
+
+    def test_env_case_insensitive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "  PAPER ")
+        assert current_scale() is PAPER_SCALE
+
+    def test_unknown_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "warp")
+        with pytest.raises(ValueError, match="unknown REPRO_SCALE"):
+            current_scale()
+
+    def test_default_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert current_scale(default="paper") is PAPER_SCALE

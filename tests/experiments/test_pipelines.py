@@ -1,0 +1,234 @@
+"""Integration tests: table and figure pipelines on tiny instances.
+
+These run the real experiment code end-to-end, just at miniature scale
+(8-individual GA, a handful of generations) so the suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adhoc.registry import PAPER_METHOD_ORDER
+from repro.experiments.config import ExperimentScale
+from repro.experiments.figures import run_ga_figure, run_ns_figure
+from repro.experiments.reporting import (
+    figure_to_csv,
+    format_figure,
+    format_table,
+    table_to_csv,
+)
+from repro.experiments.runner import run_all
+from repro.experiments.tables import run_table
+from repro.instances.catalog import tiny_spec
+
+TINY_SCALE = ExperimentScale(
+    name="tiny",
+    population_size=8,
+    n_generations=6,
+    ns_phases=5,
+    ns_candidates=4,
+    record_step=2,
+)
+
+
+@pytest.fixture(scope="module")
+def table_result():
+    return run_table(
+        "normal", scale=TINY_SCALE, seed=3, spec=tiny_spec("normal")
+    )
+
+
+@pytest.fixture(scope="module")
+def ga_figure():
+    return run_ga_figure(
+        "normal", scale=TINY_SCALE, seed=3, spec=tiny_spec("normal")
+    )
+
+
+@pytest.fixture(scope="module")
+def ns_figure():
+    return run_ns_figure(scale=TINY_SCALE, seed=3, spec=tiny_spec("normal"))
+
+
+class TestRunTable:
+    def test_all_methods_present_in_order(self, table_result):
+        assert tuple(r.method for r in table_result.rows) == PAPER_METHOD_ORDER
+
+    def test_metrics_within_bounds(self, table_result):
+        spec = table_result.spec
+        for row in table_result.rows:
+            assert 0 <= row.giant_standalone <= spec.n_routers
+            assert 0 <= row.giant_by_ga <= spec.n_routers
+            assert 0 <= row.coverage_standalone <= spec.n_clients
+            assert 0 <= row.coverage_by_ga <= spec.n_clients
+
+    def test_ga_at_least_matches_standalone_giant(self, table_result):
+        # The GA population contains stand-alone-like placements and is
+        # elitist, so its best giant should not be dramatically worse.
+        for row in table_result.rows:
+            assert row.giant_by_ga >= 1
+
+    def test_table_number_resolved(self, table_result):
+        assert table_result.table_number == 1
+
+    def test_row_lookup(self, table_result):
+        assert table_result.row("hotspot").method == "hotspot"
+        with pytest.raises(KeyError):
+            table_result.row("bogus")
+
+    def test_best_ga_method_is_a_method(self, table_result):
+        assert table_result.best_ga_method() in PAPER_METHOD_ORDER
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            run_table("zipf", scale=TINY_SCALE)
+
+    def test_formatting(self, table_result):
+        text = format_table(table_result)
+        assert "Table 1" in text
+        assert "HotSpot" in text
+        assert "Giant by GA" in text
+
+    def test_csv(self, table_result):
+        csv = table_to_csv(table_result)
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("method,")
+        assert len(lines) == 1 + len(PAPER_METHOD_ORDER)
+
+
+class TestRunGaFigure:
+    def test_one_series_per_method(self, ga_figure):
+        assert {s.label for s in ga_figure.series} == set(PAPER_METHOD_ORDER)
+
+    def test_series_aligned_with_generations(self, ga_figure):
+        for series in ga_figure.series:
+            assert series.x[0] == 0
+            assert series.x[-1] == TINY_SCALE.n_generations
+            assert all(
+                0 <= g <= ga_figure.spec.n_routers for g in series.giant_sizes
+            )
+
+    def test_figure_number(self, ga_figure):
+        assert ga_figure.figure_number == 1
+
+    def test_ranking_sorted(self, ga_figure):
+        ranking = ga_figure.ranking_by_final_giant()
+        finals = [
+            ga_figure.series_by_label(label).final_giant for label in ranking
+        ]
+        assert finals == sorted(finals, reverse=True)
+
+    def test_series_lookup(self, ga_figure):
+        series = ga_figure.series_by_label("random")
+        assert series.label == "random"
+        with pytest.raises(KeyError):
+            ga_figure.series_by_label("bogus")
+        assert series.value_at(0) == series.giant_sizes[0]
+        with pytest.raises(KeyError):
+            series.value_at(99999)
+
+    def test_formatting(self, ga_figure):
+        text = format_figure(ga_figure)
+        assert "Figure 1" in text
+        assert "nb generations" in text
+
+    def test_csv(self, ga_figure):
+        csv = figure_to_csv(ga_figure)
+        header = csv.splitlines()[0]
+        assert header.startswith("x,")
+        assert "hotspot" in header
+
+
+class TestRunNsFigure:
+    def test_two_series(self, ns_figure):
+        assert {s.label for s in ns_figure.series} == {"Random", "Swap"}
+
+    def test_custom_movements(self):
+        from repro.neighborhood.movements import RandomMovement, SwapMovement
+
+        result = run_ns_figure(
+            scale=TINY_SCALE,
+            seed=3,
+            spec=tiny_spec("normal"),
+            movements={
+                "Literal": SwapMovement(relocate=False),
+                "Relocating": SwapMovement(relocate=True),
+                "Baseline": RandomMovement(),
+            },
+        )
+        assert {s.label for s in result.series} == {
+            "Literal",
+            "Relocating",
+            "Baseline",
+        }
+
+    def test_phases_axis(self, ns_figure):
+        for series in ns_figure.series:
+            assert series.x[0] == 0
+            assert series.x[-1] == TINY_SCALE.ns_phases
+
+    def test_giant_monotone_not_required_but_bounded(self, ns_figure):
+        for series in ns_figure.series:
+            assert all(
+                0 <= g <= ns_figure.spec.n_routers for g in series.giant_sizes
+            )
+
+    def test_figure_number(self, ns_figure):
+        assert ns_figure.figure_number == 4
+
+    def test_formatting(self, ns_figure):
+        text = format_figure(ns_figure)
+        assert "Figure 4" in text
+        assert "nb phases" in text
+
+
+class TestRunAll:
+    def test_full_pipeline_on_tiny_specs(self):
+        specs = {
+            name: tiny_spec(name)
+            for name in ("normal", "exponential", "weibull")
+        }
+        report = run_all(
+            scale=TINY_SCALE,
+            seed=5,
+            distributions=("normal", "exponential"),
+            specs=specs,
+        )
+        assert len(report.tables) == 2
+        assert len(report.figures) == 3  # 2 GA figures + NS figure
+        text = report.render_text()
+        assert "Table 1" in text
+        assert "Table 2" in text
+        assert "Figure 4" in text
+
+    def test_report_includes_convergence_analysis(self):
+        specs = {"normal": tiny_spec("normal")}
+        report = run_all(
+            scale=TINY_SCALE, seed=5, distributions=("normal",), specs=specs
+        )
+        text = report.render_text()
+        assert "Convergence analysis:" in text
+        assert "AUC" in text
+        assert "x@50%" in text
+
+    def test_table_and_figure_share_runs(self):
+        specs = {"normal": tiny_spec("normal")}
+        report = run_all(
+            scale=TINY_SCALE, seed=5, distributions=("normal",), specs=specs
+        )
+        table = report.tables[0]
+        figure = report.figures[0]
+        for row in table.rows:
+            assert figure.series_by_label(row.method).final_giant == row.giant_by_ga
+
+    def test_save_csvs(self, tmp_path):
+        specs = {"normal": tiny_spec("normal")}
+        report = run_all(
+            scale=TINY_SCALE, seed=5, distributions=("normal",), specs=specs
+        )
+        written = report.save_csvs(tmp_path)
+        assert all(path.exists() for path in written)
+        names = {path.name for path in written}
+        assert "table1_normal.csv" in names
+        assert "figure1.csv" in names
+        assert "figure4.csv" in names

@@ -1,0 +1,82 @@
+"""Unit tests for the multi-seed replication harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.replication import (
+    ReplicatedMetric,
+    format_replication,
+    replicate_movements,
+    replicate_standalone,
+)
+from repro.instances.catalog import tiny_spec
+
+
+class TestReplicatedMetric:
+    def test_statistics(self):
+        metric = ReplicatedMetric((1.0, 2.0, 3.0))
+        assert metric.mean == pytest.approx(2.0)
+        assert metric.std == pytest.approx(1.0)
+        assert metric.minimum == 1.0
+        assert metric.maximum == 3.0
+        assert metric.n_seeds == 3
+
+    def test_single_value_std_zero(self):
+        assert ReplicatedMetric((4.0,)).std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicatedMetric(())
+
+    def test_str_format(self):
+        assert "+/-" in str(ReplicatedMetric((1.0, 3.0)))
+
+
+class TestReplicateStandalone:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return replicate_standalone(
+            tiny_spec(), n_seeds=4, methods=("random", "near", "hotspot")
+        )
+
+    def test_all_methods_covered(self, results):
+        assert set(results) == {"random", "near", "hotspot"}
+
+    def test_metrics_present_and_bounded(self, results):
+        spec = tiny_spec()
+        for metrics in results.values():
+            assert set(metrics) == {"giant", "coverage", "fitness"}
+            assert metrics["giant"].n_seeds == 4
+            assert 0 <= metrics["giant"].minimum
+            assert metrics["giant"].maximum <= spec.n_routers
+            assert metrics["coverage"].maximum <= spec.n_clients
+
+    def test_seed_variation_exists_for_random(self, results):
+        # Random placement across 4 seeds almost surely varies.
+        assert results["random"]["fitness"].std >= 0.0
+
+    def test_invalid_seed_count(self):
+        with pytest.raises(ValueError):
+            replicate_standalone(tiny_spec(), n_seeds=0)
+
+    def test_formatting(self, results):
+        text = format_replication(results, "stand-alone replication")
+        assert "stand-alone replication" in text
+        assert "random" in text
+        assert "+/-" in text
+
+
+class TestReplicateMovements:
+    def test_swap_and_random_compared(self):
+        results = replicate_movements(
+            tiny_spec(), n_seeds=2, n_candidates=4, max_phases=4
+        )
+        assert set(results) == {"Swap", "Random"}
+        for metrics in results.values():
+            assert metrics["giant"].n_seeds == 2
+            assert metrics["giant"].maximum <= tiny_spec().n_routers
+
+    def test_invalid_seed_count(self):
+        with pytest.raises(ValueError):
+            replicate_movements(tiny_spec(), n_seeds=-1)

@@ -1,0 +1,80 @@
+"""Unit tests for the shared initializer study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.figures import figure_from_study
+from repro.experiments.study import run_distribution_study
+from repro.experiments.tables import table_from_study
+from repro.instances.catalog import tiny_spec
+
+MICRO_SCALE = ExperimentScale(
+    name="micro",
+    population_size=6,
+    n_generations=4,
+    ns_phases=4,
+    ns_candidates=3,
+    record_step=2,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_distribution_study(
+        "normal",
+        scale=MICRO_SCALE,
+        seed=5,
+        spec=tiny_spec("normal"),
+        methods=("random", "near", "hotspot"),
+    )
+
+
+class TestStudy:
+    def test_entries_per_method(self, study):
+        assert [entry.method for entry in study.methods] == [
+            "random",
+            "near",
+            "hotspot",
+        ]
+
+    def test_method_lookup(self, study):
+        assert study.method("near").method == "near"
+        with pytest.raises(KeyError):
+            study.method("bogus")
+
+    def test_series_covers_generations(self, study):
+        for entry in study.methods:
+            generations = [g for g, _ in entry.series]
+            assert generations[0] == 0
+            assert generations[-1] == MICRO_SCALE.n_generations
+
+    def test_metrics_bounded(self, study):
+        spec = study.spec
+        for entry in study.methods:
+            assert 0 <= entry.giant_standalone <= spec.n_routers
+            assert 0 <= entry.giant_by_ga <= spec.n_routers
+            assert 0 <= entry.coverage_by_ga <= spec.n_clients
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            run_distribution_study("zipf", scale=MICRO_SCALE)
+
+
+class TestSharedViews:
+    def test_table_and_figure_agree(self, study):
+        """Table k and Figure k must be views of the same runs."""
+        table = table_from_study(study)
+        figure = figure_from_study(study)
+        for row in table.rows:
+            series = figure.series_by_label(row.method)
+            # Final plotted giant equals the table's GA column: same run.
+            assert series.final_giant == row.giant_by_ga
+
+    def test_provenance_propagates(self, study):
+        table = table_from_study(study)
+        figure = figure_from_study(study)
+        assert table.seed == figure.seed == study.seed
+        assert table.scale_name == figure.scale_name == "micro"
+        assert table.spec == figure.spec == study.spec

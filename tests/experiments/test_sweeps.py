@@ -1,0 +1,69 @@
+"""Unit tests for the parameter sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.sweeps import (
+    format_sweep,
+    sweep_radio_range,
+    sweep_router_count,
+)
+from repro.instances.catalog import tiny_spec
+
+MICRO_SCALE = ExperimentScale(
+    name="micro",
+    population_size=6,
+    n_generations=4,
+    ns_phases=4,
+    ns_candidates=4,
+    record_step=2,
+)
+
+
+class TestRouterCountSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return sweep_router_count(
+            tiny_spec(), counts=(4, 8, 12), scale=MICRO_SCALE, seed=2
+        )
+
+    def test_one_point_per_count(self, result):
+        assert result.parameters() == [4.0, 8.0, 12.0]
+
+    def test_giants_bounded_by_count(self, result):
+        for point in result.points:
+            n = int(point.parameter)
+            assert 1 <= point.standalone_giant <= n
+            assert 1 <= point.swap_giant <= n
+            assert 1 <= point.random_giant <= n
+
+    def test_formatting(self, result):
+        text = format_sweep(result)
+        assert "n_routers" in text
+        assert "swap" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sweep_router_count(tiny_spec(), counts=(), scale=MICRO_SCALE)
+        with pytest.raises(ValueError):
+            sweep_router_count(tiny_spec(), counts=(0,), scale=MICRO_SCALE)
+
+
+class TestRadioRangeSweep:
+    def test_stronger_radios_do_not_hurt_standalone(self):
+        result = sweep_radio_range(
+            tiny_spec(), max_radii=(4.0, 12.0), scale=MICRO_SCALE, seed=3
+        )
+        weak, strong = result.points
+        # Same placement seed, larger radii: links can only be added.
+        assert strong.standalone_giant >= weak.standalone_giant
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sweep_radio_range(tiny_spec(), max_radii=(), scale=MICRO_SCALE)
+        with pytest.raises(ValueError):
+            sweep_radio_range(
+                tiny_spec(), max_radii=(0.5,), scale=MICRO_SCALE
+            )

@@ -1,0 +1,151 @@
+"""Unit and property tests for crossover operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grid import GridArea
+from repro.core.solution import Placement
+from repro.genetic.crossover import (
+    OnePointCrossover,
+    RegionExchangeCrossover,
+    UniformCrossover,
+)
+
+ALL_OPERATORS = [
+    UniformCrossover(),
+    OnePointCrossover(),
+    RegionExchangeCrossover(),
+]
+
+
+def random_parents(seed: int, n: int = 12, size: int = 16):
+    rng = np.random.default_rng(seed)
+    grid = GridArea(size, size)
+    return (
+        Placement.random(grid, n, rng),
+        Placement.random(grid, n, rng),
+        np.random.default_rng(seed + 1),
+    )
+
+
+@pytest.mark.parametrize("operator", ALL_OPERATORS, ids=lambda o: o.name)
+class TestCommonBehaviour:
+    def test_children_valid(self, operator):
+        parent_a, parent_b, rng = random_parents(0)
+        child1, child2 = operator.crossover(parent_a, parent_b, rng)
+        for child in (child1, child2):
+            assert len(child) == len(parent_a)
+            assert len(child.occupied) == len(parent_a)
+
+    def test_parents_untouched(self, operator):
+        parent_a, parent_b, rng = random_parents(1)
+        cells_a, cells_b = parent_a.cells, parent_b.cells
+        operator.crossover(parent_a, parent_b, rng)
+        assert parent_a.cells == cells_a
+        assert parent_b.cells == cells_b
+
+    def test_mismatched_parents_rejected(self, operator, rng):
+        grid = GridArea(8, 8)
+        a = Placement.random(grid, 4, np.random.default_rng(0))
+        b = Placement.random(grid, 5, np.random.default_rng(1))
+        with pytest.raises(ValueError, match="equal-length"):
+            operator.crossover(a, b, rng)
+
+    def test_different_grids_rejected(self, operator, rng):
+        a = Placement.random(GridArea(8, 8), 4, np.random.default_rng(0))
+        b = Placement.random(GridArea(9, 9), 4, np.random.default_rng(1))
+        with pytest.raises(ValueError, match="different grids"):
+            operator.crossover(a, b, rng)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_genes_close_to_a_parent(self, operator, seed):
+        # After repair each gene sits on or near one parent's gene
+        # (nudging moves at most a few cells).
+        parent_a, parent_b, rng = random_parents(seed)
+        child1, child2 = operator.crossover(parent_a, parent_b, rng)
+        for child in (child1, child2):
+            for i, cell in enumerate(child):
+                da = max(abs(cell.x - parent_a[i].x), abs(cell.y - parent_a[i].y))
+                db = max(abs(cell.x - parent_b[i].x), abs(cell.y - parent_b[i].y))
+                assert min(da, db) <= 3
+
+
+class TestUniform:
+    def test_mix_rate_zero_copies_parent_a(self):
+        parent_a, parent_b, rng = random_parents(2)
+        child1, child2 = UniformCrossover(mix_rate=0.0).crossover(
+            parent_a, parent_b, rng
+        )
+        assert child1.cells == parent_a.cells
+        assert child2.cells == parent_b.cells
+
+    def test_mix_rate_one_swaps_parents(self):
+        parent_a, parent_b, rng = random_parents(3)
+        child1, child2 = UniformCrossover(mix_rate=1.0).crossover(
+            parent_a, parent_b, rng
+        )
+        assert child1.cells == parent_b.cells
+        assert child2.cells == parent_a.cells
+
+    def test_mix_rate_validation(self):
+        with pytest.raises(ValueError):
+            UniformCrossover(mix_rate=1.5)
+
+    def test_children_complementary(self):
+        parent_a, parent_b, rng = random_parents(4)
+        # Use parents with disjoint occupied cells so no repair happens.
+        grid = GridArea(32, 32)
+        a = Placement.from_cells(grid, [(x, 0) for x in range(8)])
+        b = Placement.from_cells(grid, [(x, 20) for x in range(8)])
+        child1, child2 = UniformCrossover().crossover(a, b, rng)
+        for i in range(8):
+            genes = {child1[i], child2[i]}
+            assert genes == {a[i], b[i]}
+
+
+class TestOnePoint:
+    def test_prefix_suffix_structure(self):
+        grid = GridArea(32, 32)
+        a = Placement.from_cells(grid, [(x, 0) for x in range(8)])
+        b = Placement.from_cells(grid, [(x, 20) for x in range(8)])
+        child1, _ = OnePointCrossover().crossover(
+            a, b, np.random.default_rng(0)
+        )
+        # child1 = prefix of a + suffix of b: y-coordinates step up once.
+        ys = [cell.y for cell in child1]
+        transitions = sum(
+            1 for y1, y2 in zip(ys, ys[1:]) if y1 != y2
+        )
+        assert transitions == 1
+
+    def test_single_router_parents(self, rng):
+        grid = GridArea(8, 8)
+        a = Placement.from_cells(grid, [(0, 0)])
+        b = Placement.from_cells(grid, [(5, 5)])
+        child1, child2 = OnePointCrossover().crossover(a, b, rng)
+        assert len(child1) == 1 and len(child2) == 1
+
+
+class TestRegionExchange:
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            RegionExchangeCrossover(min_fraction=0.0)
+        with pytest.raises(ValueError):
+            RegionExchangeCrossover(min_fraction=0.8, max_fraction=0.5)
+
+    def test_child_mixes_spatially(self):
+        grid = GridArea(32, 32)
+        a = Placement.from_cells(grid, [(x * 2, 5) for x in range(10)])
+        b = Placement.from_cells(grid, [(x * 2, 25) for x in range(10)])
+        child1, child2 = RegionExchangeCrossover().crossover(
+            a, b, np.random.default_rng(3)
+        )
+        # Children remain valid placements drawn from both rows.
+        for child in (child1, child2):
+            ys = {cell.y for cell in child}
+            assert ys <= {5, 25} or len(ys) >= 1

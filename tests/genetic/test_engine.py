@@ -1,0 +1,193 @@
+"""Unit tests for initializers, the GA engine and its trace."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adhoc import HotSpotPlacement, NearPlacement, RandomPlacement
+from repro.core.evaluation import Evaluator
+from repro.genetic.engine import GAConfig, GeneticAlgorithm
+from repro.genetic.initializers import (
+    AdHocInitializer,
+    MixedInitializer,
+    RandomInitializer,
+)
+from repro.genetic.trace import GATrace, GenerationRecord
+
+
+class TestInitializers:
+    def test_adhoc_initializer_size_and_validity(self, tiny_problem, rng):
+        placements = AdHocInitializer(NearPlacement()).generate(
+            tiny_problem, 6, rng
+        )
+        assert len(placements) == 6
+        for p in placements:
+            assert len(p) == tiny_problem.n_routers
+
+    def test_adhoc_initializer_diversity(self, tiny_problem, rng):
+        placements = AdHocInitializer(RandomPlacement()).generate(
+            tiny_problem, 4, rng
+        )
+        assert len({p.cells for p in placements}) > 1
+
+    def test_random_initializer(self, tiny_problem, rng):
+        placements = RandomInitializer().generate(tiny_problem, 3, rng)
+        assert len(placements) == 3
+
+    def test_mixed_initializer_round_robin(self, tiny_problem, rng):
+        mixed = MixedInitializer([NearPlacement(), HotSpotPlacement()])
+        placements = mixed.generate(tiny_problem, 4, rng)
+        assert len(placements) == 4
+
+    def test_mixed_requires_methods(self):
+        with pytest.raises(ValueError):
+            MixedInitializer([])
+
+    def test_size_validation(self, tiny_problem, rng):
+        with pytest.raises(ValueError):
+            RandomInitializer().generate(tiny_problem, 0, rng)
+
+
+class TestGAConfig:
+    def test_defaults_valid(self):
+        config = GAConfig()
+        assert config.population_size >= 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"population_size": 1},
+            {"n_generations": -1},
+            {"crossover_rate": 1.5},
+            {"mutation_rate": -0.1},
+            {"n_elites": 64, "population_size": 64},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GAConfig(**kwargs)
+
+
+class TestGeneticAlgorithm:
+    def make_ga(self, generations=10, population=8):
+        return GeneticAlgorithm(
+            GAConfig(
+                population_size=population,
+                n_generations=generations,
+                n_elites=2,
+            )
+        )
+
+    def test_trace_covers_every_generation(self, tiny_problem, rng):
+        result = self.make_ga().run(
+            Evaluator(tiny_problem), RandomInitializer(), rng
+        )
+        assert result.n_generations == 10
+        assert len(result.trace) == 11
+        assert result.trace.generations == list(range(11))
+
+    def test_best_fitness_monotone_with_elitism(self, tiny_problem, rng):
+        result = self.make_ga(generations=15).run(
+            Evaluator(tiny_problem), RandomInitializer(), rng
+        )
+        fitness = result.trace.best_fitnesses
+        assert all(b >= a - 1e-12 for a, b in zip(fitness, fitness[1:]))
+
+    def test_improves_over_initial_population(self, tiny_problem, rng):
+        evaluator = Evaluator(tiny_problem)
+        result = self.make_ga(generations=20).run(
+            evaluator, RandomInitializer(), rng
+        )
+        assert result.best.fitness >= result.trace[0].best_fitness
+
+    def test_zero_generations_returns_initial_best(self, tiny_problem, rng):
+        result = self.make_ga(generations=0).run(
+            Evaluator(tiny_problem), RandomInitializer(), rng
+        )
+        assert result.n_generations == 0
+        assert len(result.trace) == 1
+
+    def test_fitness_target_stops_early(self, tiny_problem, rng):
+        result = self.make_ga(generations=100).run(
+            Evaluator(tiny_problem),
+            RandomInitializer(),
+            rng,
+            fitness_target=0.0,
+        )
+        assert result.n_generations <= 1
+
+    def test_deterministic_given_seed(self, tiny_problem):
+        scores = []
+        for _ in range(2):
+            result = self.make_ga(generations=5).run(
+                Evaluator(tiny_problem),
+                RandomInitializer(),
+                np.random.default_rng(31),
+            )
+            scores.append(result.best.fitness)
+        assert scores[0] == scores[1]
+
+    def test_evaluation_accounting(self, tiny_problem, rng):
+        evaluator = Evaluator(tiny_problem)
+        result = self.make_ga(generations=5).run(
+            evaluator, RandomInitializer(), rng
+        )
+        assert result.n_evaluations == evaluator.n_evaluations
+        assert result.trace.final().n_evaluations == result.n_evaluations
+
+    def test_result_properties(self, tiny_problem, rng):
+        result = self.make_ga(generations=3).run(
+            Evaluator(tiny_problem), RandomInitializer(), rng
+        )
+        assert result.giant_size == result.best.giant_size
+        assert result.covered_clients == result.best.covered_clients
+
+
+class TestGATrace:
+    def make_record(self, generation, giant=3):
+        return GenerationRecord(
+            generation=generation,
+            best_fitness=0.5,
+            mean_fitness=0.3,
+            best_giant_size=giant,
+            best_covered_clients=7,
+            diversity=1.0,
+            n_evaluations=generation * 10,
+        )
+
+    def test_order_enforced(self):
+        trace = GATrace()
+        trace.append(self.make_record(0))
+        with pytest.raises(ValueError, match="out of order"):
+            trace.append(self.make_record(0))
+
+    def test_accessors(self):
+        trace = GATrace()
+        for g in range(5):
+            trace.append(self.make_record(g, giant=g))
+        assert trace.generations == [0, 1, 2, 3, 4]
+        assert trace.giant_sizes == [0, 1, 2, 3, 4]
+        assert trace.at_generation(3).best_giant_size == 3
+        with pytest.raises(KeyError):
+            trace.at_generation(99)
+        assert trace.final().generation == 4
+
+    def test_sampled_includes_endpoints(self):
+        trace = GATrace()
+        for g in range(11):
+            trace.append(self.make_record(g))
+        sampled = trace.sampled(4)
+        assert sampled[0].generation == 0
+        assert sampled[-1].generation == 10
+        assert [r.generation for r in sampled] == [0, 4, 8, 10]
+
+    def test_sampled_validation(self):
+        trace = GATrace()
+        with pytest.raises(ValueError):
+            trace.sampled(0)
+
+    def test_record_as_dict(self):
+        d = self.make_record(2).as_dict()
+        assert d["generation"] == 2
+        assert "diversity" in d

@@ -1,0 +1,166 @@
+"""Unit and property tests for mutation operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import Point
+from repro.core.grid import GridArea
+from repro.core.solution import Placement
+from repro.genetic.mutation import (
+    CompositeMutation,
+    GeneSwapMutation,
+    JiggleMutation,
+    ResetMutation,
+    TowardCentroidMutation,
+)
+
+ALL_OPERATORS = [
+    JiggleMutation(),
+    ResetMutation(),
+    GeneSwapMutation(),
+    TowardCentroidMutation(),
+    CompositeMutation([JiggleMutation(), ResetMutation()]),
+]
+
+
+def random_placement(seed: int, n: int = 10, size: int = 20) -> Placement:
+    return Placement.random(GridArea(size, size), n, np.random.default_rng(seed))
+
+
+@pytest.mark.parametrize("operator", ALL_OPERATORS, ids=lambda o: o.name)
+class TestCommonBehaviour:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_result_is_valid_placement(self, operator, seed):
+        placement = random_placement(seed)
+        mutated = operator.mutate(placement, np.random.default_rng(seed + 1))
+        assert len(mutated) == len(placement)
+        assert len(mutated.occupied) == len(placement)
+        assert all(placement.grid.contains(c) for c in mutated)
+
+    def test_original_untouched(self, operator):
+        placement = random_placement(0)
+        cells = placement.cells
+        operator.mutate(placement, np.random.default_rng(1))
+        assert placement.cells == cells
+
+    def test_deterministic_given_seed(self, operator):
+        placement = random_placement(5)
+        a = operator.mutate(placement, np.random.default_rng(9))
+        b = operator.mutate(placement, np.random.default_rng(9))
+        assert a.cells == b.cells
+
+
+class TestJiggle:
+    def test_displacement_bounded(self):
+        placement = random_placement(1)
+        operator = JiggleMutation(radius=3, per_gene_rate=1.0)
+        mutated = operator.mutate(placement, np.random.default_rng(2))
+        for before, after in zip(placement, mutated):
+            assert max(abs(after.x - before.x), abs(after.y - before.y)) <= 3
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            JiggleMutation(per_gene_rate=0.0)
+        with pytest.raises(ValueError):
+            JiggleMutation(radius=0)
+
+    def test_full_neighborhood_keeps_router(self, rng):
+        # A completely packed grid leaves no room to jiggle.
+        grid = GridArea(3, 3)
+        placement = Placement.from_cells(grid, list(grid.cells()))
+        mutated = JiggleMutation(radius=1, per_gene_rate=1.0).mutate(
+            placement, rng
+        )
+        assert set(mutated.cells) == set(placement.cells)
+
+
+class TestReset:
+    def test_exactly_count_routers_moved_at_most(self):
+        placement = random_placement(3)
+        mutated = ResetMutation(count=2).mutate(placement, np.random.default_rng(4))
+        moved = sum(1 for a, b in zip(placement, mutated) if a != b)
+        assert moved <= 2
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            ResetMutation(count=0)
+
+    def test_count_larger_than_fleet_clamped(self, rng):
+        placement = random_placement(7, n=3)
+        mutated = ResetMutation(count=100).mutate(placement, rng)
+        assert len(mutated) == 3
+
+
+class TestGeneSwap:
+    def test_preserves_occupied_cells(self):
+        placement = random_placement(5)
+        mutated = GeneSwapMutation().mutate(placement, np.random.default_rng(6))
+        assert mutated.occupied == placement.occupied
+
+    def test_exactly_two_genes_change(self):
+        placement = random_placement(6)
+        mutated = GeneSwapMutation().mutate(placement, np.random.default_rng(7))
+        changed = [i for i in range(len(placement)) if placement[i] != mutated[i]]
+        assert len(changed) == 2
+
+    def test_single_router_noop(self, rng):
+        placement = random_placement(8, n=1)
+        assert GeneSwapMutation().mutate(placement, rng) is placement
+
+
+class TestTowardCentroid:
+    def test_moved_router_closer_to_centroid(self):
+        # A placement with one distant outlier: any mutation of the
+        # outlier must move it towards the pack (modulo jitter).
+        grid = GridArea(64, 64)
+        cells = [Point(x, y) for x in range(3) for y in range(3)]
+        cells.append(Point(60, 60))
+        placement = Placement.from_cells(grid, cells)
+        operator = TowardCentroidMutation(max_step_fraction=1.0, jitter=0)
+        centroid = placement.positions_array().mean(axis=0)
+        for seed in range(30):
+            mutated = operator.mutate(placement, np.random.default_rng(seed))
+            for i in range(len(placement)):
+                if mutated[i] != placement[i]:
+                    before = np.hypot(*(np.array(placement[i]) - centroid))
+                    after = np.hypot(*(np.array(mutated[i]) - centroid))
+                    assert after <= before + 1e-9
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            TowardCentroidMutation(max_step_fraction=0.0)
+        with pytest.raises(ValueError):
+            TowardCentroidMutation(jitter=-1)
+
+
+class TestComposite:
+    def test_weights_normalized(self):
+        composite = CompositeMutation(
+            [JiggleMutation(), ResetMutation()], weights=[1.0, 3.0]
+        )
+        assert composite.probabilities[1] == pytest.approx(0.75)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CompositeMutation([])
+        with pytest.raises(ValueError):
+            CompositeMutation([JiggleMutation()], weights=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            CompositeMutation([JiggleMutation()], weights=[0.0])
+
+    def test_zero_weight_operator_never_used(self):
+        class Exploding(JiggleMutation):
+            def mutate(self, placement, rng):
+                raise AssertionError("zero-weight operator used")
+
+        composite = CompositeMutation(
+            [JiggleMutation(), Exploding()], weights=[1.0, 0.0]
+        )
+        placement = random_placement(9)
+        for seed in range(10):
+            composite.mutate(placement, np.random.default_rng(seed))

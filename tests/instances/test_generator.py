@@ -1,0 +1,110 @@
+"""Unit tests for instance specs and the catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.radio import CoverageRule, LinkRule
+from repro.instances.catalog import (
+    PAPER_SEED,
+    catalog,
+    paper_exponential,
+    paper_normal,
+    paper_uniform,
+    paper_weibull,
+    tiny_spec,
+)
+from repro.instances.generator import InstanceSpec
+
+
+class TestInstanceSpec:
+    def test_generate_matches_spec(self):
+        spec = InstanceSpec(name="t", width=20, height=24, n_routers=5, n_clients=9)
+        problem = spec.generate()
+        assert problem.grid.width == 20
+        assert problem.grid.height == 24
+        assert problem.n_routers == 5
+        assert problem.n_clients == 9
+        assert problem.link_rule is spec.link_rule
+        assert problem.coverage_rule is spec.coverage_rule
+
+    def test_radii_respect_profile(self):
+        spec = InstanceSpec(name="t", min_radius=2.0, max_radius=3.0)
+        problem = spec.generate()
+        assert problem.fleet.radii.min() >= 2.0
+        assert problem.fleet.radii.max() <= 3.0
+
+    def test_deterministic_by_seed(self):
+        spec = InstanceSpec(name="t", seed=11)
+        a, b = spec.generate(), spec.generate()
+        assert list(a.fleet.radii) == list(b.fleet.radii)
+        assert a.clients.cells() == b.clients.cells()
+
+    def test_different_seeds_differ(self):
+        a = InstanceSpec(name="t", seed=1).generate()
+        b = InstanceSpec(name="t", seed=2).generate()
+        assert a.clients.cells() != b.clients.cells()
+
+    def test_with_seed(self):
+        spec = InstanceSpec(name="t", seed=1)
+        assert spec.with_seed(9).seed == 9
+        assert spec.seed == 1
+
+    def test_with_distribution(self):
+        spec = InstanceSpec(name="t").with_distribution("weibull", shape=0.9)
+        assert spec.distribution == "weibull"
+        assert spec.distribution_params == {"shape": 0.9}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InstanceSpec(name="t", n_routers=0)
+        with pytest.raises(ValueError):
+            InstanceSpec(name="t", n_clients=-1)
+
+    def test_distribution_params_forwarded(self):
+        spec = InstanceSpec(
+            name="t",
+            distribution="normal",
+            distribution_params={"mean": 5.0, "std": 1.0},
+            width=32,
+            height=32,
+        )
+        problem = spec.generate()
+        xs = problem.clients.positions[:, 0]
+        assert xs.mean() < 16  # clustered near mean=5, not grid center
+
+    def test_describe_mentions_key_facts(self):
+        text = InstanceSpec(name="demo").describe()
+        assert "demo" in text
+        assert "64 routers" in text
+        assert "128x128" in text
+
+
+class TestCatalog:
+    def test_paper_frame(self):
+        for spec in catalog().values():
+            assert (spec.width, spec.height) == (128, 128)
+            assert spec.n_routers == 64
+            assert spec.n_clients == 192
+            assert spec.seed == PAPER_SEED
+            assert spec.link_rule is LinkRule.BIDIRECTIONAL
+            assert spec.coverage_rule is CoverageRule.GIANT_ONLY
+
+    def test_normal_uses_paper_parameters(self):
+        spec = paper_normal()
+        assert spec.distribution == "normal"
+        assert spec.distribution_params == {"mean": 64.0, "std": 12.8}
+
+    def test_distributions_distinct(self):
+        assert paper_exponential().distribution == "exponential"
+        assert paper_weibull().distribution == "weibull"
+        assert paper_uniform().distribution == "uniform"
+
+    def test_catalog_keys(self):
+        assert set(catalog()) == {"uniform", "normal", "exponential", "weibull"}
+
+    def test_tiny_spec_is_small(self):
+        spec = tiny_spec()
+        assert spec.n_routers <= 16
+        assert spec.width * spec.height <= 32 * 32
+        spec.generate()  # must be generable

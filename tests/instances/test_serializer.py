@@ -1,0 +1,118 @@
+"""Round-trip tests for JSON (de)serialization."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.radio import CoverageRule, LinkRule
+from repro.core.solution import Placement
+from repro.instances.catalog import tiny_spec
+from repro.instances.generator import InstanceSpec
+from repro.instances.serializer import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    load_placement,
+    placement_from_dict,
+    placement_to_dict,
+    save_instance,
+    save_placement,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+
+class TestInstanceRoundTrip:
+    def test_dict_round_trip(self, tiny_problem):
+        payload = instance_to_dict(tiny_problem)
+        restored = instance_from_dict(payload)
+        assert restored.grid == tiny_problem.grid
+        assert list(restored.fleet.radii) == list(tiny_problem.fleet.radii)
+        assert restored.clients.cells() == tiny_problem.clients.cells()
+        assert restored.link_rule is tiny_problem.link_rule
+        assert restored.coverage_rule is tiny_problem.coverage_rule
+
+    def test_file_round_trip(self, tiny_problem, tmp_path):
+        path = tmp_path / "instance.json"
+        save_instance(tiny_problem, path)
+        restored = load_instance(path)
+        assert restored.n_routers == tiny_problem.n_routers
+        # The file is valid, readable JSON.
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro.instance.v1"
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            instance_from_dict({"format": "other"})
+
+    def test_rules_preserved(self):
+        spec = tiny_spec()
+        problem = spec.generate().with_link_rule(LinkRule.OVERLAP)
+        problem = problem.with_coverage_rule(CoverageRule.ANY_ROUTER)
+        restored = instance_from_dict(instance_to_dict(problem))
+        assert restored.link_rule is LinkRule.OVERLAP
+        assert restored.coverage_rule is CoverageRule.ANY_ROUTER
+
+
+class TestSpecRoundTrip:
+    def test_dict_round_trip(self):
+        spec = InstanceSpec(
+            name="demo",
+            width=50,
+            height=40,
+            n_routers=7,
+            n_clients=13,
+            distribution="weibull",
+            distribution_params={"shape": 0.9},
+            min_radius=1.0,
+            max_radius=3.0,
+            link_rule=LinkRule.OVERLAP,
+            coverage_rule=CoverageRule.ANY_ROUTER,
+            seed=77,
+        )
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            spec_from_dict({"format": "repro.instance.v1"})
+
+    def test_round_trip_generates_identical_instance(self):
+        spec = tiny_spec()
+        restored = spec_from_dict(spec_to_dict(spec))
+        a, b = spec.generate(), restored.generate()
+        assert a.clients.cells() == b.clients.cells()
+        assert list(a.fleet.radii) == list(b.fleet.radii)
+
+
+class TestPlacementRoundTrip:
+    def test_dict_round_trip(self, tiny_problem, rng):
+        placement = Placement.random(
+            tiny_problem.grid, tiny_problem.n_routers, rng
+        )
+        restored = placement_from_dict(placement_to_dict(placement))
+        assert restored.cells == placement.cells
+        assert restored.grid == placement.grid
+
+    def test_file_round_trip(self, tiny_problem, rng, tmp_path):
+        placement = Placement.random(
+            tiny_problem.grid, tiny_problem.n_routers, rng
+        )
+        path = tmp_path / "placement.json"
+        save_placement(placement, path)
+        assert load_placement(path).cells == placement.cells
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            placement_from_dict({"format": "bogus"})
+
+    def test_invalid_payload_caught_by_model(self):
+        payload = {
+            "format": "repro.placement.v1",
+            "grid": {"width": 4, "height": 4},
+            "cells": [[0, 0], [0, 0]],
+        }
+        with pytest.raises(ValueError, match="same cell"):
+            placement_from_dict(payload)

@@ -1,0 +1,110 @@
+"""Unit tests for best-neighbor selection (Algorithm 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import Evaluator
+from repro.core.geometry import Point
+from repro.core.solution import Placement
+from repro.neighborhood.best_neighbor import best_neighbor
+from repro.neighborhood.moves import RelocateMove
+from repro.neighborhood.movements import MovementType, RandomMovement
+
+
+class NoneMovement(MovementType):
+    """Never proposes anything."""
+
+    name = "none"
+
+    def propose(self, current, problem, rng):
+        return None
+
+
+class FixedMovement(MovementType):
+    """Always proposes the same relocation."""
+
+    name = "fixed"
+
+    def __init__(self, move):
+        self.move = move
+
+    def propose(self, current, problem, rng):
+        return self.move
+
+
+class StaleMovement(MovementType):
+    """Proposes a move that can never be applied (target occupied)."""
+
+    name = "stale"
+
+    def propose(self, current, problem, rng):
+        return RelocateMove(0, current.placement[1])
+
+
+class TestBestNeighbor:
+    def test_returns_best_of_sampled(self, tiny_problem, rng):
+        evaluator = Evaluator(tiny_problem)
+        current = evaluator.evaluate(
+            Placement.random(tiny_problem.grid, tiny_problem.n_routers, rng)
+        )
+        result = best_neighbor(
+            evaluator, current, RandomMovement(), rng, n_candidates=16
+        )
+        assert result is not None
+        # Best-of-sample is at least as good as a fresh single sample.
+        single = best_neighbor(
+            evaluator, current, RandomMovement(), rng, n_candidates=1
+        )
+        assert single is None or result.fitness >= single.fitness - 1e-12
+
+    def test_candidate_budget_respected(self, tiny_problem, rng):
+        evaluator = Evaluator(tiny_problem)
+        current = evaluator.evaluate(
+            Placement.random(tiny_problem.grid, tiny_problem.n_routers, rng)
+        )
+        before = evaluator.n_evaluations
+        best_neighbor(evaluator, current, RandomMovement(), rng, n_candidates=7)
+        assert evaluator.n_evaluations - before == 7
+
+    def test_none_when_no_moves_available(self, tiny_problem, rng):
+        evaluator = Evaluator(tiny_problem)
+        current = evaluator.evaluate(
+            Placement.random(tiny_problem.grid, tiny_problem.n_routers, rng)
+        )
+        assert (
+            best_neighbor(evaluator, current, NoneMovement(), rng, 8) is None
+        )
+
+    def test_stale_moves_skipped(self, tiny_problem, rng):
+        evaluator = Evaluator(tiny_problem)
+        current = evaluator.evaluate(
+            Placement.random(tiny_problem.grid, tiny_problem.n_routers, rng)
+        )
+        before = evaluator.n_evaluations
+        result = best_neighbor(evaluator, current, StaleMovement(), rng, 8)
+        assert result is None
+        assert evaluator.n_evaluations == before  # nothing evaluated
+
+    def test_fixed_move_returns_its_neighbor(self, tiny_problem, rng):
+        evaluator = Evaluator(tiny_problem)
+        placement = Placement.random(
+            tiny_problem.grid, tiny_problem.n_routers, rng
+        )
+        current = evaluator.evaluate(placement)
+        target = next(
+            cell for cell in tiny_problem.grid.cells() if placement.is_free(cell)
+        )
+        move = RelocateMove(0, target)
+        result = best_neighbor(evaluator, current, FixedMovement(move), rng, 3)
+        assert result is not None
+        assert result.placement[0] == target
+
+    def test_invalid_candidate_count(self, tiny_problem, rng):
+        evaluator = Evaluator(tiny_problem)
+        current = evaluator.evaluate(
+            Placement.random(tiny_problem.grid, tiny_problem.n_routers, rng)
+        )
+        with pytest.raises(ValueError):
+            best_neighbor(evaluator, current, RandomMovement(), rng, 0)

@@ -1,0 +1,202 @@
+"""Unit tests for the movement types (neighborhood structures)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.clients import ClientSet
+from repro.core.evaluation import Evaluator
+from repro.core.geometry import Point, Rect
+from repro.core.grid import GridArea
+from repro.core.problem import ProblemInstance
+from repro.core.routers import RouterFleet
+from repro.core.solution import Placement
+from repro.neighborhood.moves import RelocateMove, SwapMove
+from repro.neighborhood.movements import (
+    CombinedMovement,
+    RandomMovement,
+    SwapMovement,
+)
+
+
+@pytest.fixture
+def clustered_problem():
+    """Clients clustered bottom-left; routers spread with known radii.
+
+    Router 0 (radius 6) is the strongest and sits far from the clients;
+    routers 1-3 (radii 2, 3, 4) sit in / near the client cluster.
+    """
+    grid = GridArea(32, 32)
+    fleet = RouterFleet.from_radii([6.0, 2.0, 3.0, 4.0])
+    clients = ClientSet.from_points(
+        [Point(2, 2), Point(3, 2), Point(2, 3), Point(4, 4), Point(3, 3)],
+        grid=grid,
+    )
+    problem = ProblemInstance(grid=grid, fleet=fleet, clients=clients)
+    placement = Placement.from_cells(
+        grid, [Point(30, 30), Point(2, 2), Point(4, 3), Point(6, 6)]
+    )
+    return problem, placement
+
+
+class TestRandomMovement:
+    def test_proposes_valid_relocation(self, clustered_problem, rng):
+        problem, placement = clustered_problem
+        current = Evaluator(problem).evaluate(placement)
+        movement = RandomMovement()
+        for _ in range(25):
+            move = movement.propose(current, problem, rng)
+            assert isinstance(move, RelocateMove)
+            # Applies cleanly: target is free and in-grid.
+            moved = move.apply(placement)
+            assert len(moved.occupied) == len(placement)
+
+    def test_explores_all_routers(self, clustered_problem, rng):
+        problem, placement = clustered_problem
+        current = Evaluator(problem).evaluate(placement)
+        movement = RandomMovement()
+        touched = {
+            movement.propose(current, problem, rng).router_id
+            for _ in range(100)
+        }
+        assert touched == {0, 1, 2, 3}
+
+
+class TestSwapMovementLiteral:
+    def test_literal_swap_exchanges_weakest_dense_strongest_sparse(
+        self, clustered_problem, rng
+    ):
+        problem, placement = clustered_problem
+        current = Evaluator(problem).evaluate(placement)
+        movement = SwapMovement(
+            relocate=False, window_fraction=0.25, pool=1
+        )
+        move = movement.propose(current, problem, rng)
+        # The densest 8x8 window holds the client cluster with routers
+        # 1 (weakest, radius 2) and 2; the sparsest window holds either
+        # router 0 alone or no router at all.
+        if move is not None:
+            assert isinstance(move, SwapMove)
+            assert move.router_a == 1  # weakest in dense area
+
+    def test_literal_swap_preserves_occupancy(self, clustered_problem, rng):
+        problem, placement = clustered_problem
+        current = Evaluator(problem).evaluate(placement)
+        movement = SwapMovement(relocate=False, window_fraction=0.25)
+        for _ in range(20):
+            move = movement.propose(current, problem, rng)
+            if move is None:
+                continue
+            assert move.apply(placement).occupied == placement.occupied
+
+
+class TestSwapMovementRelocating:
+    def test_relocates_into_dense_window(self, clustered_problem, rng):
+        problem, placement = clustered_problem
+        current = Evaluator(problem).evaluate(placement)
+        movement = SwapMovement(
+            relocate=True, window_fraction=0.25, pool=1, density_source="clients"
+        )
+        move = movement.propose(current, problem, rng)
+        assert isinstance(move, RelocateMove)
+        # Target lies in the densest client window (bottom-left cluster).
+        assert move.target.x < 16 and move.target.y < 16
+
+    def test_mover_is_strong_router(self, clustered_problem, rng):
+        problem, placement = clustered_problem
+        current = Evaluator(problem).evaluate(placement)
+        movement = SwapMovement(relocate=True, window_fraction=0.25, pool=1)
+        movers = set()
+        for _ in range(30):
+            move = movement.propose(current, problem, rng)
+            if move is not None:
+                movers.add(move.router_id)
+        # The strongest router outside the dense area (router 0) must be
+        # among the proposed movers.
+        assert 0 in movers
+
+    def test_full_dense_window_yields_none(self, rng):
+        # 2x2 grid fully occupied: no free cell anywhere.
+        grid = GridArea(2, 2)
+        problem = ProblemInstance(
+            grid=grid,
+            fleet=RouterFleet.from_radii([1.0, 1.0, 1.0, 1.0]),
+            clients=ClientSet.from_points([Point(0, 0)]),
+        )
+        placement = Placement.from_cells(grid, list(grid.cells()))
+        current = Evaluator(problem).evaluate(placement)
+        movement = SwapMovement(relocate=True, window_fraction=1.0, pool=1)
+        assert movement.propose(current, problem, rng) is None
+
+    def test_density_sources(self, clustered_problem, rng):
+        problem, placement = clustered_problem
+        current = Evaluator(problem).evaluate(placement)
+        for source in ("clients", "routers", "both"):
+            movement = SwapMovement(density_source=source)
+            move = movement.propose(current, problem, rng)
+            assert move is None or isinstance(move, (SwapMove, RelocateMove))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SwapMovement(window_fraction=0.0)
+        with pytest.raises(ValueError):
+            SwapMovement(density_source="gravity")
+        with pytest.raises(ValueError):
+            SwapMovement(pool=0)
+        with pytest.raises(ValueError):
+            SwapMovement(window_width=-1)
+
+    def test_window_size(self):
+        grid = GridArea(128, 128)
+        assert SwapMovement(window_fraction=0.125).window_size(grid) == (16, 16)
+        assert SwapMovement(window_width=5, window_height=7).window_size(grid) == (
+            5,
+            7,
+        )
+
+
+class TestCombinedMovement:
+    def test_mixes_constituents(self, clustered_problem, rng):
+        problem, placement = clustered_problem
+        current = Evaluator(problem).evaluate(placement)
+        combined = CombinedMovement(
+            [RandomMovement(), SwapMovement(relocate=True)]
+        )
+        kinds = set()
+        for _ in range(50):
+            move = combined.propose(current, problem, rng)
+            if move is not None:
+                kinds.add(type(move).__name__)
+        assert "RelocateMove" in kinds
+
+    def test_weights_normalized(self):
+        combined = CombinedMovement(
+            [RandomMovement(), RandomMovement()], weights=[3.0, 1.0]
+        )
+        assert combined.probabilities[0] == pytest.approx(0.75)
+        assert combined.probabilities[1] == pytest.approx(0.25)
+
+    def test_zero_weight_never_selected(self, clustered_problem, rng):
+        problem, placement = clustered_problem
+        current = Evaluator(problem).evaluate(placement)
+
+        class Marker(RandomMovement):
+            def propose(self, current, problem, rng):
+                raise AssertionError("zero-weight movement selected")
+
+        combined = CombinedMovement(
+            [RandomMovement(), Marker()], weights=[1.0, 0.0]
+        )
+        for _ in range(20):
+            combined.propose(current, problem, rng)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CombinedMovement([])
+        with pytest.raises(ValueError):
+            CombinedMovement([RandomMovement()], weights=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            CombinedMovement([RandomMovement()], weights=[0.0])
+        with pytest.raises(ValueError):
+            CombinedMovement([RandomMovement()], weights=[-1.0])

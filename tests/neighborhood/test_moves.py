@@ -1,0 +1,70 @@
+"""Unit tests for local moves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.geometry import Point
+from repro.core.grid import GridArea
+from repro.core.solution import Placement
+from repro.neighborhood.moves import RelocateMove, SwapMove
+
+
+@pytest.fixture
+def placement():
+    return Placement.from_cells(
+        GridArea(10, 10), [Point(0, 0), Point(5, 5), Point(9, 9)]
+    )
+
+
+class TestSwapMove:
+    def test_apply_exchanges_positions(self, placement):
+        moved = SwapMove(0, 2).apply(placement)
+        assert moved[0] == Point(9, 9)
+        assert moved[2] == Point(0, 0)
+        assert moved[1] == placement[1]
+
+    def test_occupied_cells_invariant(self, placement):
+        moved = SwapMove(0, 1).apply(placement)
+        assert moved.occupied == placement.occupied
+
+    def test_same_router_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="distinct"):
+            SwapMove(1, 1)
+
+    def test_invalid_router_rejected_at_apply(self, placement):
+        with pytest.raises(ValueError):
+            SwapMove(0, 9).apply(placement)
+
+    def test_describe(self):
+        assert "router 0" in SwapMove(0, 1).describe()
+        assert "swap" in SwapMove(0, 1).describe()
+
+    def test_original_untouched(self, placement):
+        SwapMove(0, 1).apply(placement)
+        assert placement[0] == Point(0, 0)
+
+
+class TestRelocateMove:
+    def test_apply_moves_single_router(self, placement):
+        moved = RelocateMove(1, Point(2, 2)).apply(placement)
+        assert moved[1] == Point(2, 2)
+        assert moved[0] == placement[0]
+        assert moved[2] == placement[2]
+
+    def test_occupied_target_rejected(self, placement):
+        with pytest.raises(ValueError, match="occupied"):
+            RelocateMove(0, Point(5, 5)).apply(placement)
+
+    def test_out_of_grid_target_rejected(self, placement):
+        with pytest.raises(ValueError):
+            RelocateMove(0, Point(50, 0)).apply(placement)
+
+    def test_describe(self):
+        text = RelocateMove(2, Point(3, 4)).describe()
+        assert "router 2" in text
+        assert "(3, 4)" in text
+
+    def test_noop_relocation_allowed(self, placement):
+        # Moving a router onto its own cell is the identity.
+        assert RelocateMove(0, Point(0, 0)).apply(placement) is placement

@@ -1,0 +1,73 @@
+"""Unit tests for the movement registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.neighborhood.movements import (
+    CombinedMovement,
+    RandomMovement,
+    SwapMovement,
+)
+from repro.neighborhood.registry import (
+    available_movements,
+    make_movement,
+    register_movement,
+)
+from repro.neighborhood import registry as registry_module
+
+
+class TestMovementRegistry:
+    def test_builtin_movements(self):
+        assert {"random", "swap", "swap-literal", "combined"} <= set(
+            available_movements()
+        )
+
+    def test_make_random(self):
+        assert isinstance(make_movement("random"), RandomMovement)
+
+    def test_make_swap_relocating_default(self):
+        movement = make_movement("swap")
+        assert isinstance(movement, SwapMovement)
+        assert movement.relocate is True
+
+    def test_make_swap_literal(self):
+        movement = make_movement("swap-literal")
+        assert isinstance(movement, SwapMovement)
+        assert movement.relocate is False
+
+    def test_swap_parameters_forwarded(self):
+        movement = make_movement("swap", window_fraction=0.25, pool=3)
+        assert movement.window_fraction == 0.25
+        assert movement.pool == 3
+
+    def test_make_combined_default_mixture(self):
+        movement = make_movement("combined")
+        assert isinstance(movement, CombinedMovement)
+        assert len(movement.movements) == 2
+
+    def test_make_combined_custom(self):
+        movement = make_movement(
+            "combined",
+            movements=[RandomMovement()],
+            weights=[1.0],
+        )
+        assert len(movement.movements) == 1
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown movement"):
+            make_movement("teleport")
+
+    def test_register_custom(self, monkeypatch):
+        monkeypatch.setattr(
+            registry_module, "_FACTORIES", dict(registry_module._FACTORIES)
+        )
+        register_movement("mine", RandomMovement)
+        assert isinstance(make_movement("mine"), RandomMovement)
+
+    def test_register_duplicate_rejected(self, monkeypatch):
+        monkeypatch.setattr(
+            registry_module, "_FACTORIES", dict(registry_module._FACTORIES)
+        )
+        with pytest.raises(ValueError, match="already registered"):
+            register_movement("swap", RandomMovement)

@@ -1,0 +1,144 @@
+"""Unit tests for the neighborhood search (Algorithm 1) and its trace."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import Evaluation, Evaluator
+from repro.core.solution import Placement
+from repro.neighborhood.movements import RandomMovement
+from repro.neighborhood.search import NeighborhoodSearch
+from repro.neighborhood.trace import PhaseRecord, SearchTrace
+
+
+@pytest.fixture
+def setup(tiny_problem, rng):
+    evaluator = Evaluator(tiny_problem)
+    initial = Placement.random(tiny_problem.grid, tiny_problem.n_routers, rng)
+    return evaluator, initial
+
+
+class TestNeighborhoodSearch:
+    def test_runs_all_phases_by_default(self, setup, rng):
+        evaluator, initial = setup
+        search = NeighborhoodSearch(RandomMovement(), n_candidates=4, max_phases=10)
+        result = search.run(evaluator, initial, rng)
+        assert result.n_phases == 10
+        assert len(result.trace) == 11  # phase 0 + 10 phases
+
+    def test_monotone_incumbent_fitness(self, setup, rng):
+        evaluator, initial = setup
+        search = NeighborhoodSearch(RandomMovement(), n_candidates=8, max_phases=15)
+        result = search.run(evaluator, initial, rng)
+        fitness = result.trace.fitness_values
+        assert all(b >= a - 1e-12 for a, b in zip(fitness, fitness[1:]))
+
+    def test_best_is_final_under_monotone_accept(self, setup, rng):
+        evaluator, initial = setup
+        search = NeighborhoodSearch(RandomMovement(), n_candidates=8, max_phases=15)
+        result = search.run(evaluator, initial, rng)
+        assert result.best.fitness == pytest.approx(result.trace.best_fitness())
+
+    def test_improves_over_initial(self, setup, rng):
+        evaluator, initial = setup
+        start = evaluator.evaluate(initial)
+        search = NeighborhoodSearch(RandomMovement(), n_candidates=16, max_phases=20)
+        result = search.run(evaluator, initial, rng)
+        assert result.best.fitness >= start.fitness
+
+    def test_stall_phases_stops_early(self, setup):
+        evaluator, initial = setup
+        search = NeighborhoodSearch(
+            RandomMovement(), n_candidates=1, max_phases=500, stall_phases=3
+        )
+        result = search.run(evaluator, initial, np.random.default_rng(0))
+        assert result.n_phases < 500
+
+    def test_fitness_target_stops_early(self, setup, rng):
+        evaluator, initial = setup
+        search = NeighborhoodSearch(RandomMovement(), n_candidates=4, max_phases=50)
+        result = search.run(evaluator, initial, rng, fitness_target=-1.0)
+        assert result.n_phases == 1  # target met immediately after one phase
+
+    def test_evaluation_accounting(self, setup, rng):
+        evaluator, initial = setup
+        search = NeighborhoodSearch(RandomMovement(), n_candidates=4, max_phases=5)
+        result = search.run(evaluator, initial, rng)
+        # 1 initial + up to 4 evaluations per phase.
+        assert result.n_evaluations == 1 + 4 * 5
+        assert result.trace.final().n_evaluations == result.n_evaluations
+
+    def test_accept_equal_allows_sideways(self, setup, rng):
+        evaluator, initial = setup
+        search = NeighborhoodSearch(
+            RandomMovement(), n_candidates=4, max_phases=5, accept_equal=True
+        )
+        result = search.run(evaluator, initial, rng)
+        assert result.best.fitness >= evaluator.evaluate(initial).fitness
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            NeighborhoodSearch(RandomMovement(), n_candidates=0)
+        with pytest.raises(ValueError):
+            NeighborhoodSearch(RandomMovement(), max_phases=0)
+        with pytest.raises(ValueError):
+            NeighborhoodSearch(RandomMovement(), stall_phases=0)
+
+    def test_result_properties(self, setup, rng):
+        evaluator, initial = setup
+        result = NeighborhoodSearch(
+            RandomMovement(), n_candidates=4, max_phases=3
+        ).run(evaluator, initial, rng)
+        assert result.giant_size == result.best.giant_size
+        assert result.covered_clients == result.best.covered_clients
+
+
+class TestSearchTrace:
+    def make_record(self, phase, giant=5, fitness=0.5):
+        return PhaseRecord(
+            phase=phase,
+            giant_size=giant,
+            covered_clients=10,
+            fitness=fitness,
+            improved=False,
+            n_evaluations=phase * 4,
+        )
+
+    def test_orders_enforced(self):
+        trace = SearchTrace()
+        trace.append(self.make_record(0))
+        trace.append(self.make_record(1))
+        with pytest.raises(ValueError, match="out of order"):
+            trace.append(self.make_record(1))
+
+    def test_series_accessors(self):
+        trace = SearchTrace()
+        for phase in range(4):
+            trace.append(self.make_record(phase, giant=phase, fitness=0.1 * phase))
+        assert trace.phases == [0, 1, 2, 3]
+        assert trace.giant_sizes == [0, 1, 2, 3]
+        assert trace.best_fitness() == pytest.approx(0.3)
+        assert trace.final().phase == 3
+        assert len(trace) == 4
+        assert trace[2].giant_size == 2
+
+    def test_empty_trace_raises(self):
+        trace = SearchTrace()
+        with pytest.raises(ValueError):
+            trace.final()
+        with pytest.raises(ValueError):
+            trace.best_fitness()
+
+    def test_record_as_dict(self):
+        record = self.make_record(2)
+        d = record.as_dict()
+        assert d["phase"] == 2
+        assert set(d) == {
+            "phase",
+            "giant_size",
+            "covered_clients",
+            "fitness",
+            "improved",
+            "n_evaluations",
+        }

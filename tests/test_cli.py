@@ -1,0 +1,181 @@
+"""End-to-end tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def instance_path(tmp_path):
+    """A small instance generated through the CLI itself."""
+    path = tmp_path / "instance.json"
+    code = main(
+        [
+            "generate",
+            str(path),
+            "--distribution",
+            "normal",
+            "--width",
+            "24",
+            "--height",
+            "24",
+            "--routers",
+            "8",
+            "--clients",
+            "20",
+            "--seed",
+            "3",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for command in ("generate", "place", "search", "ga", "reproduce"):
+            args = parser.parse_args(
+                [command] + ([] if command == "reproduce" else ["x.json"])
+            )
+            assert args.command == command
+
+
+class TestGenerate:
+    def test_writes_valid_instance(self, instance_path, capsys):
+        payload = json.loads(instance_path.read_text())
+        assert payload["format"] == "repro.instance.v1"
+        assert len(payload["radii"]) == 8
+        assert len(payload["clients"]) == 20
+
+    def test_invalid_parameters_exit_code(self, tmp_path, capsys):
+        code = main(
+            ["generate", str(tmp_path / "x.json"), "--routers", "0"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestPlace:
+    def test_place_reports_metrics(self, instance_path, capsys):
+        code = main(
+            ["place", str(instance_path), "--method", "hotspot", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "giant=" in out
+
+    def test_place_writes_placement(self, instance_path, tmp_path, capsys):
+        out_path = tmp_path / "placement.json"
+        code = main(
+            [
+                "place",
+                str(instance_path),
+                "--method",
+                "near",
+                "--output",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["format"] == "repro.placement.v1"
+        assert len(payload["cells"]) == 8
+
+    def test_place_render(self, instance_path, capsys):
+        code = main(["place", str(instance_path), "--render"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "+---" in out or "+-" in out
+
+    def test_missing_instance_file(self, tmp_path, capsys):
+        code = main(["place", str(tmp_path / "nope.json")])
+        assert code == 2
+
+
+class TestSearch:
+    @pytest.mark.parametrize("movement", ["swap", "swap-literal", "random"])
+    def test_search_movements(self, instance_path, capsys, movement):
+        code = main(
+            [
+                "search",
+                str(instance_path),
+                "--movement",
+                movement,
+                "--phases",
+                "4",
+                "--candidates",
+                "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phases" in out
+
+    def test_search_trace_output(self, instance_path, capsys):
+        code = main(
+            [
+                "search",
+                str(instance_path),
+                "--phases",
+                "3",
+                "--candidates",
+                "2",
+                "--trace",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase    0" in out or "phase" in out
+
+
+class TestReplicate:
+    def test_replicate_prints_both_studies(self, instance_path, capsys):
+        code = main(
+            [
+                "replicate",
+                str(instance_path),
+                "--seeds",
+                "2",
+                "--phases",
+                "2",
+                "--candidates",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stand-alone ad hoc methods" in out
+        assert "neighborhood search movements" in out
+        assert "+/-" in out
+
+
+class TestGa:
+    def test_ga_runs(self, instance_path, tmp_path, capsys):
+        out_path = tmp_path / "best.json"
+        code = main(
+            [
+                "ga",
+                str(instance_path),
+                "--init",
+                "hotspot",
+                "--population",
+                "6",
+                "--generations",
+                "3",
+                "--output",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "generations" in out
+        assert out_path.exists()

@@ -1,0 +1,139 @@
+"""Stress and failure-injection tests.
+
+Degenerate geometries (packed grids, 1-D grids, single cells), empty
+client sets and saturated neighborhoods must never crash the search
+stack — they either work or raise the documented ``ValueError``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adhoc import paper_methods
+from repro.core.clients import ClientSet
+from repro.core.evaluation import Evaluator
+from repro.core.geometry import Point
+from repro.core.grid import GridArea
+from repro.core.problem import ProblemInstance
+from repro.core.routers import RouterFleet
+from repro.core.solution import Placement
+from repro.genetic.engine import GAConfig, GeneticAlgorithm
+from repro.genetic.initializers import RandomInitializer
+from repro.neighborhood.movements import RandomMovement, SwapMovement
+from repro.neighborhood.search import NeighborhoodSearch
+
+
+def build_problem(width, height, radii, client_cells=()):
+    return ProblemInstance(
+        grid=GridArea(width, height),
+        fleet=RouterFleet.from_radii(radii),
+        clients=ClientSet.from_points(
+            [Point(*c) for c in client_cells], grid=GridArea(width, height)
+        ),
+    )
+
+
+class TestPackedGrid:
+    """Every cell occupied: no movement has anywhere to go."""
+
+    @pytest.fixture
+    def packed(self):
+        problem = build_problem(3, 3, [2.0] * 9, [(1, 1)])
+        placement = Placement.from_cells(
+            problem.grid, list(problem.grid.cells())
+        )
+        return problem, placement
+
+    def test_evaluation_works(self, packed):
+        problem, placement = packed
+        evaluation = Evaluator(problem).evaluate(placement)
+        assert evaluation.giant_size == 9  # everything adjacent
+
+    def test_random_movement_search_survives(self, packed, rng):
+        problem, placement = packed
+        search = NeighborhoodSearch(
+            RandomMovement(), n_candidates=4, max_phases=3
+        )
+        # No relocation exists on a packed grid: every phase is idle and
+        # the incumbent survives unchanged.
+        result = search.run(Evaluator(problem), placement, rng)
+        assert result.best.placement.cells == placement.cells
+
+    def test_swap_movement_search_survives(self, packed, rng):
+        problem, placement = packed
+        search = NeighborhoodSearch(
+            SwapMovement(), n_candidates=4, max_phases=3
+        )
+        result = search.run(Evaluator(problem), placement, rng)
+        assert result.best.giant_size == 9
+
+
+class TestDegenerateGrids:
+    def test_single_row_grid(self, rng):
+        problem = build_problem(20, 1, [2.0, 2.0, 2.0], [(5, 0)])
+        for method in paper_methods():
+            placement = method.place(problem, rng)
+            assert len(placement.occupied) == 3
+
+    def test_single_column_grid(self, rng):
+        problem = build_problem(1, 20, [2.0, 2.0], [(0, 3)])
+        for method in paper_methods():
+            placement = method.place(problem, rng)
+            assert len(placement.occupied) == 2
+
+    def test_single_cell_grid(self, rng):
+        problem = build_problem(1, 1, [1.0], [(0, 0)])
+        for method in paper_methods():
+            placement = method.place(problem, rng)
+            assert placement.cells == (Point(0, 0),)
+
+    def test_single_router(self, rng):
+        problem = build_problem(16, 16, [3.0], [(4, 4), (10, 10)])
+        evaluation = Evaluator(problem).evaluate(
+            Placement.from_cells(problem.grid, [Point(4, 4)])
+        )
+        assert evaluation.giant_size == 1
+        assert evaluation.covered_clients == 1
+
+
+class TestNoClients:
+    def test_all_methods_place(self, rng):
+        problem = build_problem(16, 16, [2.0] * 6)
+        for method in paper_methods():
+            placement = method.place(problem, rng)
+            assert len(placement.occupied) == 6
+
+    def test_search_optimizes_connectivity_only(self, rng):
+        problem = build_problem(16, 16, [2.0] * 6)
+        initial = Placement.random(problem.grid, 6, rng)
+        result = NeighborhoodSearch(
+            RandomMovement(), n_candidates=8, max_phases=15
+        ).run(Evaluator(problem), initial, rng)
+        # Coverage ratio is vacuous (1.0); fitness is driven by the giant.
+        assert result.best.covered_clients == 0
+        assert result.best.giant_size >= 1
+
+    def test_ga_runs(self, rng):
+        problem = build_problem(12, 12, [2.0] * 4)
+        ga = GeneticAlgorithm(GAConfig(population_size=6, n_generations=4))
+        result = ga.run(Evaluator(problem), RandomInitializer(), rng)
+        assert result.best.metrics.coverage_ratio == 1.0
+
+
+class TestManyClientsOneCell:
+    def test_stacked_clients_counted_individually(self, rng):
+        problem = build_problem(8, 8, [3.0], [(2, 2)] * 25)
+        evaluation = Evaluator(problem).evaluate(
+            Placement.from_cells(problem.grid, [Point(2, 2)])
+        )
+        assert evaluation.covered_clients == 25
+
+
+class TestNearlyPackedGA:
+    def test_ga_with_one_free_cell(self, rng):
+        # 8 routers on a 3x3 grid: exactly one free cell for mutations.
+        problem = build_problem(3, 3, [2.0] * 8, [(1, 1)])
+        ga = GeneticAlgorithm(GAConfig(population_size=4, n_generations=3))
+        result = ga.run(Evaluator(problem), RandomInitializer(), rng)
+        assert result.best.giant_size == 8

@@ -1,0 +1,74 @@
+"""Unit tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.viz.ascii_chart import render_chart
+
+
+class TestRenderChart:
+    def test_single_series_renders(self):
+        chart = render_chart(
+            {"swap": [(0, 3), (10, 20), (20, 40)]},
+            width=30,
+            height=8,
+            x_label="phases",
+            y_label="giant",
+        )
+        assert "*" in chart
+        assert "legend: * swap" in chart
+        assert "phases" in chart
+
+    def test_axis_labels_show_extremes(self):
+        chart = render_chart(
+            {"a": [(0, 5), (100, 50)]}, width=20, height=6
+        )
+        assert "50" in chart
+        assert "5" in chart
+        assert "100" in chart
+
+    def test_multiple_series_distinct_markers(self):
+        chart = render_chart(
+            {
+                "first": [(0, 0), (10, 10)],
+                "second": [(0, 10), (10, 0)],
+            },
+            width=20,
+            height=6,
+        )
+        assert "* first" in chart
+        assert "o second" in chart
+        assert "o" in chart.splitlines()[0] + chart
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            render_chart({"a": [(0, 1)]}, width=4, height=10)
+        with pytest.raises(ValueError):
+            render_chart({"a": [(0, 1)]}, width=20, height=2)
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError, match="no data"):
+            render_chart({"a": []})
+
+    def test_flat_series_handled(self):
+        # Zero y-span must not divide by zero.
+        chart = render_chart({"flat": [(0, 7), (10, 7)]}, width=20, height=6)
+        assert "*" in chart
+
+    def test_single_point_series(self):
+        chart = render_chart({"dot": [(5, 5)]}, width=20, height=6)
+        assert "*" in chart
+
+    def test_monotone_curve_marker_columns_monotone(self):
+        chart = render_chart(
+            {"up": [(0, 0), (5, 5), (10, 10)]}, width=24, height=8
+        )
+        rows = [
+            line.split("|", 1)[1]
+            for line in chart.splitlines()
+            if "|" in line
+        ]
+        # Higher rows (earlier lines) hold markers further right.
+        columns = [row.find("*") for row in rows if "*" in row]
+        assert columns == sorted(columns, reverse=True)

@@ -1,0 +1,73 @@
+"""Unit tests for the ASCII renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import Evaluator
+from repro.core.geometry import Point
+from repro.core.solution import Placement
+from repro.viz.ascii_map import render_evaluation, render_placement
+
+
+class TestRenderPlacement:
+    def test_dimensions_capped(self, tiny_problem, rng):
+        placement = Placement.random(
+            tiny_problem.grid, tiny_problem.n_routers, rng
+        )
+        art = render_placement(tiny_problem, placement, max_width=20, max_height=10)
+        lines = art.splitlines()
+        assert len(lines) == 10 + 2  # rows + borders
+        assert all(len(line) == 20 + 2 for line in lines)
+
+    def test_small_grid_rendered_one_to_one(self, micro_problem, rng):
+        placement = Placement.from_cells(
+            micro_problem.grid,
+            [Point(0, 0), Point(3, 0), Point(8, 8), Point(15, 15)],
+        )
+        art = render_placement(micro_problem, placement)
+        lines = art.splitlines()
+        assert len(lines) == 16 + 2
+        # Bottom row (y=0) is the second-to-last line; router at x=0.
+        assert lines[-2][1] == "#"
+
+    def test_giant_mask_distinguishes_routers(self, micro_problem):
+        placement = Placement.from_cells(
+            micro_problem.grid,
+            [Point(0, 0), Point(3, 0), Point(8, 8), Point(15, 15)],
+        )
+        mask = np.array([True, True, False, False])
+        art = render_placement(micro_problem, placement, giant_mask=mask)
+        assert "#" in art
+        assert "r" in art
+
+    def test_clients_rendered_as_dots(self, micro_problem):
+        placement = Placement.from_cells(micro_problem.grid, [Point(0, 15)])
+        art = render_placement(micro_problem, placement)
+        assert "." in art
+
+    def test_invalid_viewport_rejected(self, micro_problem, rng):
+        placement = Placement.from_cells(micro_problem.grid, [Point(0, 0)])
+        with pytest.raises(ValueError):
+            render_placement(micro_problem, placement, max_width=0)
+
+    def test_router_obscures_client(self, micro_problem):
+        # Router and client share the (1,1) block: router wins.
+        placement = Placement.from_cells(micro_problem.grid, [Point(1, 1)])
+        art = render_placement(micro_problem, placement)
+        lines = art.splitlines()
+        assert lines[-3][2] == "#"
+
+
+class TestRenderEvaluation:
+    def test_includes_metrics_line(self, tiny_problem, rng):
+        placement = Placement.random(
+            tiny_problem.grid, tiny_problem.n_routers, rng
+        )
+        evaluation = Evaluator(tiny_problem).evaluate(placement)
+        art = render_evaluation(tiny_problem, evaluation)
+        assert "giant=" in art
+        assert "fitness=" in art
+        # Giant routers and others drawn from the evaluation's own mask.
+        assert "#" in art or "r" in art
