@@ -11,11 +11,14 @@ from repro.core.clients import ClientSet, MeshClient
 from repro.core.connectivity import (
     ComponentStructure,
     UnionFind,
+    canonical_labels,
     connected_components,
+    connected_components_from_arrays,
     giant_component_mask,
 )
 from repro.core.coverage import coverage_mask, coverage_matrix, covered_clients
 from repro.core.density import DensityMap
+from repro.core.engine import BatchEvaluator, DeltaEvaluator, evaluate_batch
 from repro.core.evaluation import Evaluation, Evaluator
 from repro.core.fitness import (
     FitnessFunction,
@@ -25,7 +28,7 @@ from repro.core.fitness import (
 )
 from repro.core.geometry import Point, Rect, chebyshev, euclidean, euclidean_squared, manhattan
 from repro.core.grid import GridArea
-from repro.core.network import RouterNetwork, adjacency_matrix, link_edges
+from repro.core.network import RouterNetwork, adjacency_matrix, edge_array, link_edges
 from repro.core.pareto import ParetoArchive, ParetoPoint, dominates
 from repro.core.problem import ProblemInstance
 from repro.core.radio import CoverageRule, LinkRule, RadioProfile
@@ -37,8 +40,13 @@ __all__ = [
     "MeshClient",
     "ComponentStructure",
     "UnionFind",
+    "canonical_labels",
     "connected_components",
+    "connected_components_from_arrays",
     "giant_component_mask",
+    "BatchEvaluator",
+    "DeltaEvaluator",
+    "evaluate_batch",
     "coverage_mask",
     "coverage_matrix",
     "covered_clients",
@@ -58,6 +66,7 @@ __all__ = [
     "GridArea",
     "RouterNetwork",
     "adjacency_matrix",
+    "edge_array",
     "link_edges",
     "ParetoArchive",
     "ParetoPoint",

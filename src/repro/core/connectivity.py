@@ -15,7 +15,15 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["UnionFind", "ComponentStructure", "connected_components", "giant_component_mask"]
+__all__ = [
+    "UnionFind",
+    "ComponentStructure",
+    "canonical_labels",
+    "connected_components",
+    "connected_components_from_arrays",
+    "giant_component_mask",
+    "structure_from_canonical_labels",
+]
 
 
 class UnionFind:
@@ -81,16 +89,51 @@ class UnionFind:
         return self._size[self.find(element)]
 
     def labels(self) -> np.ndarray:
-        """Canonical component label per element (root index)."""
-        return np.array([self.find(i) for i in range(len(self._parent))], dtype=int)
+        """Component root per element, as one vectorized pass.
+
+        Pointer-jumping (``parent = parent[parent]``) flattens every find
+        path simultaneously instead of calling :meth:`find` element by
+        element; the result is the root index of each element's set.
+        """
+        parent = np.asarray(self._parent, dtype=np.intp)
+        while True:
+            jumped = parent[parent]
+            if np.array_equal(jumped, parent):
+                return jumped
+            parent = jumped
+
+
+def canonical_labels(raw_labels: np.ndarray) -> np.ndarray:
+    """Relabel a component labeling to smallest-member-id labels.
+
+    Any labeling that is constant on components (e.g. union-find root
+    ids) maps to the canonical one where each node carries the minimum
+    node id of its component.  Every evaluation path (scalar union-find,
+    batched label propagation, incremental delta updates) canonicalizes
+    through here, so giant-component tie-breaking is identical across
+    engines and runs stay bit-reproducible.
+
+    Note: versions predating the engine layer broke giant-size ties on
+    union-find *root* ids, which depend on edge processing order; on
+    exact ties the selected giant component (and thus GIANT_ONLY
+    coverage) may differ from those versions.  The smallest-member rule
+    is the stable, engine-independent replacement.
+    """
+    if raw_labels.size == 0:
+        return np.asarray(raw_labels, dtype=np.intp)
+    _, inverse = np.unique(raw_labels, return_inverse=True)
+    minima = np.full(int(inverse.max()) + 1, raw_labels.shape[0], dtype=np.intp)
+    np.minimum.at(minima, inverse, np.arange(raw_labels.shape[0], dtype=np.intp))
+    return minima[inverse]
 
 
 @dataclass(frozen=True)
 class ComponentStructure:
     """The component decomposition of a graph on ``n`` nodes.
 
-    ``labels[i]`` is the canonical label (root id) of node ``i``'s
-    component; ``sizes`` maps each label to its component size.
+    ``labels[i]`` is the canonical label of node ``i``'s component — the
+    smallest node id in that component (see :func:`canonical_labels`);
+    ``sizes`` maps each label to its component size.
     """
 
     labels: np.ndarray
@@ -117,11 +160,18 @@ class ComponentStructure:
         """Label of the largest component (smallest label wins ties).
 
         Deterministic tie-breaking keeps experiment runs reproducible.
+        The answer is cached on first use so :meth:`giant_mask` does not
+        rescan ``sizes`` on every call (movements query the mask often).
         """
+        cached = getattr(self, "_giant_label_cache", None)
+        if cached is not None:
+            return cached
         if not self.sizes:
             raise ValueError("empty graph has no components")
         best = max(self.sizes.values())
-        return min(label for label, size in self.sizes.items() if size == best)
+        label = min(label for label, size in self.sizes.items() if size == best)
+        object.__setattr__(self, "_giant_label_cache", label)
+        return label
 
     def giant_mask(self) -> np.ndarray:
         """Boolean mask of the nodes in the giant component."""
@@ -138,6 +188,26 @@ class ComponentStructure:
         return int(self.labels[node])
 
 
+def structure_from_canonical_labels(labels: np.ndarray) -> ComponentStructure:
+    """Tally component sizes of already-canonical labels in vector form.
+
+    Shared constructor for every evaluation path; ``labels`` must come
+    from :func:`canonical_labels` (or an equivalent smallest-member
+    labeling, e.g. the engine's label propagation).
+    """
+    labels = np.asarray(labels, dtype=np.intp)
+    unique, counts = np.unique(labels, return_counts=True)
+    sizes = {
+        int(label): int(count) for label, count in zip(unique.tolist(), counts.tolist())
+    }
+    return ComponentStructure(labels=labels, sizes=sizes)
+
+
+def _structure_from_raw_labels(raw_labels: np.ndarray) -> ComponentStructure:
+    """Canonicalize labels and tally component sizes."""
+    return structure_from_canonical_labels(canonical_labels(raw_labels))
+
+
 def connected_components(
     n_nodes: int, edges: Iterable[tuple[int, int]]
 ) -> ComponentStructure:
@@ -149,11 +219,37 @@ def connected_components(
         if not (0 <= a < n_nodes and 0 <= b < n_nodes):
             raise ValueError(f"edge ({a}, {b}) out of range for {n_nodes} nodes")
         dsu.union(a, b)
-    labels = dsu.labels()
-    sizes: dict[int, int] = {}
-    for label in labels:
-        sizes[int(label)] = sizes.get(int(label), 0) + 1
-    return ComponentStructure(labels=labels, sizes=sizes)
+    return _structure_from_raw_labels(dsu.labels())
+
+
+def connected_components_from_arrays(
+    n_nodes: int, rows: np.ndarray, cols: np.ndarray
+) -> ComponentStructure:
+    """Component decomposition from parallel endpoint arrays.
+
+    Array-native sibling of :func:`connected_components` for callers
+    that already hold ``np.nonzero``-style edge arrays (see
+    :func:`repro.core.network.edge_array`) — no Python tuple list is
+    materialized on the way in.
+    """
+    if n_nodes < 0:
+        raise ValueError(f"node count must be non-negative, got {n_nodes}")
+    rows = np.asarray(rows, dtype=np.intp)
+    cols = np.asarray(cols, dtype=np.intp)
+    if rows.shape != cols.shape or rows.ndim != 1:
+        raise ValueError(
+            f"endpoint arrays must be parallel 1-D, got {rows.shape} / {cols.shape}"
+        )
+    if rows.size and not (
+        0 <= int(min(rows.min(), cols.min()))
+        and int(max(rows.max(), cols.max())) < n_nodes
+    ):
+        raise ValueError(f"edge endpoints out of range for {n_nodes} nodes")
+    dsu = UnionFind(n_nodes)
+    union = dsu.union
+    for a, b in zip(rows.tolist(), cols.tolist()):
+        union(a, b)
+    return _structure_from_raw_labels(dsu.labels())
 
 
 def giant_component_mask(

@@ -1,0 +1,49 @@
+"""The batched + incremental evaluation engine.
+
+Three evaluation paths share one contract — bit-identical
+:class:`~repro.core.fitness.NetworkMetrics`, fitness and giant-component
+masks for the same placement:
+
+* **Scalar** — :class:`~repro.core.evaluation.Evaluator`.  The reference
+  implementation; one placement per call.  Use it for one-off
+  measurements and as the ground truth in tests.
+* **Batch** — :class:`BatchEvaluator` (and the pure
+  :func:`evaluate_batch`).  Stacks ``K`` candidate placements into
+  ``(K, N, 2)`` tensors and evaluates them in one vectorized pass.  Use
+  it whenever an algorithm holds a candidate *set*: a sampled
+  neighborhood phase, a GA offspring generation.
+* **Delta** — :class:`DeltaEvaluator`.  Caches the incumbent's adjacency
+  and coverage matrices and recomputes only the rows/columns a move
+  touches.  Use it for one-move-per-step loops (simulated annealing,
+  tabu search).
+
+All paths count evaluations identically, so the machine-independent
+search-cost accounting of the experiments is unaffected by which engine
+a search runs on.
+"""
+
+from repro.core.engine.batch import (
+    BatchEvaluator,
+    batch_adjacency,
+    batch_coverage,
+    evaluate_batch,
+)
+from repro.core.engine.components import (
+    batch_labels_from_adjacency,
+    labels_from_adjacency,
+    labels_from_edges,
+    structure_from_labels,
+)
+from repro.core.engine.delta import DeltaEvaluator
+
+__all__ = [
+    "BatchEvaluator",
+    "DeltaEvaluator",
+    "batch_adjacency",
+    "batch_coverage",
+    "evaluate_batch",
+    "batch_labels_from_adjacency",
+    "labels_from_adjacency",
+    "labels_from_edges",
+    "structure_from_labels",
+]

@@ -1,0 +1,320 @@
+"""Batched placement evaluation.
+
+One :class:`BatchEvaluator` call measures ``K`` candidate placements in
+a single shot: positions are stacked into a ``(K, N, 2)`` tensor,
+pairwise distances and link-rule range comparisons are broadcast over
+the whole stack, connected components are labeled for all candidates in
+one propagation pass and client coverage is a single ``(K, M, N)``
+comparison.  The per-candidate results are bit-identical to the scalar
+:class:`~repro.core.evaluation.Evaluator` — the parity test suite
+asserts it — so search algorithms can batch their candidate sets freely
+without perturbing experiment results.
+
+Grid coordinates are small integers, so the hot comparisons run in
+``int32``: squared cell distances are exact in both ``int32`` and
+``float64``, and ``d2 <= r2`` with integer ``d2`` is equivalent to
+``d2 <= floor(r2)``, which turns the float threshold comparison into a
+pure integer one with identical booleans.  Non-integral positions (not
+produced by :class:`~repro.core.solution.Placement`, but allowed through
+the public helpers) fall back to the float64 reference formulas.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.engine.components import labels_from_edges
+from repro.core.evaluation import Evaluation
+from repro.core.fitness import FitnessFunction, NetworkMetrics, WeightedSumFitness
+from repro.core.problem import ProblemInstance
+from repro.core.radio import CoverageRule, LinkRule
+from repro.core.solution import Placement
+
+__all__ = [
+    "DEFAULT_MAX_CHUNK",
+    "batch_adjacency",
+    "batch_coverage",
+    "evaluate_batch",
+    "BatchEvaluator",
+]
+
+#: Default candidate-count bound per vectorized pass: a batch of K
+#: candidates allocates O(K * N^2 + K * M * N) intermediates, so larger
+#: sets are evaluated in chunks of this size.
+DEFAULT_MAX_CHUNK = 256
+
+#: Coordinates of magnitude below this keep squared distances inside
+#: int32 (2 * 32767^2 = 2147352578 < 2^31 - 1).
+_INT_COORD_LIMIT = 16384
+
+#: Coordinates in [0, 128) keep squared distances inside int16 (max
+#: 2 * 127^2 = 32258 < 2^15), halving memory traffic again.  The range
+#: must be one-sided: mixed-sign coordinates can differ by up to twice
+#: the magnitude bound, whose square would overflow int16.
+_INT16_COORD_LIMIT = 128
+
+
+def batch_adjacency(
+    positions: np.ndarray, radii: np.ndarray, link_rule: LinkRule
+) -> np.ndarray:
+    """Boolean ``(K, N, N)`` adjacency stack for ``(K, N, 2)`` positions.
+
+    Elementwise identical to
+    :func:`repro.core.network.adjacency_matrix` applied per candidate
+    (same per-axis broadcasting, same squared-range comparison).
+    """
+    if positions.ndim != 3 or positions.shape[2] != 2:
+        raise ValueError(f"positions must be (K, N, 2), got {positions.shape}")
+    n = positions.shape[1]
+    if radii.shape != (n,):
+        raise ValueError(f"radii shape {radii.shape} does not match {n} routers")
+    link_range = link_rule.range_matrix(radii)
+    range_squared = link_range * link_range
+    int_dtype = _int_dtype(positions)
+    if int_dtype is not None:
+        adjacency = _pairwise_within(positions.astype(int_dtype), range_squared)
+    else:
+        x = positions[:, :, 0]
+        y = positions[:, :, 1]
+        dx = x[:, :, np.newaxis] - x[:, np.newaxis, :]
+        dy = y[:, :, np.newaxis] - y[:, np.newaxis, :]
+        adjacency = dx * dx + dy * dy <= range_squared
+    diagonal = np.arange(n)
+    adjacency[:, diagonal, diagonal] = False
+    return adjacency
+
+
+def batch_coverage(
+    client_positions: np.ndarray, positions: np.ndarray, radii: np.ndarray
+) -> np.ndarray:
+    """Boolean ``(K, M, N)`` coverage stack: client within router range.
+
+    Elementwise identical to
+    :func:`repro.core.coverage.coverage_matrix` applied per candidate.
+    """
+    n_candidates = positions.shape[0]
+    if client_positions.size == 0:
+        return np.zeros((n_candidates, 0, positions.shape[1]), dtype=bool)
+    radii_squared = radii * radii
+    position_dtype = _int_dtype(positions)
+    client_dtype = _int_dtype(client_positions)
+    if position_dtype is not None and client_dtype is not None:
+        int_dtype = np.promote_types(position_dtype, client_dtype)
+        return _client_within(
+            client_positions.astype(int_dtype),
+            positions.astype(int_dtype),
+            radii_squared,
+        )
+    cx = client_positions[:, 0]
+    cy = client_positions[:, 1]
+    dx = cx[np.newaxis, :, np.newaxis] - positions[:, np.newaxis, :, 0]
+    dy = cy[np.newaxis, :, np.newaxis] - positions[:, np.newaxis, :, 1]
+    return dx * dx + dy * dy <= radii_squared[np.newaxis, np.newaxis, :]
+
+
+def _int_dtype(values: np.ndarray) -> "np.dtype | None":
+    """The narrowest int dtype whose squared distances cannot overflow.
+
+    ``None`` when the coordinates are not whole numbers (or too large),
+    which sends the caller down the float64 reference path.
+    """
+    if not bool(np.all(values == np.rint(values))):
+        return None
+    if bool(np.all((values >= 0) & (values < _INT16_COORD_LIMIT))):
+        return np.dtype(np.int16)
+    if bool(np.all(np.abs(values) < _INT_COORD_LIMIT)):
+        return np.dtype(np.int32)
+    return None
+
+
+def _floor_threshold(threshold_squared: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """``floor`` of a float squared-range threshold, clamped to ``dtype``.
+
+    For integer squared distances, ``d2 <= t`` and ``d2 <= floor(t)``
+    select exactly the same pairs, so the comparison can run entirely in
+    integers without touching the float semantics of the scalar path.
+    Clamping to the dtype's max is lossless: the achievable squared
+    distances always fit the dtype, so a clamped threshold still admits
+    every pair.
+    """
+    return np.minimum(np.floor(threshold_squared), np.iinfo(dtype).max).astype(dtype)
+
+
+def _pairwise_within(
+    positions: np.ndarray, range_squared: np.ndarray
+) -> np.ndarray:
+    """Integer ``(K, N, N)`` test ``d2(i, j) <= range_squared[i, j]``."""
+    x = positions[:, :, 0]
+    y = positions[:, :, 1]
+    dx = x[:, :, np.newaxis] - x[:, np.newaxis, :]
+    np.multiply(dx, dx, out=dx)
+    dy = y[:, :, np.newaxis] - y[:, np.newaxis, :]
+    np.multiply(dy, dy, out=dy)
+    dx += dy
+    return dx <= _floor_threshold(range_squared, dx.dtype)
+
+
+def _client_within(
+    clients: np.ndarray, positions: np.ndarray, radii_squared: np.ndarray
+) -> np.ndarray:
+    """Integer ``(K, M, N)`` test: client ``m`` within router ``n``'s radius."""
+    dx = clients[np.newaxis, :, 0, np.newaxis] - positions[:, np.newaxis, :, 0]
+    np.multiply(dx, dx, out=dx)
+    dy = clients[np.newaxis, :, 1, np.newaxis] - positions[:, np.newaxis, :, 1]
+    np.multiply(dy, dy, out=dy)
+    dx += dy
+    return dx <= _floor_threshold(radii_squared, dx.dtype)
+
+
+def evaluate_batch(
+    problem: ProblemInstance,
+    fitness: FitnessFunction,
+    placements: Sequence[Placement],
+) -> list[Evaluation]:
+    """Evaluate every placement in one vectorized pass.
+
+    Pure function: no counters, no archive — callers that need the
+    bookkeeping wrap it (:class:`BatchEvaluator`,
+    :meth:`repro.core.evaluation.Evaluator.evaluate_many`).
+    """
+    if not placements:
+        return []
+    n = problem.n_routers
+    for placement in placements:
+        if len(placement) != n:
+            raise ValueError(
+                f"placement positions {len(placement)} routers but the fleet "
+                f"has {n}"
+            )
+    positions = np.stack([p.positions_array() for p in placements])
+    radii = problem.fleet.radii
+    adjacency = batch_adjacency(positions, radii, problem.link_rule)
+    k = positions.shape[0]
+
+    # One flat nonzero pass feeds both the degree totals and the
+    # component labeling.  For a flat index f = which * N^2 + i * N + j,
+    # f // N is already the block-offset source node (which * N + i) the
+    # batched labeling wants, and f % N recovers the local target.
+    flat = np.flatnonzero(adjacency.ravel())
+    edge_sources = flat // n
+    which = edge_sources // n
+    edge_targets = which * n + flat % n
+    degree_totals = np.bincount(which, minlength=k)
+    # Keep one direction per undirected edge; the propagation sweeps push
+    # labels both ways anyway, so this halves the scatter work.
+    one_way = edge_sources < edge_targets
+    global_labels = labels_from_edges(
+        k * n, edge_sources[one_way], edge_targets[one_way]
+    )
+    # Component sizes per candidate: block-offset labels never collide
+    # across candidates, so one flat bincount is the (K, N) count table
+    # (column = local label).
+    counts = np.bincount(global_labels, minlength=k * n).reshape(k, n)
+    labels = global_labels.reshape(k, n)
+    labels -= np.arange(k, dtype=np.intp)[:, np.newaxis] * n
+    # argmax returns the *first* maximum — the smallest label among the
+    # largest components, matching ComponentStructure.giant_label().
+    giant_labels = counts.argmax(axis=1)
+    giant_sizes = counts[np.arange(k), giant_labels]
+    n_components = (counts > 0).sum(axis=1)
+    giant_masks = labels == giant_labels[:, np.newaxis]
+
+    n_links = degree_totals // 2
+    # Identical to per-candidate degrees().mean(): the degree total is an
+    # exact integer in float64, divided by the same N.
+    mean_degrees = degree_totals / n
+
+    coverage = batch_coverage(problem.clients.positions, positions, radii)
+    if problem.coverage_rule is CoverageRule.ANY_ROUTER:
+        covered = coverage.any(axis=2).sum(axis=1)
+    else:
+        covered = (coverage & giant_masks[:, np.newaxis, :]).any(axis=2).sum(axis=1)
+
+    evaluations: list[Evaluation] = []
+    for index, placement in enumerate(placements):
+        metrics = NetworkMetrics(
+            giant_size=int(giant_sizes[index]),
+            n_routers=n,
+            covered_clients=int(covered[index]),
+            n_clients=problem.n_clients,
+            n_components=int(n_components[index]),
+            n_links=int(n_links[index]),
+            mean_degree=float(mean_degrees[index]),
+        )
+        evaluations.append(
+            Evaluation(
+                placement=placement,
+                metrics=metrics,
+                fitness=fitness.score(metrics),
+                giant_mask=giant_masks[index],
+            )
+        )
+    return evaluations
+
+
+class BatchEvaluator:
+    """Evaluates candidate placements in vectorized batches.
+
+    Drop-in companion of the scalar
+    :class:`~repro.core.evaluation.Evaluator` for algorithms that hold a
+    whole candidate set at once (a sampled neighborhood phase, a GA
+    offspring generation).  Results, evaluation counting and archive
+    observation are identical to calling the scalar evaluator in a loop;
+    only the wall-clock cost changes.
+
+    ``max_chunk`` bounds peak memory: a batch of ``K`` candidates
+    allocates ``O(K * N^2 + K * M * N)`` intermediates, so very large
+    batches are processed in chunks of this size.
+    """
+
+    def __init__(
+        self,
+        problem: ProblemInstance,
+        fitness: FitnessFunction | None = None,
+        archive=None,
+        max_chunk: int = DEFAULT_MAX_CHUNK,
+    ) -> None:
+        if max_chunk <= 0:
+            raise ValueError(f"max_chunk must be positive, got {max_chunk}")
+        self._problem = problem
+        self._fitness = fitness if fitness is not None else WeightedSumFitness()
+        self._archive = archive
+        self._max_chunk = max_chunk
+        self._n_evaluations = 0
+
+    @property
+    def problem(self) -> ProblemInstance:
+        """The instance this evaluator measures against."""
+        return self._problem
+
+    @property
+    def fitness_function(self) -> FitnessFunction:
+        """The configured scalarization."""
+        return self._fitness
+
+    @property
+    def n_evaluations(self) -> int:
+        """Number of placements evaluated so far (search cost counter)."""
+        return self._n_evaluations
+
+    def reset_counter(self) -> None:
+        """Zero the evaluation counter (e.g. between experiment runs)."""
+        self._n_evaluations = 0
+
+    def evaluate_many(self, placements: Sequence[Placement]) -> list[Evaluation]:
+        """Measure every placement; order-preserving, one slot each."""
+        evaluations: list[Evaluation] = []
+        for start in range(0, len(placements), self._max_chunk):
+            chunk = placements[start : start + self._max_chunk]
+            evaluations.extend(evaluate_batch(self._problem, self._fitness, chunk))
+        self._n_evaluations += len(evaluations)
+        if self._archive is not None:
+            for evaluation in evaluations:
+                self._archive.observe(evaluation)
+        return evaluations
+
+    def evaluate(self, placement: Placement) -> Evaluation:
+        """Scalar convenience: a batch of one."""
+        return self.evaluate_many([placement])[0]

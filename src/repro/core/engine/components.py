@@ -1,0 +1,106 @@
+"""Vectorized connected components for the evaluation engine.
+
+The scalar path labels the router graph with a Python union-find; this
+module provides the array-native equivalents the batched and incremental
+evaluators run on: min-label propagation over ``np.nonzero`` edge arrays
+(single graph or a whole stack of candidate graphs at once).  All label
+arrays are *canonical* — each node carries the smallest node id of its
+component, exactly like :func:`repro.core.connectivity.canonical_labels`
+— so every evaluation path agrees bit-for-bit on components, giant-mask
+tie-breaking included.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.connectivity import (
+    ComponentStructure,
+    structure_from_canonical_labels,
+)
+
+__all__ = [
+    "labels_from_edges",
+    "labels_from_adjacency",
+    "batch_labels_from_adjacency",
+    "structure_from_labels",
+]
+
+
+def labels_from_edges(
+    n_nodes: int, rows: np.ndarray, cols: np.ndarray
+) -> np.ndarray:
+    """Canonical component labels from parallel edge-endpoint arrays.
+
+    Min-label propagation with pointer jumping: each sweep pushes the
+    smaller endpoint label across every edge at once, then compresses
+    label chains (``labels = labels[labels]``) until stable.  Converges
+    in :math:`O(\\log n)` sweeps on typical graphs, and every sweep is a
+    handful of whole-array numpy operations — no per-edge Python loop.
+    """
+    if n_nodes < 0:
+        raise ValueError(f"node count must be non-negative, got {n_nodes}")
+    labels = np.arange(n_nodes, dtype=np.intp)
+    rows = np.asarray(rows, dtype=np.intp)
+    cols = np.asarray(cols, dtype=np.intp)
+    if rows.size == 0:
+        return labels
+    if rows.size and not (
+        0 <= int(min(rows.min(), cols.min()))
+        and int(max(rows.max(), cols.max())) < n_nodes
+    ):
+        raise ValueError(f"edge endpoints out of range for {n_nodes} nodes")
+    while True:
+        np.minimum.at(labels, rows, labels[cols])
+        np.minimum.at(labels, cols, labels[rows])
+        while True:
+            jumped = labels[labels]
+            if np.array_equal(jumped, labels):
+                break
+            labels = jumped
+        if np.array_equal(labels[rows], labels[cols]):
+            return labels
+
+
+def labels_from_adjacency(adjacency: np.ndarray) -> np.ndarray:
+    """Canonical component labels of one ``(N, N)`` adjacency matrix."""
+    if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+        raise ValueError(f"adjacency must be square, got {adjacency.shape}")
+    # Directed duplicates are harmless to label propagation, and a plain
+    # nonzero is cheaper than materializing an upper-triangular copy.
+    rows, cols = np.nonzero(adjacency)
+    return labels_from_edges(adjacency.shape[0], rows, cols)
+
+
+def batch_labels_from_adjacency(adjacency: np.ndarray) -> np.ndarray:
+    """Canonical labels for a ``(K, N, N)`` stack of adjacency matrices.
+
+    All candidates are labeled in one propagation pass: candidate ``k``'s
+    nodes are offset to ``k * N .. k * N + N - 1``, the per-candidate
+    edge sets are concatenated, and the single combined graph is labeled.
+    Because no edge crosses candidate blocks, subtracting the block
+    offset recovers each candidate's canonical (smallest-member) labels.
+    """
+    if adjacency.ndim != 3 or adjacency.shape[1] != adjacency.shape[2]:
+        raise ValueError(
+            f"adjacency must be a (K, N, N) stack, got {adjacency.shape}"
+        )
+    n_candidates, n_nodes, _ = adjacency.shape
+    if n_candidates == 0:
+        return np.zeros((0, n_nodes), dtype=np.intp)
+    which, rows, cols = np.nonzero(adjacency)
+    offset = which.astype(np.intp) * n_nodes
+    flat = labels_from_edges(n_candidates * n_nodes, offset + rows, offset + cols)
+    labels = flat.reshape(n_candidates, n_nodes)
+    labels -= np.arange(n_candidates, dtype=np.intp)[:, np.newaxis] * n_nodes
+    return labels
+
+
+def structure_from_labels(labels: np.ndarray) -> ComponentStructure:
+    """Wrap canonical labels into a :class:`ComponentStructure`.
+
+    Thin alias of
+    :func:`repro.core.connectivity.structure_from_canonical_labels` so
+    the scalar and engine paths share one size-tally implementation.
+    """
+    return structure_from_canonical_labels(labels)

@@ -1,4 +1,4 @@
-"""The evaluation engine.
+"""The scalar evaluation engine.
 
 Everything an optimizer needs to know about a candidate placement in one
 call: :class:`Evaluator` builds the router network, extracts the giant
@@ -10,11 +10,19 @@ algorithms compare evaluations, never recompute pieces by hand.  The
 evaluator also counts how many evaluations it has performed —
 experiments report search cost in evaluations, which is
 machine-independent.
+
+:class:`Evaluator` is the *reference* path and the adapter into the
+faster engines of :mod:`repro.core.engine`: :meth:`Evaluator.evaluate_many`
+routes whole candidate sets through the batched engine, and
+:class:`~repro.core.engine.delta.DeltaEvaluator` wraps an evaluator for
+incremental single-move loops.  All paths share this evaluator's counter
+and archive, and produce bit-identical results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -109,9 +117,19 @@ class Evaluator:
         """Zero the evaluation counter (e.g. between experiment runs)."""
         self._n_evaluations = 0
 
+    def record_evaluation(self, evaluation: Evaluation) -> None:
+        """Count an evaluation performed on this evaluator's behalf.
+
+        Engine hook: the batched and delta paths measure placements
+        outside :meth:`evaluate` but must preserve the evaluation-count
+        semantics and archive observation, so they report here.
+        """
+        self._n_evaluations += 1
+        if self._archive is not None:
+            self._archive.observe(evaluation)
+
     def evaluate(self, placement: Placement) -> Evaluation:
         """Measure a placement: network, giant component, coverage, fitness."""
-        self._n_evaluations += 1
         network = RouterNetwork.build(self._problem, placement)
         giant_mask = network.giant_mask()
         if self._problem.coverage_rule is CoverageRule.ANY_ROUTER:
@@ -133,6 +151,25 @@ class Evaluator:
             fitness=self._fitness.score(metrics),
             giant_mask=giant_mask,
         )
-        if self._archive is not None:
-            self._archive.observe(evaluation)
+        self.record_evaluation(evaluation)
         return evaluation
+
+    def evaluate_many(self, placements: Sequence[Placement]) -> list[Evaluation]:
+        """Measure a whole candidate set through the batched engine.
+
+        Bit-identical to calling :meth:`evaluate` in a loop (the parity
+        tests assert it) and counted the same — one evaluation per
+        placement — but vectorized across the set: one stacked distance
+        tensor, one component-labeling pass, one coverage comparison.
+        Large sets are processed in bounded chunks so peak memory stays
+        independent of the candidate count.
+        """
+        from repro.core.engine.batch import DEFAULT_MAX_CHUNK, evaluate_batch
+
+        evaluations: list[Evaluation] = []
+        for start in range(0, len(placements), DEFAULT_MAX_CHUNK):
+            chunk = placements[start : start + DEFAULT_MAX_CHUNK]
+            evaluations.extend(evaluate_batch(self._problem, self._fitness, chunk))
+        for evaluation in evaluations:
+            self.record_evaluation(evaluation)
+        return evaluations

@@ -14,12 +14,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.connectivity import ComponentStructure, connected_components
+from repro.core.connectivity import (
+    ComponentStructure,
+    connected_components_from_arrays,
+)
 from repro.core.problem import ProblemInstance
 from repro.core.radio import LinkRule
 from repro.core.solution import Placement
 
-__all__ = ["adjacency_matrix", "link_edges", "RouterNetwork"]
+__all__ = ["adjacency_matrix", "edge_array", "link_edges", "RouterNetwork"]
 
 
 def adjacency_matrix(
@@ -51,13 +54,26 @@ def adjacency_matrix(
     return adjacency
 
 
-def link_edges(adjacency: np.ndarray) -> list[tuple[int, int]]:
-    """Upper-triangular edge list ``(i < j)`` of an adjacency matrix."""
+def edge_array(adjacency: np.ndarray) -> np.ndarray:
+    """Upper-triangular edges ``(i < j)`` as an ``(E, 2)`` integer array.
+
+    This is the hot-path representation: the component engine consumes
+    the endpoint columns directly, so no per-edge Python tuples are
+    materialized.
+    """
     rows, cols = np.nonzero(adjacency)
     keep = rows < cols
-    return [
-        (int(i), int(j)) for i, j in zip(rows[keep], cols[keep])
-    ]
+    return np.column_stack((rows[keep], cols[keep])).astype(np.intp, copy=False)
+
+
+def link_edges(adjacency: np.ndarray) -> list[tuple[int, int]]:
+    """Upper-triangular edge list ``(i < j)`` of an adjacency matrix.
+
+    Compatibility wrapper over :func:`edge_array` for callers that want
+    Python tuples; performance-sensitive code should use the array form.
+    """
+    edges = edge_array(adjacency)
+    return [(int(i), int(j)) for i, j in edges]
 
 
 @dataclass(frozen=True)
@@ -82,7 +98,10 @@ class RouterNetwork:
         adjacency = adjacency_matrix(
             placement.positions_array(), problem.fleet.radii, problem.link_rule
         )
-        components = connected_components(problem.n_routers, link_edges(adjacency))
+        edges = edge_array(adjacency)
+        components = connected_components_from_arrays(
+            problem.n_routers, edges[:, 0], edges[:, 1]
+        )
         return cls(adjacency=adjacency, components=components)
 
     @property

@@ -97,9 +97,9 @@ class Placement:
         share it.
         """
         if self._positions is None:
-            positions = np.array(
-                [[cell.x, cell.y] for cell in self.cells], dtype=float
-            )
+            # Point is a NamedTuple, so the cells convert directly —
+            # no intermediate nested list on this hot path.
+            positions = np.array(self.cells, dtype=float)
             positions.setflags(write=False)
             object.__setattr__(self, "_positions", positions)
         return self._positions
@@ -133,7 +133,15 @@ class Placement:
             raise ValueError(f"cell {tuple(cell)} is already occupied")
         new_cells = list(self.cells)
         new_cells[router_id] = cell
-        return Placement(grid=self.grid, cells=tuple(new_cells))
+        derived = Placement(grid=self.grid, cells=tuple(new_cells))
+        if self._positions is not None:
+            # Seed the child's positions cache from ours: one row update
+            # instead of reconverting every cell (hot in search loops).
+            positions = self._positions.copy()
+            positions[router_id] = (cell.x, cell.y)
+            positions.setflags(write=False)
+            object.__setattr__(derived, "_positions", positions)
+        return derived
 
     def with_swap(self, router_a: int, router_b: int) -> "Placement":
         """A new placement with the positions of two routers exchanged.
@@ -151,7 +159,13 @@ class Placement:
             new_cells[router_b],
             new_cells[router_a],
         )
-        return Placement(grid=self.grid, cells=tuple(new_cells))
+        derived = Placement(grid=self.grid, cells=tuple(new_cells))
+        if self._positions is not None:
+            positions = self._positions.copy()
+            positions[[router_a, router_b]] = positions[[router_b, router_a]]
+            positions.setflags(write=False)
+            object.__setattr__(derived, "_positions", positions)
+        return derived
 
     def _require_router(self, router_id: int) -> None:
         if not 0 <= router_id < len(self.cells):

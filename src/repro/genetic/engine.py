@@ -8,6 +8,11 @@ mutation by default, all operators pluggable.
 
 The engine reports a :class:`~repro.genetic.trace.GATrace` whose
 ``best_giant_size`` series is exactly what Figures 1-3 plot.
+
+Each offspring generation is evaluated as one batch through the
+vectorized engine (see :mod:`repro.core.engine` and
+:meth:`~repro.genetic.population.Population.evaluate_all`); elites keep
+their cached evaluations, so counts match the scalar loop exactly.
 """
 
 from __future__ import annotations

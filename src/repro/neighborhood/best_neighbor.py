@@ -9,6 +9,12 @@ The placement neighborhoods here are large (every router x every free
 cell), so the sampled variant is the work-horse:
 :func:`best_neighbor` draws a pre-fixed number of candidate moves from
 the movement type and returns the fittest resulting solution.
+
+The phase's candidate set is evaluated as one batch through the
+vectorized engine (:meth:`Evaluator.evaluate_many`): sampling the moves
+stays sequential (identical RNG stream to the scalar loop), only the
+evaluation is stacked.  Results and evaluation counts are bit-identical
+to evaluating the candidates one by one.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.evaluation import Evaluation, Evaluator
+from repro.core.solution import Placement
 from repro.neighborhood.movements import MovementType
 
 __all__ = ["best_neighbor"]
@@ -30,28 +37,39 @@ def best_neighbor(
 ) -> Evaluation | None:
     """The best solution among ``n_candidates`` sampled neighbors.
 
-    Follows Algorithm 2: repeatedly generate a movement of the chosen
-    type, apply it to the current solution and keep the best neighboring
-    solution seen.  Invalid or unavailable candidates (the movement
-    returns ``None``, or the move no longer applies) are skipped; they
-    still count against ``n_candidates`` so a phase has bounded cost.
+    Follows Algorithm 2: generate movements of the chosen type, apply
+    them to the current solution and keep the best neighboring solution.
+    Invalid or unavailable candidates (the movement returns ``None``, or
+    the move no longer applies) are skipped; they still count against
+    ``n_candidates`` so a phase has bounded cost.
 
     Returns ``None`` when no candidate produced a valid neighbor —
     Algorithm 1 treats that as an idle phase.
     """
     if n_candidates <= 0:
         raise ValueError(f"n_candidates must be positive, got {n_candidates}")
-    best: Evaluation | None = None
+    neighbors: list[Placement] = []
     for _ in range(n_candidates):
         move = movement.propose(current, evaluator.problem, rng)
         if move is None:
             continue
         try:
-            neighbor_placement = move.apply(current.placement)
+            neighbors.append(move.apply(current.placement))
         except ValueError:
             # The sampled move is stale (e.g. target cell occupied).
             continue
-        candidate = evaluator.evaluate(neighbor_placement)
-        if best is None or candidate.fitness > best.fitness:
+    if not neighbors:
+        return None
+    evaluate_many = getattr(evaluator, "evaluate_many", None)
+    if evaluate_many is not None:
+        evaluations = evaluate_many(neighbors)
+    else:
+        # Evaluators without a batch path (e.g. test doubles) still work.
+        evaluations = [evaluator.evaluate(placement) for placement in neighbors]
+    best = evaluations[0]
+    for candidate in evaluations[1:]:
+        # Strict comparison keeps the first-seen candidate on ties,
+        # matching the original sequential loop.
+        if candidate.fitness > best.fitness:
             best = candidate
     return best

@@ -6,8 +6,11 @@ means of local moves and iterate until a stopping condition is met."
 :class:`NeighborhoodSearch` is the paper's algorithm: per phase it asks
 :func:`~repro.neighborhood.best_neighbor.best_neighbor` for the best
 sampled neighbor and moves there when it improves (or ties, if sideways
-steps are enabled).  The run returns a :class:`SearchResult` holding the
-best solution and the full phase trace used by Figure 4.
+steps are enabled).  Each phase's candidate set is evaluated as one
+batch through the vectorized engine (see :mod:`repro.core.engine`) with
+unchanged results and evaluation counts.  The run returns a
+:class:`SearchResult` holding the best solution and the full phase trace
+used by Figure 4.
 
 Stopping conditions: a phase budget (``max_phases``, the figure's x
 axis), an optional patience (``stall_phases`` without improvement) and

@@ -1,0 +1,260 @@
+"""Parity of the three evaluation paths.
+
+The batched and incremental engines must reproduce the scalar
+:class:`Evaluator` *bit for bit* — identical ``NetworkMetrics``,
+identical fitness floats, identical giant-component masks — for random
+placements under every link rule and coverage rule.  Experiments may
+then batch or delta-evaluate freely without perturbing any result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import BatchEvaluator, DeltaEvaluator, evaluate_batch
+from repro.core.evaluation import Evaluator
+from repro.core.fitness import LexicographicFitness, WeightedSumFitness
+from repro.core.radio import CoverageRule, LinkRule
+from repro.core.solution import Placement
+from repro.instances.catalog import tiny_spec
+from repro.neighborhood.moves import RelocateMove, SwapMove
+
+LINK_RULES = list(LinkRule)
+COVERAGE_RULES = list(CoverageRule)
+
+
+def make_problem(link_rule: LinkRule, coverage_rule: CoverageRule, seed: int = 7):
+    problem = tiny_spec(seed=seed).generate()
+    return problem.with_link_rule(link_rule).with_coverage_rule(coverage_rule)
+
+
+def random_placements(problem, rng, count: int) -> list[Placement]:
+    return [
+        Placement.random(problem.grid, problem.n_routers, rng)
+        for _ in range(count)
+    ]
+
+
+def assert_same_evaluation(scalar, other):
+    assert other.metrics == scalar.metrics
+    assert other.fitness == scalar.fitness
+    assert np.array_equal(other.giant_mask, scalar.giant_mask)
+    assert other.placement is scalar.placement or (
+        other.placement.cells == scalar.placement.cells
+    )
+
+
+@pytest.mark.parametrize("link_rule", LINK_RULES, ids=[r.value for r in LINK_RULES])
+@pytest.mark.parametrize(
+    "coverage_rule", COVERAGE_RULES, ids=[r.value for r in COVERAGE_RULES]
+)
+class TestBatchParity:
+    def test_random_placements_bit_identical(self, link_rule, coverage_rule):
+        problem = make_problem(link_rule, coverage_rule)
+        rng = np.random.default_rng(42)
+        placements = random_placements(problem, rng, 12)
+        scalar = Evaluator(problem)
+        batch = BatchEvaluator(problem)
+        scalar_evals = [scalar.evaluate(p) for p in placements]
+        batch_evals = batch.evaluate_many(placements)
+        for reference, candidate in zip(scalar_evals, batch_evals):
+            assert_same_evaluation(reference, candidate)
+
+    def test_evaluate_many_adapter_matches(self, link_rule, coverage_rule):
+        problem = make_problem(link_rule, coverage_rule)
+        rng = np.random.default_rng(3)
+        placements = random_placements(problem, rng, 5)
+        evaluator = Evaluator(problem)
+        via_adapter = evaluator.evaluate_many(placements)
+        reference = [Evaluator(problem).evaluate(p) for p in placements]
+        for ref, got in zip(reference, via_adapter):
+            assert_same_evaluation(ref, got)
+
+    def test_alternate_fitness_function(self, link_rule, coverage_rule):
+        problem = make_problem(link_rule, coverage_rule)
+        rng = np.random.default_rng(11)
+        placements = random_placements(problem, rng, 4)
+        fitness = LexicographicFitness()
+        scalar = Evaluator(problem, fitness)
+        batch = BatchEvaluator(problem, fitness)
+        for ref, got in zip(
+            [scalar.evaluate(p) for p in placements],
+            batch.evaluate_many(placements),
+        ):
+            assert_same_evaluation(ref, got)
+
+
+@pytest.mark.parametrize("link_rule", LINK_RULES, ids=[r.value for r in LINK_RULES])
+@pytest.mark.parametrize(
+    "coverage_rule", COVERAGE_RULES, ids=[r.value for r in COVERAGE_RULES]
+)
+class TestDeltaParity:
+    def test_random_move_chain_bit_identical(self, link_rule, coverage_rule):
+        problem = make_problem(link_rule, coverage_rule)
+        rng = np.random.default_rng(99)
+        delta = DeltaEvaluator(Evaluator(problem))
+        current = delta.reset(
+            Placement.random(problem.grid, problem.n_routers, rng)
+        )
+        reference = Evaluator(problem)
+        assert_same_evaluation(reference.evaluate(current.placement), current)
+        for step in range(40):
+            if step % 5 == 4:
+                a, b = rng.choice(problem.n_routers, size=2, replace=False)
+                move = SwapMove(router_a=int(a), router_b=int(b))
+            else:
+                router = int(rng.integers(0, problem.n_routers))
+                cell = problem.grid.random_free_cell(
+                    current.placement.occupied, rng
+                )
+                move = RelocateMove(router_id=router, target=cell)
+            candidate = delta.propose(move)
+            expected = reference.evaluate(move.apply(current.placement))
+            assert_same_evaluation(expected, candidate)
+            # Accept roughly half the candidates so the caches advance
+            # through commits and later proposes build on them.
+            if rng.uniform() < 0.5:
+                delta.commit(candidate)
+                current = candidate
+
+    def test_speculative_proposals_share_incumbent(self, link_rule, coverage_rule):
+        """Tabu-style usage: many previews off one incumbent, one commit."""
+        problem = make_problem(link_rule, coverage_rule)
+        rng = np.random.default_rng(5)
+        delta = DeltaEvaluator(Evaluator(problem))
+        current = delta.reset(
+            Placement.random(problem.grid, problem.n_routers, rng)
+        )
+        reference = Evaluator(problem)
+        candidates = []
+        for _ in range(8):
+            router = int(rng.integers(0, problem.n_routers))
+            cell = problem.grid.random_free_cell(current.placement.occupied, rng)
+            move = RelocateMove(router_id=router, target=cell)
+            candidate = delta.propose(move)
+            assert_same_evaluation(
+                reference.evaluate(move.apply(current.placement)), candidate
+            )
+            candidates.append(candidate)
+        chosen = max(candidates, key=lambda e: e.fitness)
+        delta.commit(chosen)
+        assert delta.incumbent is chosen
+        follow_up = delta.propose(
+            RelocateMove(
+                router_id=0,
+                target=problem.grid.random_free_cell(
+                    chosen.placement.occupied, rng
+                ),
+            )
+        )
+        expected = reference.evaluate(follow_up.placement)
+        assert_same_evaluation(expected, follow_up)
+
+
+class TestCounterSemantics:
+    def test_evaluate_many_counts_each_placement(self):
+        problem = make_problem(LinkRule.BIDIRECTIONAL, CoverageRule.GIANT_ONLY)
+        rng = np.random.default_rng(1)
+        evaluator = Evaluator(problem)
+        evaluator.evaluate_many(random_placements(problem, rng, 7))
+        assert evaluator.n_evaluations == 7
+
+    def test_batch_evaluator_counts_and_chunks(self):
+        problem = make_problem(LinkRule.OVERLAP, CoverageRule.ANY_ROUTER)
+        rng = np.random.default_rng(2)
+        placements = random_placements(problem, rng, 9)
+        batch = BatchEvaluator(problem, max_chunk=4)
+        chunked = batch.evaluate_many(placements)
+        assert batch.n_evaluations == 9
+        unchunked = evaluate_batch(problem, WeightedSumFitness(), placements)
+        for ref, got in zip(unchunked, chunked):
+            assert_same_evaluation(ref, got)
+
+    def test_delta_counts_through_wrapped_evaluator(self):
+        problem = make_problem(LinkRule.UNIDIRECTIONAL, CoverageRule.GIANT_ONLY)
+        rng = np.random.default_rng(3)
+        evaluator = Evaluator(problem)
+        delta = DeltaEvaluator(evaluator)
+        current = delta.reset(
+            Placement.random(problem.grid, problem.n_routers, rng)
+        )
+        assert evaluator.n_evaluations == 1
+        cell = problem.grid.random_free_cell(current.placement.occupied, rng)
+        delta.propose(RelocateMove(router_id=0, target=cell))
+        assert evaluator.n_evaluations == 2
+
+    def test_empty_batch_is_free(self):
+        problem = make_problem(LinkRule.BIDIRECTIONAL, CoverageRule.GIANT_ONLY)
+        evaluator = Evaluator(problem)
+        assert evaluator.evaluate_many([]) == []
+        assert evaluator.n_evaluations == 0
+
+
+class TestIntegerFastPathBoundaries:
+    """The narrow-dtype comparisons must match the float64 reference."""
+
+    def test_negative_coordinates_match_reference(self):
+        # Regression: mixed-sign coordinates once overflowed the int16
+        # fast path; they must route through a wider dtype and agree
+        # with the scalar formulas exactly.
+        from repro.core.coverage import coverage_matrix
+        from repro.core.engine import batch_adjacency, batch_coverage
+        from repro.core.network import adjacency_matrix
+
+        positions = np.array([[[-100.0, 0.0], [100.0, 0.0], [0.0, -3.0]]])
+        radii = np.array([50.0, 50.0, 120.0])
+        clients = np.array([[-100.0, 0.0], [90.0, 5.0]])
+        for rule in LinkRule:
+            batched = batch_adjacency(positions, radii, rule)
+            assert np.array_equal(
+                batched[0], adjacency_matrix(positions[0], radii, rule)
+            )
+        assert np.array_equal(
+            batch_coverage(clients, positions, radii)[0],
+            coverage_matrix(clients, positions[0], radii),
+        )
+
+    def test_non_integral_coordinates_match_reference(self):
+        from repro.core.coverage import coverage_matrix
+        from repro.core.engine import batch_adjacency, batch_coverage
+        from repro.core.network import adjacency_matrix
+
+        rng = np.random.default_rng(8)
+        positions = rng.uniform(0, 60, size=(2, 9, 2))
+        radii = rng.uniform(2, 9, size=9)
+        clients = rng.uniform(0, 60, size=(5, 2))
+        for rule in LinkRule:
+            batched = batch_adjacency(positions, radii, rule)
+            for index in range(2):
+                assert np.array_equal(
+                    batched[index],
+                    adjacency_matrix(positions[index], radii, rule),
+                )
+        cov = batch_coverage(clients, positions, radii)
+        for index in range(2):
+            assert np.array_equal(
+                cov[index], coverage_matrix(clients, positions[index], radii)
+            )
+
+
+class TestValidation:
+    def test_batch_rejects_wrong_fleet_size(self):
+        problem = make_problem(LinkRule.BIDIRECTIONAL, CoverageRule.GIANT_ONLY)
+        rng = np.random.default_rng(4)
+        short = Placement.random(problem.grid, problem.n_routers - 1, rng)
+        with pytest.raises(ValueError):
+            BatchEvaluator(problem).evaluate_many([short])
+
+    def test_delta_requires_reset(self):
+        problem = make_problem(LinkRule.BIDIRECTIONAL, CoverageRule.GIANT_ONLY)
+        delta = DeltaEvaluator(Evaluator(problem))
+        with pytest.raises(ValueError):
+            delta.propose(RelocateMove(router_id=0, target=None))
+        with pytest.raises(ValueError):
+            delta.incumbent
+
+    def test_batch_evaluator_rejects_bad_chunk(self):
+        problem = make_problem(LinkRule.BIDIRECTIONAL, CoverageRule.GIANT_ONLY)
+        with pytest.raises(ValueError):
+            BatchEvaluator(problem, max_chunk=0)
