@@ -13,9 +13,20 @@ is a bonus measurement.
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from pathlib import Path
+
 from repro.experiments.config import ExperimentScale, current_scale
 
-__all__ = ["bench_scale", "run_once", "print_header"]
+__all__ = [
+    "bench_scale",
+    "run_once",
+    "print_header",
+    "add_json_argument",
+    "write_bench_json",
+]
 
 
 def bench_scale() -> ExperimentScale:
@@ -36,3 +47,50 @@ def print_header(title: str) -> None:
     print("=" * 72)
     print(title)
     print("=" * 72)
+
+
+def add_json_argument(parser) -> None:
+    """Install the shared ``--json [DIR]`` option on a bench parser.
+
+    Benches call :func:`write_bench_json` with the parsed value; the
+    ``REPRO_BENCH_JSON`` environment variable is the no-flag fallback so
+    CI can turn on record emission without touching each invocation.
+    """
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const=".",
+        default=None,
+        metavar="DIR",
+        help="write a machine-readable BENCH_<name>.json record to DIR "
+        "(default: current directory; or set REPRO_BENCH_JSON=DIR)",
+    )
+
+
+def write_bench_json(name: str, payload: dict, directory: "str | None") -> "Path | None":
+    """Write one machine-readable benchmark record, if enabled.
+
+    ``payload`` carries the bench-specific records (timings, sizes,
+    speedups); this helper stamps the shared envelope (bench name,
+    scale, unix timestamp) and writes ``BENCH_<name>.json`` into
+    ``directory`` (or ``$REPRO_BENCH_JSON`` when ``directory`` is
+    ``None``).  Returns the written path, or ``None`` when JSON output
+    is not enabled — benches stay print-only by default.
+    """
+    directory = directory if directory is not None else os.environ.get(
+        "REPRO_BENCH_JSON"
+    )
+    if not directory:
+        return None
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    record = {
+        "bench": name,
+        "scale": bench_scale().name,
+        "timestamp": time.time(),
+        **payload,
+    }
+    path = target / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    return path

@@ -29,6 +29,7 @@ import time
 
 import numpy as np
 
+from _common import add_json_argument, write_bench_json
 from repro.core.engine import BatchEvaluator, DeltaEvaluator
 from repro.core.evaluation import Evaluation, Evaluator
 from repro.core.solution import Placement
@@ -91,6 +92,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="fail unless batch speedup over scalar >= X")
     parser.add_argument("--seed", type=int, default=20090629)
+    add_json_argument(parser)
     args = parser.parse_args(argv)
 
     rounds = 3 if args.quick else args.rounds
@@ -166,6 +168,22 @@ def main(argv: list[str] | None = None) -> int:
             f"{speedup:>8.1f}x"
         )
     print("parity: batch and delta bit-identical to scalar on every phase")
+
+    write_bench_json(
+        "engine_batch",
+        {
+            "n_routers": problem.n_routers,
+            "n_clients": problem.n_clients,
+            "candidates_per_phase": args.candidates,
+            "rounds": rounds,
+            "scalar_median_seconds": scalar_median,
+            "batch_median_seconds": batch_median,
+            "delta_median_seconds": delta_median,
+            "batch_speedup": batch_speedup,
+            "delta_speedup": delta_speedup,
+        },
+        args.json,
+    )
 
     if args.min_speedup is not None and not args.quick:
         if batch_speedup < args.min_speedup:

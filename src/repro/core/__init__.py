@@ -18,7 +18,14 @@ from repro.core.connectivity import (
 )
 from repro.core.coverage import coverage_mask, coverage_matrix, covered_clients
 from repro.core.density import DensityMap
-from repro.core.engine import BatchEvaluator, DeltaEvaluator, evaluate_batch
+from repro.core.engine import (
+    BatchEvaluator,
+    DeltaEvaluator,
+    SparseEngine,
+    evaluate_batch,
+    evaluate_sparse,
+    select_engine,
+)
 from repro.core.evaluation import Evaluation, Evaluator
 from repro.core.fitness import (
     FitnessFunction,
@@ -46,7 +53,10 @@ __all__ = [
     "giant_component_mask",
     "BatchEvaluator",
     "DeltaEvaluator",
+    "SparseEngine",
     "evaluate_batch",
+    "evaluate_sparse",
+    "select_engine",
     "coverage_mask",
     "coverage_matrix",
     "covered_clients",

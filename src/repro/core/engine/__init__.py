@@ -12,14 +12,22 @@ masks for the same placement:
   ``(K, N, 2)`` tensors and evaluates them in one vectorized pass.  Use
   it whenever an algorithm holds a candidate *set*: a sampled
   neighborhood phase, a GA offspring generation.
-* **Delta** — :class:`DeltaEvaluator`.  Caches the incumbent's adjacency
-  and coverage matrices and recomputes only the rows/columns a move
-  touches.  Use it for one-move-per-step loops (simulated annealing,
-  tabu search).
+* **Delta** — :class:`DeltaEvaluator`.  Caches the incumbent's state and
+  recomputes only what a move touches.  Use it for one-move-per-step
+  loops (simulated annealing, tabu search).
+* **Sparse** — :class:`SparseEngine` (and the pure
+  :func:`evaluate_sparse`).  Bins positions into a spatial grid and
+  generates only neighbor-bin candidate pairs, replacing the
+  ``O(N^2 + M * N)`` matrices with ``O(N k + M k)`` edge and hit
+  arrays.  Use it — normally via the automatic dispatch — for
+  city-scale instances the dense tensors cannot hold.
 
-All paths count evaluations identically, so the machine-independent
-search-cost accounting of the experiments is unaffected by which engine
-a search runs on.
+The scalar, batch and delta evaluators all take an ``engine`` argument
+(``"auto"`` default): :func:`select_engine` picks dense at paper scale
+and sparse above a size/density threshold (see
+:mod:`repro.core.engine.dispatch`).  All paths count evaluations
+identically, so the machine-independent search-cost accounting of the
+experiments is unaffected by which engine a search runs on.
 """
 
 from repro.core.engine.batch import (
@@ -35,15 +43,28 @@ from repro.core.engine.components import (
     structure_from_labels,
 )
 from repro.core.engine.delta import DeltaEvaluator
+from repro.core.engine.dispatch import resolve_engine, select_engine
+from repro.core.engine.sparse import (
+    SparseEngine,
+    SpatialGridIndex,
+    evaluate_sparse,
+    sparse_edges,
+)
 
 __all__ = [
     "BatchEvaluator",
     "DeltaEvaluator",
+    "SparseEngine",
+    "SpatialGridIndex",
     "batch_adjacency",
     "batch_coverage",
     "evaluate_batch",
+    "evaluate_sparse",
+    "sparse_edges",
     "batch_labels_from_adjacency",
     "labels_from_adjacency",
     "labels_from_edges",
     "structure_from_labels",
+    "resolve_engine",
+    "select_engine",
 ]

@@ -26,6 +26,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.engine.components import labels_from_edges
+from repro.core.engine.dispatch import resolve_engine
 from repro.core.evaluation import Evaluation
 from repro.core.fitness import FitnessFunction, NetworkMetrics, WeightedSumFitness
 from repro.core.problem import ProblemInstance
@@ -267,6 +268,11 @@ class BatchEvaluator:
     ``max_chunk`` bounds peak memory: a batch of ``K`` candidates
     allocates ``O(K * N^2 + K * M * N)`` intermediates, so very large
     batches are processed in chunks of this size.
+
+    ``engine`` follows the shared dispatch contract (see
+    :mod:`repro.core.engine.dispatch`): ``"auto"`` routes city-scale
+    instances through the spatial-grid sparse engine instead of the
+    stacked tensors, with bit-identical results.
     """
 
     def __init__(
@@ -275,6 +281,7 @@ class BatchEvaluator:
         fitness: FitnessFunction | None = None,
         archive=None,
         max_chunk: int = DEFAULT_MAX_CHUNK,
+        engine: str = "auto",
     ) -> None:
         if max_chunk <= 0:
             raise ValueError(f"max_chunk must be positive, got {max_chunk}")
@@ -283,6 +290,13 @@ class BatchEvaluator:
         self._archive = archive
         self._max_chunk = max_chunk
         self._n_evaluations = 0
+        self._engine = resolve_engine(problem, engine)
+        self._sparse = None
+
+    @property
+    def engine(self) -> str:
+        """The resolved evaluation path: ``"dense"`` or ``"sparse"``."""
+        return self._engine
 
     @property
     def problem(self) -> ProblemInstance:
@@ -306,9 +320,18 @@ class BatchEvaluator:
     def evaluate_many(self, placements: Sequence[Placement]) -> list[Evaluation]:
         """Measure every placement; order-preserving, one slot each."""
         evaluations: list[Evaluation] = []
-        for start in range(0, len(placements), self._max_chunk):
-            chunk = placements[start : start + self._max_chunk]
-            evaluations.extend(evaluate_batch(self._problem, self._fitness, chunk))
+        if self._engine == "sparse":
+            if self._sparse is None:
+                from repro.core.engine.sparse import SparseEngine
+
+                self._sparse = SparseEngine(self._problem, self._fitness)
+            evaluations.extend(self._sparse.evaluate(p) for p in placements)
+        else:
+            for start in range(0, len(placements), self._max_chunk):
+                chunk = placements[start : start + self._max_chunk]
+                evaluations.extend(
+                    evaluate_batch(self._problem, self._fitness, chunk)
+                )
         self._n_evaluations += len(evaluations)
         if self._archive is not None:
             for evaluation in evaluations:

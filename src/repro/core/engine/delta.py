@@ -4,10 +4,21 @@ Single-move search loops (simulated annealing, tabu search) evaluate
 neighbors that differ from the incumbent by one or two routers.  The
 scalar evaluator rebuilds the full ``(N, N)`` adjacency and ``(M, N)``
 coverage matrices for every such neighbor; :class:`DeltaEvaluator`
-instead caches the incumbent's matrices and recomputes only the rows and
-columns the move touches, then relabels components from the cached
-edges.  Results are bit-identical to the scalar path (asserted by the
+instead caches the incumbent's state and recomputes only what the move
+touches.  Results are bit-identical to the scalar path (asserted by the
 parity tests).
+
+Two cache layouts, selected by the shared engine dispatch (see
+:mod:`repro.core.engine.dispatch`):
+
+* **dense** (paper scale) — the incumbent's boolean adjacency and
+  coverage *matrices*; a move rewrites the touched rows/columns.
+* **sparse** (city scale) — the incumbent's link-edge arrays and
+  (client, router) coverage-hit pairs, plus a spatial index over the
+  incumbent's router positions; a move drops the moved routers' entries
+  and re-queries only their new neighborhoods, so per-move cost and
+  memory stay ``O(E + H)`` (edges + coverage hits) instead of
+  ``O(N^2 + M * N)``.
 
 Protocol::
 
@@ -32,6 +43,7 @@ import numpy as np
 
 from repro.core.coverage import coverage_matrix
 from repro.core.engine.components import labels_from_edges
+from repro.core.engine.dispatch import resolve_engine
 from repro.core.evaluation import Evaluation, Evaluator
 from repro.core.fitness import NetworkMetrics
 from repro.core.network import adjacency_matrix
@@ -47,23 +59,41 @@ __all__ = ["DeltaEvaluator"]
 class DeltaEvaluator:
     """Incremental evaluation around a cached incumbent placement."""
 
-    def __init__(self, evaluator: Evaluator) -> None:
+    def __init__(self, evaluator: Evaluator, engine: str = "auto") -> None:
         self._evaluator = evaluator
         self._problem = evaluator.problem
         self._fitness = evaluator.fitness_function
         radii = self._problem.fleet.radii
         link_range = self._problem.link_rule.range_matrix(radii)
         self._range_squared = link_range * link_range
+        self._radii = radii
         self._radii_squared = radii * radii
+        self._engine = resolve_engine(self._problem, engine)
         self._positions: np.ndarray | None = None
+        self._incumbent: Evaluation | None = None
+        # Dense caches.
         self._adjacency: np.ndarray | None = None
         self._coverage: np.ndarray | None = None
-        self._incumbent: Evaluation | None = None
+        # Sparse caches.
+        self._sparse = None
+        self._router_index = None
+        self._edge_rows: np.ndarray | None = None
+        self._edge_cols: np.ndarray | None = None
+        self._cov_router: np.ndarray | None = None
+        self._cov_client: np.ndarray | None = None
+        # The most recent propose()'s arrays, so the common SA pattern
+        # "propose, then commit that same evaluation" skips re-querying.
+        self._last_propose: tuple | None = None
 
     @property
     def problem(self):
         """The instance this evaluator measures against."""
         return self._problem
+
+    @property
+    def engine(self) -> str:
+        """The resolved cache layout: ``"dense"`` or ``"sparse"``."""
+        return self._engine
 
     @property
     def incumbent(self) -> Evaluation:
@@ -84,19 +114,23 @@ class DeltaEvaluator:
                 f"has {self._problem.n_routers}"
             )
         positions = placement.positions_array().copy()
-        adjacency = adjacency_matrix(
-            placement.positions_array(), self._problem.fleet.radii,
-            self._problem.link_rule,
-        )
-        coverage = coverage_matrix(
-            self._problem.clients.positions,
-            placement.positions_array(),
-            self._problem.fleet.radii,
-        )
-        evaluation = self._measure(placement, adjacency, coverage)
+        self._last_propose = None
+        if self._engine == "sparse":
+            evaluation = self._sparse_reset(placement, positions)
+        else:
+            adjacency = adjacency_matrix(
+                placement.positions_array(), self._problem.fleet.radii,
+                self._problem.link_rule,
+            )
+            coverage = coverage_matrix(
+                self._problem.clients.positions,
+                placement.positions_array(),
+                self._problem.fleet.radii,
+            )
+            evaluation = self._measure(placement, adjacency, coverage)
+            self._adjacency = adjacency
+            self._coverage = coverage
         self._positions = positions
-        self._adjacency = adjacency
-        self._coverage = coverage
         self._incumbent = evaluation
         self._evaluator.record_evaluation(evaluation)
         return evaluation
@@ -113,10 +147,19 @@ class DeltaEvaluator:
         placement = move.apply(self._incumbent.placement)
         new_positions = placement.positions_array()
         moved = np.flatnonzero((new_positions != self._positions).any(axis=1))
-        adjacency = self._adjacency.copy()
-        coverage = self._coverage.copy()
-        self._apply_rows(adjacency, coverage, new_positions, moved)
-        evaluation = self._measure(placement, adjacency, coverage)
+        if self._engine == "sparse":
+            rows, cols, cov_router, cov_client = self._sparse_apply(
+                new_positions, moved
+            )
+            evaluation = self._sparse_measure(
+                placement, rows, cols, cov_router, cov_client
+            )
+            self._last_propose = (evaluation, rows, cols, cov_router, cov_client)
+        else:
+            adjacency = self._adjacency.copy()
+            coverage = self._coverage.copy()
+            self._apply_rows(adjacency, coverage, new_positions, moved)
+            evaluation = self._measure(placement, adjacency, coverage)
         self._evaluator.record_evaluation(evaluation)
         return evaluation
 
@@ -124,8 +167,8 @@ class DeltaEvaluator:
         """Advance the caches so ``evaluation`` is the new incumbent.
 
         Accepts any evaluation of this problem (normally one returned by
-        :meth:`propose`); only the rows/columns whose routers moved
-        relative to the current incumbent are rewritten.
+        :meth:`propose`); only the state of routers that moved relative
+        to the current incumbent is rewritten.
         """
         if self._incumbent is None:
             raise ValueError("DeltaEvaluator has no incumbent; call reset() first")
@@ -137,12 +180,27 @@ class DeltaEvaluator:
             )
         new_positions = placement.positions_array()
         moved = np.flatnonzero((new_positions != self._positions).any(axis=1))
-        self._apply_rows(self._adjacency, self._coverage, new_positions, moved)
-        self._positions[moved] = new_positions[moved]
+        if self._engine == "sparse":
+            if moved.size:
+                cached = self._last_propose
+                if cached is not None and cached[0] is evaluation:
+                    _, rows, cols, cov_router, cov_client = cached
+                else:
+                    rows, cols, cov_router, cov_client = self._sparse_apply(
+                        new_positions, moved
+                    )
+                self._edge_rows, self._edge_cols = rows, cols
+                self._cov_router, self._cov_client = cov_router, cov_client
+                self._positions[moved] = new_positions[moved]
+                self._rebuild_router_index()
+            self._last_propose = None
+        else:
+            self._apply_rows(self._adjacency, self._coverage, new_positions, moved)
+            self._positions[moved] = new_positions[moved]
         self._incumbent = evaluation
 
     # ------------------------------------------------------------------
-    # Internals
+    # Dense internals
     # ------------------------------------------------------------------
 
     def _apply_rows(
@@ -185,6 +243,12 @@ class DeltaEvaluator:
         one_way = rows < cols
         labels = labels_from_edges(n, rows[one_way], cols[one_way])
         counts = np.bincount(labels, minlength=n)
+        # Audited tie-break: ``counts`` is indexed by canonical
+        # (smallest-member) component label, and argmax returns the
+        # *first* maximum, i.e. the smallest label among the largest
+        # components — exactly ComponentStructure.giant_label()'s rule
+        # shared by the scalar and batch paths.  An exact giant-size tie
+        # is pinned by tests/core/test_giant_tiebreak.py.
         giant_label = int(counts.argmax())
         giant_mask = labels == giant_label
         degree_total = int(flat.shape[0])
@@ -208,4 +272,151 @@ class DeltaEvaluator:
             metrics=metrics,
             fitness=self._fitness.score(metrics),
             giant_mask=giant_mask,
+        )
+
+    # ------------------------------------------------------------------
+    # Sparse internals
+    # ------------------------------------------------------------------
+
+    def _sparse_engine(self):
+        if self._sparse is None:
+            from repro.core.engine.sparse import SparseEngine
+
+            self._sparse = SparseEngine(self._problem, self._fitness)
+        return self._sparse
+
+    def _rebuild_router_index(self) -> None:
+        # Full re-bin + argsort per commit: O(N log N), a deliberate
+        # trade against incremental bin maintenance.  Commits happen
+        # once per accepted move while proposes dominate the loop, and
+        # at 4096 routers the rebuild is microseconds next to the
+        # propose-side query work.
+        from repro.core.engine.sparse import SpatialGridIndex
+
+        self._router_index = SpatialGridIndex(
+            self._positions, self._sparse_engine().link_cell
+        )
+
+    def _coverage_pairs(
+        self, positions: np.ndarray, router_ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Passing ``(router, client)`` hit pairs for the given routers."""
+        return self._sparse_engine().coverage_hits(positions, router_ids)
+
+    def _sparse_reset(
+        self, placement: Placement, positions: np.ndarray
+    ) -> Evaluation:
+        from repro.core.engine.sparse import sparse_edges
+
+        self._positions = positions
+        self._rebuild_router_index()
+        rows, cols = sparse_edges(
+            positions, self._radii, self._problem.link_rule,
+            index=self._router_index,
+        )
+        cov_router, cov_client = self._coverage_pairs(
+            positions, np.arange(positions.shape[0], dtype=np.intp)
+        )
+        self._edge_rows, self._edge_cols = rows, cols
+        self._cov_router, self._cov_client = cov_router, cov_client
+        return self._sparse_measure(placement, rows, cols, cov_router, cov_client)
+
+    def _sparse_apply(
+        self, new_positions: np.ndarray, moved: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The candidate's edge and coverage-hit arrays.
+
+        Drops every cached entry that touches a moved router, then
+        re-queries only the moved routers' new neighborhoods: link
+        partners against the incumbent's router index (unmoved routers
+        are exactly where the index put them) plus exhaustive pairs
+        among the moved routers themselves, and coverage hits against
+        the static client index.
+        """
+        if moved.size == 0:
+            return (
+                self._edge_rows, self._edge_cols,
+                self._cov_router, self._cov_client,
+            )
+        n = self._problem.n_routers
+        is_moved = np.zeros(n, dtype=bool)
+        is_moved[moved] = True
+
+        keep = ~(is_moved[self._edge_rows] | is_moved[self._edge_cols])
+        row_parts = [self._edge_rows[keep]]
+        col_parts = [self._edge_cols[keep]]
+        # Moved-vs-unmoved links via the incumbent index.  A moved
+        # router's new position may fall outside the index extent; the
+        # query still finds every in-extent neighbor bin of that
+        # position, and unmoved routers all live in the extent.
+        from repro.core.engine.sparse import link_hits
+
+        link_rule = self._problem.link_rule
+        local, partner = self._router_index.query_points(new_positions[moved])
+        if local.size:
+            sources = moved[local]
+            usable = ~is_moved[partner]
+            hit_rows, hit_cols = link_hits(
+                new_positions, self._radii, link_rule,
+                sources[usable], partner[usable],
+            )
+            row_parts.append(hit_rows)
+            col_parts.append(hit_cols)
+        # Moved-vs-moved links, each unordered pair tested once.
+        if moved.size > 1:
+            a_idx, b_idx = np.triu_indices(moved.size, k=1)
+            hit_rows, hit_cols = link_hits(
+                new_positions, self._radii, link_rule,
+                moved[a_idx], moved[b_idx],
+            )
+            row_parts.append(hit_rows)
+            col_parts.append(hit_cols)
+        rows = np.concatenate(row_parts)
+        cols = np.concatenate(col_parts)
+
+        ckeep = ~is_moved[self._cov_router]
+        new_cov_router, new_cov_client = self._coverage_pairs(
+            new_positions, moved.astype(np.intp, copy=False)
+        )
+        cov_router = np.concatenate([self._cov_router[ckeep], new_cov_router])
+        cov_client = np.concatenate([self._cov_client[ckeep], new_cov_client])
+        return rows, cols, cov_router, cov_client
+
+    def _sparse_measure(
+        self,
+        placement: Placement,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        cov_router: np.ndarray,
+        cov_client: np.ndarray,
+    ) -> Evaluation:
+        """Metrics + fitness from edge and coverage-hit arrays."""
+        from repro.core.engine.sparse import (
+            _measure_from_sparse,
+            components_from_edges,
+        )
+
+        problem = self._problem
+        labels, counts, giant_label, giant_mask = components_from_edges(
+            problem.n_routers, rows, cols
+        )
+        if problem.n_clients == 0:
+            covered = 0
+        else:
+            flags = np.zeros(problem.n_clients, dtype=bool)
+            if problem.coverage_rule is CoverageRule.ANY_ROUTER:
+                flags[cov_client] = True
+            else:
+                flags[cov_client[giant_mask[cov_router]]] = True
+            covered = int(np.count_nonzero(flags))
+        return _measure_from_sparse(
+            problem,
+            self._fitness,
+            placement,
+            labels,
+            int(rows.size),
+            covered,
+            giant_mask,
+            counts,
+            giant_label,
         )

@@ -1,0 +1,453 @@
+"""Sparse spatial-grid placement evaluation.
+
+The dense engines materialize ``O(N^2)`` adjacency and ``O(M * N)``
+coverage matrices, so memory — not compute — caps instance size around a
+few hundred routers.  At city scale (thousands of routers, tens of
+thousands of clients on a large area) almost every router pair is out of
+radio range, which is exactly the regime where neighbor queries beat
+pairwise matrices: this module bins positions into square cells at least
+as large as the radio reach, generates candidate pairs only from
+same-and-adjacent bins, and tests the exact link/coverage predicate on
+those candidates.  Evaluation drops from ``O(N^2 + M * N)`` to roughly
+``O(N k + M k)`` for realistic densities (``k`` = neighbors per bin
+ring).
+
+Bit-identity with the dense engines: binning is purely a *conservative
+prune*.  A pair in bins more than one apart along either axis is
+separated by strictly more than one cell width, which is at least the
+maximum link range (respectively coverage radius), so the dense
+comparison would reject it anyway; every surviving candidate is tested
+with the same float64 subtract/square/compare the scalar formulas use.
+The resulting edge set, component labels, metrics and fitness are
+therefore exactly those of :class:`~repro.core.evaluation.Evaluator`
+(the parity suite asserts it).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.engine.components import labels_from_edges
+from repro.core.evaluation import Evaluation
+from repro.core.fitness import FitnessFunction, NetworkMetrics, WeightedSumFitness
+from repro.core.problem import ProblemInstance
+from repro.core.radio import CoverageRule, LinkRule
+from repro.core.solution import Placement
+
+__all__ = [
+    "DEFAULT_QUERY_CHUNK",
+    "SpatialGridIndex",
+    "link_cell_size",
+    "coverage_cell_size",
+    "sparse_edges",
+    "SparseEngine",
+    "evaluate_sparse",
+]
+
+#: Default number of query points per :meth:`SpatialGridIndex.query_points`
+#: pass in chunked coverage counting; bounds the candidate-pair arrays.
+DEFAULT_QUERY_CHUNK = 4096
+
+#: Cross-bin offsets covering each unordered bin pair exactly once.
+_HALF_NEIGHBORHOOD = ((0, 1), (1, -1), (1, 0), (1, 1))
+
+#: The full 3x3 ring, for point-against-index queries.
+_FULL_NEIGHBORHOOD = tuple((ox, oy) for ox in (-1, 0, 1) for oy in (-1, 0, 1))
+
+
+def link_cell_size(radii: np.ndarray, link_rule: LinkRule) -> float:
+    """Bin width for router-router adjacency under ``link_rule``.
+
+    At least the maximum pairwise link range, so two routers whose bins
+    differ by more than one along an axis can never link.
+    """
+    return max(float(np.ceil(link_rule.max_reach(radii))), 1.0)
+
+
+def coverage_cell_size(radii: np.ndarray) -> float:
+    """Bin width for client coverage: at least the largest radius."""
+    if radii.size == 0:
+        return 1.0
+    return max(float(np.ceil(float(radii.max()))), 1.0)
+
+
+class SpatialGridIndex:
+    """Cell-binned 2-D point index with conservative neighbor queries.
+
+    Points are hashed to square bins of ``cell_size``; queries return
+    *candidate* pairs from the same or adjacent bins (a superset of all
+    pairs within ``cell_size`` of each other), which the caller filters
+    with the exact predicate.  Both query styles are a handful of
+    whole-array ``searchsorted``/``repeat`` passes — no per-point Python
+    loop.
+    """
+
+    __slots__ = (
+        "cell_size",
+        "n_points",
+        "_order",
+        "_sorted_ids",
+        "_bx",
+        "_by",
+        "_min_bx",
+        "_max_bx",
+        "_min_by",
+        "_max_by",
+        "_stride",
+    )
+
+    def __init__(self, points: np.ndarray, cell_size: float) -> None:
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or (points.size and points.shape[1] != 2):
+            raise ValueError(f"points must be (P, 2), got {points.shape}")
+        if cell_size <= 0:
+            raise ValueError(f"cell_size must be positive, got {cell_size}")
+        self.cell_size = float(cell_size)
+        self.n_points = int(points.shape[0])
+        self._bx = np.floor(points[:, 0] / self.cell_size).astype(np.int64) \
+            if self.n_points else np.zeros(0, dtype=np.int64)
+        self._by = np.floor(points[:, 1] / self.cell_size).astype(np.int64) \
+            if self.n_points else np.zeros(0, dtype=np.int64)
+        if self.n_points:
+            self._min_bx = int(self._bx.min())
+            self._max_bx = int(self._bx.max())
+            self._min_by = int(self._by.min())
+            self._max_by = int(self._by.max())
+        else:
+            self._min_bx = self._max_bx = self._min_by = self._max_by = 0
+        self._stride = self._max_by - self._min_by + 1
+        ids = self._bin_ids(self._bx, self._by)
+        self._order = np.argsort(ids, kind="stable").astype(np.intp, copy=False)
+        self._sorted_ids = ids[self._order]
+
+    def _bin_ids(self, bx: np.ndarray, by: np.ndarray) -> np.ndarray:
+        """Row-major bin id; only meaningful for in-range bin coords."""
+        return (bx - self._min_bx) * self._stride + (by - self._min_by)
+
+    def _in_range(self, bx: np.ndarray, by: np.ndarray) -> np.ndarray:
+        return (
+            (bx >= self._min_bx)
+            & (bx <= self._max_bx)
+            & (by >= self._min_by)
+            & (by <= self._max_by)
+        )
+
+    @staticmethod
+    def _expand(starts: np.ndarray, ends: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Pairs ``(i, slot)`` for every slot in ``[starts[i], ends[i])``.
+
+        The flattened ragged-range trick: one ``repeat`` for the sources,
+        one ``repeat`` + ``arange`` for the in-range offsets.
+        """
+        lengths = np.maximum(ends - starts, 0)
+        total = int(lengths.sum())
+        if total == 0:
+            empty = np.zeros(0, dtype=np.intp)
+            return empty, empty.copy()
+        sources = np.repeat(np.arange(len(starts), dtype=np.intp), lengths)
+        run_starts = np.repeat(np.cumsum(lengths) - lengths, lengths)
+        slots = np.repeat(starts, lengths) + (
+            np.arange(total, dtype=np.intp) - run_starts
+        )
+        return sources, slots.astype(np.intp, copy=False)
+
+    def candidate_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """All unordered point pairs from same-or-adjacent bins, each once.
+
+        A superset of every pair within ``cell_size``; pairs whose bins
+        differ by >= 2 along an axis (distance strictly greater than
+        ``cell_size``) are never generated.
+        """
+        n = self.n_points
+        if n < 2:
+            empty = np.zeros(0, dtype=np.intp)
+            return empty, empty.copy()
+        ids = self._sorted_ids
+        bx = self._bx[self._order]
+        by = self._by[self._order]
+        source_parts: list[np.ndarray] = []
+        target_parts: list[np.ndarray] = []
+        # Same-bin pairs: each sorted slot against the rest of its bin.
+        ends = np.searchsorted(ids, ids, side="right")
+        sources, targets = self._expand(np.arange(n, dtype=np.int64) + 1, ends)
+        source_parts.append(sources)
+        target_parts.append(targets)
+        # Cross-bin pairs: half the ring, so each bin pair appears once.
+        for ox, oy in _HALF_NEIGHBORHOOD:
+            tbx = bx + ox
+            tby = by + oy
+            valid = self._in_range(tbx, tby)
+            tids = self._bin_ids(tbx, tby)
+            starts = np.searchsorted(ids, tids, side="left")
+            stops = np.searchsorted(ids, tids, side="right")
+            stops = np.where(valid, stops, starts)
+            sources, targets = self._expand(starts, stops)
+            source_parts.append(sources)
+            target_parts.append(targets)
+        order = self._order
+        return (
+            order[np.concatenate(source_parts)],
+            order[np.concatenate(target_parts)],
+        )
+
+    def query_points(self, points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Candidate ``(query, member)`` pairs from each query's 3x3 ring.
+
+        ``points`` may lie anywhere (even outside the indexed extent):
+        ring bins outside the extent simply contribute nothing, so a
+        query more than one bin away from every occupied bin — strictly
+        beyond ``cell_size`` of every member — returns no candidates.
+        """
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or (points.size and points.shape[1] != 2):
+            raise ValueError(f"points must be (P, 2), got {points.shape}")
+        if points.shape[0] == 0 or self.n_points == 0:
+            empty = np.zeros(0, dtype=np.intp)
+            return empty, empty.copy()
+        pbx = np.floor(points[:, 0] / self.cell_size).astype(np.int64)
+        pby = np.floor(points[:, 1] / self.cell_size).astype(np.int64)
+        ids = self._sorted_ids
+        query_parts: list[np.ndarray] = []
+        member_parts: list[np.ndarray] = []
+        for ox, oy in _FULL_NEIGHBORHOOD:
+            tbx = pbx + ox
+            tby = pby + oy
+            valid = self._in_range(tbx, tby)
+            tids = self._bin_ids(tbx, tby)
+            starts = np.searchsorted(ids, tids, side="left")
+            stops = np.searchsorted(ids, tids, side="right")
+            stops = np.where(valid, stops, starts)
+            queries, slots = self._expand(starts, stops)
+            query_parts.append(queries)
+            member_parts.append(slots)
+        return (
+            np.concatenate(query_parts),
+            self._order[np.concatenate(member_parts)],
+        )
+
+
+def link_hits(
+    positions: np.ndarray,
+    radii: np.ndarray,
+    link_rule: LinkRule,
+    rows: np.ndarray,
+    cols: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Filter candidate router pairs with the exact link predicate.
+
+    The one implementation of the float64 ``d^2 <= link_range^2``
+    comparison every sparse path (full edge build, delta move updates)
+    goes through, so the bit-identity contract cannot diverge between
+    them.
+    """
+    if rows.size == 0:
+        return rows, cols
+    dx = positions[rows, 0] - positions[cols, 0]
+    dy = positions[rows, 1] - positions[cols, 1]
+    reach = link_rule.range_pairs(radii[rows], radii[cols])
+    keep = dx * dx + dy * dy <= reach * reach
+    return rows[keep], cols[keep]
+
+
+def sparse_edges(
+    positions: np.ndarray,
+    radii: np.ndarray,
+    link_rule: LinkRule,
+    index: SpatialGridIndex | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact undirected link edges (each pair once) via bin pruning.
+
+    Boolean-identical to the nonzero entries of
+    :func:`repro.core.network.adjacency_matrix`: candidates come from the
+    spatial index, the predicate is the same float64
+    ``d^2 <= link_range^2`` comparison on the same subtractions.
+    """
+    positions = np.asarray(positions, dtype=float)
+    n = positions.shape[0]
+    if radii.shape != (n,):
+        raise ValueError(f"radii shape {radii.shape} does not match {n} routers")
+    if index is None:
+        index = SpatialGridIndex(positions, link_cell_size(radii, link_rule))
+    rows, cols = index.candidate_pairs()
+    return link_hits(positions, radii, link_rule, rows, cols)
+
+
+def _measure_from_sparse(
+    problem: ProblemInstance,
+    fitness: FitnessFunction,
+    placement: Placement,
+    labels: np.ndarray,
+    n_links: int,
+    covered: int,
+    giant_mask: np.ndarray,
+    counts: np.ndarray,
+    giant_label: int,
+) -> Evaluation:
+    """Assemble the :class:`Evaluation` from sparse building blocks.
+
+    The integer metrics are shared with the dense paths by construction;
+    ``mean_degree`` uses the same exact-integer float division.
+    """
+    n = problem.n_routers
+    degree_total = 2 * n_links
+    metrics = NetworkMetrics(
+        giant_size=int(counts[giant_label]),
+        n_routers=n,
+        covered_clients=covered,
+        n_clients=problem.n_clients,
+        n_components=int((counts > 0).sum()),
+        n_links=n_links,
+        mean_degree=degree_total / n,
+    )
+    return Evaluation(
+        placement=placement,
+        metrics=metrics,
+        fitness=fitness.score(metrics),
+        giant_mask=giant_mask,
+    )
+
+
+def components_from_edges(
+    n_nodes: int, rows: np.ndarray, cols: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, int, np.ndarray]:
+    """``(labels, counts, giant_label, giant_mask)`` of an edge set.
+
+    ``labels`` are canonical smallest-member ids, so ``counts`` is
+    indexed by label and ``argmax`` (first maximum) realizes the shared
+    smallest-member giant tie-break.
+    """
+    labels = labels_from_edges(n_nodes, rows, cols)
+    counts = np.bincount(labels, minlength=n_nodes)
+    giant_label = int(counts.argmax())
+    return labels, counts, giant_label, labels == giant_label
+
+
+class SparseEngine:
+    """Sparse evaluator for one problem instance.
+
+    Caches everything static across placements — the client spatial
+    index above all (clients never move) — and evaluates one placement
+    per call by indexing its router positions.  Coverage is counted in
+    router chunks (``query_chunk``) so the candidate-pair arrays stay
+    bounded regardless of instance size.
+    """
+
+    def __init__(
+        self,
+        problem: ProblemInstance,
+        fitness: FitnessFunction | None = None,
+        query_chunk: int = DEFAULT_QUERY_CHUNK,
+    ) -> None:
+        if query_chunk <= 0:
+            raise ValueError(f"query_chunk must be positive, got {query_chunk}")
+        self._problem = problem
+        self._fitness = fitness if fitness is not None else WeightedSumFitness()
+        self._query_chunk = query_chunk
+        radii = problem.fleet.radii
+        self._radii = radii
+        self._radii_squared = radii * radii
+        self.link_cell = link_cell_size(radii, problem.link_rule)
+        self.client_index = SpatialGridIndex(
+            problem.clients.positions, coverage_cell_size(radii)
+        )
+
+    @property
+    def problem(self) -> ProblemInstance:
+        """The instance this engine measures against."""
+        return self._problem
+
+    @property
+    def fitness_function(self) -> FitnessFunction:
+        """The configured scalarization."""
+        return self._fitness
+
+    def coverage_hits(
+        self, positions: np.ndarray, router_ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Passing ``(router, client)`` coverage pairs for given routers.
+
+        One client-index query plus the exact float64 radius test — the
+        single implementation both :meth:`covered_count` and the sparse
+        delta path build on, so the coverage predicate cannot diverge
+        between them.
+        """
+        local, client_idx = self.client_index.query_points(positions[router_ids])
+        if local.size == 0:
+            empty = np.zeros(0, dtype=np.intp)
+            return empty, empty.copy()
+        clients = self._problem.clients.positions
+        routers = router_ids[local]
+        dx = clients[client_idx, 0] - positions[routers, 0]
+        dy = clients[client_idx, 1] - positions[routers, 1]
+        hit = dx * dx + dy * dy <= self._radii_squared[routers]
+        return routers[hit], client_idx[hit]
+
+    def covered_count(
+        self, positions: np.ndarray, router_mask: np.ndarray | None
+    ) -> int:
+        """Clients within radius of any (qualifying) router.
+
+        ``router_mask`` restricts which routers may cover (the giant
+        component under ``GIANT_ONLY``); masked-out routers are skipped
+        before the index query, which only shrinks the candidate set.
+        """
+        n_clients = self._problem.n_clients
+        if n_clients == 0:
+            return 0
+        if router_mask is None:
+            router_ids = np.arange(positions.shape[0], dtype=np.intp)
+        else:
+            router_ids = np.flatnonzero(router_mask)
+        covered = np.zeros(n_clients, dtype=bool)
+        for start in range(0, router_ids.size, self._query_chunk):
+            chunk = router_ids[start : start + self._query_chunk]
+            _, hit_clients = self.coverage_hits(positions, chunk)
+            covered[hit_clients] = True
+        return int(np.count_nonzero(covered))
+
+    def evaluate(self, placement: Placement) -> Evaluation:
+        """Measure one placement; bit-identical to the scalar path."""
+        problem = self._problem
+        if len(placement) != problem.n_routers:
+            raise ValueError(
+                f"placement positions {len(placement)} routers but the fleet "
+                f"has {problem.n_routers}"
+            )
+        positions = placement.positions_array()
+        rows, cols = sparse_edges(positions, self._radii, problem.link_rule)
+        labels, counts, giant_label, giant_mask = components_from_edges(
+            problem.n_routers, rows, cols
+        )
+        if problem.coverage_rule is CoverageRule.ANY_ROUTER:
+            covered = self.covered_count(positions, None)
+        else:
+            covered = self.covered_count(positions, giant_mask)
+        return _measure_from_sparse(
+            problem,
+            self._fitness,
+            placement,
+            labels,
+            int(rows.size),
+            covered,
+            giant_mask,
+            counts,
+            giant_label,
+        )
+
+
+def evaluate_sparse(
+    problem: ProblemInstance,
+    fitness: FitnessFunction,
+    placements: Sequence[Placement],
+) -> list[Evaluation]:
+    """Evaluate every placement through one shared :class:`SparseEngine`.
+
+    Pure function mirroring :func:`repro.core.engine.batch.evaluate_batch`
+    — no counters, no archive; callers that need the bookkeeping wrap it.
+    """
+    if not placements:
+        return []
+    engine = SparseEngine(problem, fitness)
+    return [engine.evaluate(placement) for placement in placements]

@@ -85,6 +85,12 @@ class Evaluator:
         Optional :class:`~repro.core.pareto.ParetoArchive`; when given,
         every evaluation is offered to it, so any search run through
         this evaluator also yields the bi-objective front it explored.
+    engine:
+        ``"auto"`` (default) picks the dense matrix path at paper scale
+        and the spatial-grid sparse path for city-scale instances (see
+        :mod:`repro.core.engine.dispatch`); ``"dense"``/``"sparse"``
+        force one.  All engines are bit-identical, so this is purely a
+        performance knob.
     """
 
     def __init__(
@@ -92,11 +98,30 @@ class Evaluator:
         problem: ProblemInstance,
         fitness: FitnessFunction | None = None,
         archive=None,
+        engine: str = "auto",
     ) -> None:
+        # Deferred: the engine package's modules import this one.
+        from repro.core.engine.dispatch import resolve_engine
+
         self._problem = problem
         self._fitness = fitness if fitness is not None else WeightedSumFitness()
         self._archive = archive
         self._n_evaluations = 0
+        self._engine = resolve_engine(problem, engine)
+        self._sparse = None
+
+    @property
+    def engine(self) -> str:
+        """The resolved evaluation path: ``"dense"`` or ``"sparse"``."""
+        return self._engine
+
+    def _sparse_engine(self):
+        """The lazily built :class:`~repro.core.engine.sparse.SparseEngine`."""
+        if self._sparse is None:
+            from repro.core.engine.sparse import SparseEngine
+
+            self._sparse = SparseEngine(self._problem, self._fitness)
+        return self._sparse
 
     @property
     def problem(self) -> ProblemInstance:
@@ -130,6 +155,10 @@ class Evaluator:
 
     def evaluate(self, placement: Placement) -> Evaluation:
         """Measure a placement: network, giant component, coverage, fitness."""
+        if self._engine == "sparse":
+            evaluation = self._sparse_engine().evaluate(placement)
+            self.record_evaluation(evaluation)
+            return evaluation
         network = RouterNetwork.build(self._problem, placement)
         giant_mask = network.giant_mask()
         if self._problem.coverage_rule is CoverageRule.ANY_ROUTER:
@@ -155,21 +184,28 @@ class Evaluator:
         return evaluation
 
     def evaluate_many(self, placements: Sequence[Placement]) -> list[Evaluation]:
-        """Measure a whole candidate set through the batched engine.
+        """Measure a whole candidate set through the dispatched engine.
 
         Bit-identical to calling :meth:`evaluate` in a loop (the parity
         tests assert it) and counted the same — one evaluation per
-        placement — but vectorized across the set: one stacked distance
-        tensor, one component-labeling pass, one coverage comparison.
-        Large sets are processed in bounded chunks so peak memory stays
-        independent of the candidate count.
+        placement.  On the dense path the set is vectorized in bounded
+        chunks (one stacked distance tensor, one component-labeling
+        pass, one coverage comparison); on the sparse path each
+        placement runs through the shared spatial-grid engine, whose
+        per-candidate cost and memory stay ``O(N k + M k)``.
         """
         from repro.core.engine.batch import DEFAULT_MAX_CHUNK, evaluate_batch
 
         evaluations: list[Evaluation] = []
-        for start in range(0, len(placements), DEFAULT_MAX_CHUNK):
-            chunk = placements[start : start + DEFAULT_MAX_CHUNK]
-            evaluations.extend(evaluate_batch(self._problem, self._fitness, chunk))
+        if self._engine == "sparse":
+            sparse = self._sparse_engine()
+            evaluations.extend(sparse.evaluate(p) for p in placements)
+        else:
+            for start in range(0, len(placements), DEFAULT_MAX_CHUNK):
+                chunk = placements[start : start + DEFAULT_MAX_CHUNK]
+                evaluations.extend(
+                    evaluate_batch(self._problem, self._fitness, chunk)
+                )
         for evaluation in evaluations:
             self.record_evaluation(evaluation)
         return evaluations

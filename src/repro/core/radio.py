@@ -67,6 +67,32 @@ class LinkRule(enum.Enum):
             return np.minimum(column, row)
         return np.maximum(column, row)
 
+    def range_pairs(self, radii_a: np.ndarray, radii_b: np.ndarray) -> np.ndarray:
+        """Elementwise link range for parallel radius arrays.
+
+        Sparse-engine companion of :meth:`range_matrix`: instead of the
+        full pairwise matrix, it computes the range of explicitly listed
+        candidate pairs.  The arithmetic is the same float operations, so
+        the resulting thresholds are bit-identical to the matrix entries.
+        """
+        if self is LinkRule.OVERLAP:
+            return radii_a + radii_b
+        if self is LinkRule.BIDIRECTIONAL:
+            return np.minimum(radii_a, radii_b)
+        return np.maximum(radii_a, radii_b)
+
+    def max_reach(self, radii: np.ndarray) -> float:
+        """Upper bound on the link range over any pair from ``radii``.
+
+        The sparse engine sizes its spatial bins from this bound, so it
+        must never underestimate: ``OVERLAP`` ranges reach twice the
+        largest radius, the min/max rules at most the largest radius.
+        """
+        if radii.size == 0:
+            return 0.0
+        largest = float(radii.max())
+        return 2.0 * largest if self is LinkRule.OVERLAP else largest
+
 
 class CoverageRule(enum.Enum):
     """Which routers count towards user coverage.

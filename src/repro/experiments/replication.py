@@ -4,10 +4,20 @@ The paper reports single runs.  A faithful reproduction should also show
 that the claims are not seed artifacts, so this harness reruns the
 stand-alone method comparison and the movement comparison across many
 seeds and reports mean +/- standard deviation per metric.
+
+Both harnesses accept ``workers=``: replication runs are embarrassingly
+parallel, so seeds fan out over a ``ProcessPoolExecutor``.  Every run's
+RNG is seeded in the parent from the same per-seed key the serial loop
+uses, so means, stds and per-seed values are identical to the serial
+path — parallelism only changes wall-clock time.  Serial remains the
+default; with ``workers > 1`` the method/movement inputs must be
+picklable (the built-in registries and movements all are).
 """
 
 from __future__ import annotations
 
+import zlib
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -25,6 +35,74 @@ __all__ = [
     "replicate_movements",
     "format_replication",
 ]
+
+#: Per-process cache of generated instances, keyed by the spec's repr
+#: (specs are frozen dataclasses, so the repr captures every field).
+#: Workers receive the spec and regenerate once instead of pickling the
+#: whole instance per task.
+_PROBLEM_CACHE: dict[str, "object"] = {}
+
+
+def _cached_problem(spec: InstanceSpec):
+    key = repr(spec)
+    problem = _PROBLEM_CACHE.get(key)
+    if problem is None:
+        problem = spec.generate()
+        _PROBLEM_CACHE[key] = problem
+    return problem
+
+
+def _name_key(name: str) -> int:
+    """Stable 16-bit key from a method/movement label.
+
+    Earlier revisions used the built-in ``hash``, whose per-process salt
+    made replication results differ between interpreter runs; CRC32 is
+    deterministic everywhere, so fixed seeds now mean fixed statistics.
+    """
+    return zlib.crc32(name.encode("utf-8")) & 0xFFFF
+
+
+def _standalone_run(task) -> tuple[float, float, float]:
+    """One (method, seed) stand-alone run; top-level for pickling."""
+    spec, method_name, fitness, rng_key = task
+    problem = _cached_problem(spec)
+    evaluator = Evaluator(problem, fitness)
+    rng = np.random.default_rng(rng_key)
+    evaluation = evaluator.evaluate(make_method(method_name).place(problem, rng))
+    return (
+        float(evaluation.giant_size),
+        float(evaluation.covered_clients),
+        evaluation.fitness,
+    )
+
+
+def _movement_run(task) -> tuple[float, float]:
+    """One (movement, seed) search run; top-level for pickling."""
+    from repro.core.solution import Placement
+
+    spec, factory, n_candidates, max_phases, fitness, rng_key = task
+    problem = _cached_problem(spec)
+    rng = np.random.default_rng(rng_key)
+    evaluator = Evaluator(problem, fitness)
+    initial = Placement.random(problem.grid, problem.n_routers, rng)
+    search = NeighborhoodSearch(
+        factory(),
+        n_candidates=n_candidates,
+        max_phases=max_phases,
+        stall_phases=None,
+    )
+    outcome = search.run(evaluator, initial, rng)
+    return (float(outcome.best.giant_size), float(outcome.best.covered_clients))
+
+
+def _run_tasks(runner, tasks: list, workers: int | None) -> list:
+    """Run tasks serially or over a process pool, preserving order."""
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be a positive int or None, got {workers}")
+    if workers is None or workers == 1:
+        return [runner(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(runner, tasks))
 
 
 @dataclass(frozen=True)
@@ -73,33 +151,32 @@ def replicate_standalone(
     n_seeds: int = 10,
     methods: tuple[str, ...] = PAPER_METHOD_ORDER,
     fitness: FitnessFunction | None = None,
+    workers: int | None = None,
 ) -> dict[str, dict[str, ReplicatedMetric]]:
     """Stand-alone ad hoc results across seeds.
 
     Returns ``{method: {"giant": ..., "coverage": ..., "fitness": ...}}``.
     The instance is fixed (the spec's seed); only the methods' randomness
     varies, exactly like repeated planning runs on one deployment area.
+    With ``workers``, seeds fan out over a process pool; every run's RNG
+    key is computed here in the parent, so the per-seed values are
+    identical to the serial path.
     """
     if n_seeds <= 0:
         raise ValueError(f"n_seeds must be positive, got {n_seeds}")
-    problem = spec.generate()
-    evaluator = Evaluator(problem, fitness)
+    tasks = [
+        (spec, name, fitness, (spec.seed, _name_key(name), seed))
+        for name in methods
+        for seed in range(n_seeds)
+    ]
+    values = _run_tasks(_standalone_run, tasks, workers)
     results: dict[str, dict[str, ReplicatedMetric]] = {}
-    for name in methods:
-        method = make_method(name)
-        giants: list[float] = []
-        coverages: list[float] = []
-        fitness_values: list[float] = []
-        for seed in range(n_seeds):
-            rng = np.random.default_rng((spec.seed, hash(name) & 0xFFFF, seed))
-            evaluation = evaluator.evaluate(method.place(problem, rng))
-            giants.append(float(evaluation.giant_size))
-            coverages.append(float(evaluation.covered_clients))
-            fitness_values.append(evaluation.fitness)
+    for index, name in enumerate(methods):
+        rows = values[index * n_seeds : (index + 1) * n_seeds]
         results[name] = {
-            "giant": ReplicatedMetric(tuple(giants)),
-            "coverage": ReplicatedMetric(tuple(coverages)),
-            "fitness": ReplicatedMetric(tuple(fitness_values)),
+            "giant": ReplicatedMetric(tuple(row[0] for row in rows)),
+            "coverage": ReplicatedMetric(tuple(row[1] for row in rows)),
+            "fitness": ReplicatedMetric(tuple(row[2] for row in rows)),
         }
     return results
 
@@ -111,13 +188,16 @@ def replicate_movements(
     n_candidates: int = 16,
     max_phases: int = 30,
     fitness: FitnessFunction | None = None,
+    workers: int | None = None,
 ) -> dict[str, dict[str, ReplicatedMetric]]:
     """Final neighborhood-search giants across seeds, per movement.
 
     ``movements`` maps labels to zero-argument movement factories; the
     default compares the paper's Swap and Random movements.  Each seed
     draws its own initial random placement, so the statistics cover both
-    the start and the search randomness.
+    the start and the search randomness.  With ``workers``, the
+    (movement, seed) runs fan out over a process pool with
+    parent-computed RNG keys — identical statistics, less wall-clock.
     """
     from repro.neighborhood.movements import RandomMovement, SwapMovement
 
@@ -125,29 +205,26 @@ def replicate_movements(
         raise ValueError(f"n_seeds must be positive, got {n_seeds}")
     if movements is None:
         movements = {"Swap": SwapMovement, "Random": RandomMovement}
-    problem = spec.generate()
+    labels = list(movements)
+    tasks = [
+        (
+            spec,
+            movements[label],
+            n_candidates,
+            max_phases,
+            fitness,
+            (spec.seed, _name_key(label), seed),
+        )
+        for label in labels
+        for seed in range(n_seeds)
+    ]
+    values = _run_tasks(_movement_run, tasks, workers)
     results: dict[str, dict[str, ReplicatedMetric]] = {}
-    for label, factory in movements.items():
-        giants: list[float] = []
-        coverages: list[float] = []
-        for seed in range(n_seeds):
-            rng = np.random.default_rng((spec.seed, hash(label) & 0xFFFF, seed))
-            evaluator = Evaluator(problem, fitness)
-            from repro.core.solution import Placement
-
-            initial = Placement.random(problem.grid, problem.n_routers, rng)
-            search = NeighborhoodSearch(
-                factory(),
-                n_candidates=n_candidates,
-                max_phases=max_phases,
-                stall_phases=None,
-            )
-            outcome = search.run(evaluator, initial, rng)
-            giants.append(float(outcome.best.giant_size))
-            coverages.append(float(outcome.best.covered_clients))
+    for index, label in enumerate(labels):
+        rows = values[index * n_seeds : (index + 1) * n_seeds]
         results[label] = {
-            "giant": ReplicatedMetric(tuple(giants)),
-            "coverage": ReplicatedMetric(tuple(coverages)),
+            "giant": ReplicatedMetric(tuple(row[0] for row in rows)),
+            "coverage": ReplicatedMetric(tuple(row[1] for row in rows)),
         }
     return results
 

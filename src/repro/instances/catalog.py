@@ -15,17 +15,25 @@ from repro.instances.generator import InstanceSpec
 
 __all__ = [
     "PAPER_SEED",
+    "CITY_SEED",
     "paper_spec",
     "paper_normal",
     "paper_exponential",
     "paper_weibull",
     "paper_uniform",
     "catalog",
+    "city_spec",
+    "city_medium",
+    "city_large",
+    "city_catalog",
     "tiny_spec",
 ]
 
 #: Seed for the canonical paper instances; replications use other seeds.
 PAPER_SEED = 20090629  # ICDCS 2009 workshop date.
+
+#: Seed for the city-scale instances (distinct stream from the paper's).
+CITY_SEED = 20260729
 
 
 def paper_spec(distribution: str, seed: int = PAPER_SEED, **params) -> InstanceSpec:
@@ -70,6 +78,56 @@ def catalog() -> dict[str, InstanceSpec]:
         "normal": paper_normal(),
         "exponential": paper_exponential(),
         "weibull": paper_weibull(),
+    }
+
+
+def city_spec(
+    n_routers: int,
+    n_clients: int,
+    width: int = 512,
+    height: int = 512,
+    distribution: str = "uniform",
+    seed: int = CITY_SEED,
+    **params,
+) -> InstanceSpec:
+    """A city-scale frame for the sparse evaluation engine.
+
+    Far beyond the paper's 64-router workload: a large deployment area
+    where almost all router pairs are out of radio range, the regime the
+    rural-WMN literature evaluates and where the spatial-grid engine
+    beats the dense matrices asymptotically.  Radii are scaled up from
+    the paper's so city networks still form meaningful components.
+    """
+    return InstanceSpec(
+        name=f"city-{width}x{height}-r{n_routers}-c{n_clients}",
+        width=width,
+        height=height,
+        n_routers=n_routers,
+        n_clients=n_clients,
+        distribution=distribution,
+        distribution_params=dict(params),
+        min_radius=4.0,
+        max_radius=12.0,
+        seed=seed,
+    )
+
+
+def city_medium(seed: int = CITY_SEED) -> InstanceSpec:
+    """512x512 grid, 2048 routers, 20k clients — dense still feasible."""
+    return city_spec(2048, 20_000, seed=seed)
+
+
+def city_large(seed: int = CITY_SEED) -> InstanceSpec:
+    """512x512 grid, 4096 routers, 50k clients — sparse-engine only."""
+    return city_spec(4096, 50_000, seed=seed)
+
+
+def city_catalog() -> dict[str, InstanceSpec]:
+    """The named city-scale instances (separate from the paper catalog,
+    whose keys experiments resolve by distribution name)."""
+    return {
+        "city-medium": city_medium(),
+        "city-large": city_large(),
     }
 
 

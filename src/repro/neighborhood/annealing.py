@@ -13,9 +13,10 @@ same axes.
 
 Every step is a single move off the incumbent, so the loop runs on the
 incremental :class:`~repro.core.engine.delta.DeltaEvaluator`: only the
-adjacency rows/columns and coverage slice of the moved router are
-recomputed per candidate, with results and evaluation counts
-bit-identical to the scalar path.
+state the moved router touches is recomputed per candidate (matrix
+rows/columns at paper scale, sparse edge/coverage-hit arrays on
+city-scale instances — the engine dispatch picks automatically), with
+results and evaluation counts bit-identical to the scalar path.
 """
 
 from __future__ import annotations

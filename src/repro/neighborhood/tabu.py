@@ -9,10 +9,12 @@ best.
 
 Every candidate is one move off the incumbent, so the sampling loop runs
 on the incremental :class:`~repro.core.engine.delta.DeltaEvaluator`: the
-incumbent's adjacency and coverage matrices are cached and each
-candidate recomputes only the slices its move touches.  The chosen
-neighbor is then committed as the new incumbent.  Results and evaluation
-counts are bit-identical to the scalar path.
+incumbent's state is cached (adjacency/coverage matrices at paper
+scale, sparse edge/coverage-hit arrays on city-scale instances — the
+engine dispatch picks automatically) and each candidate recomputes only
+what its move touches.  The chosen neighbor is then committed as the
+new incumbent.  Results and evaluation counts are bit-identical to the
+scalar path.
 """
 
 from __future__ import annotations

@@ -12,12 +12,18 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.engine import BatchEvaluator, DeltaEvaluator, evaluate_batch
+from repro.core.engine import (
+    BatchEvaluator,
+    DeltaEvaluator,
+    SparseEngine,
+    evaluate_batch,
+    evaluate_sparse,
+)
 from repro.core.evaluation import Evaluator
 from repro.core.fitness import LexicographicFitness, WeightedSumFitness
 from repro.core.radio import CoverageRule, LinkRule
 from repro.core.solution import Placement
-from repro.instances.catalog import tiny_spec
+from repro.instances.catalog import city_spec, paper_spec, tiny_spec
 from repro.neighborhood.moves import RelocateMove, SwapMove
 
 LINK_RULES = list(LinkRule)
@@ -150,6 +156,132 @@ class TestDeltaParity:
         )
         expected = reference.evaluate(follow_up.placement)
         assert_same_evaluation(expected, follow_up)
+
+
+@pytest.mark.parametrize("link_rule", LINK_RULES, ids=[r.value for r in LINK_RULES])
+@pytest.mark.parametrize(
+    "coverage_rule", COVERAGE_RULES, ids=[r.value for r in COVERAGE_RULES]
+)
+class TestSparseParity:
+    def test_tiny_instance_bit_identical(self, link_rule, coverage_rule):
+        problem = make_problem(link_rule, coverage_rule)
+        rng = np.random.default_rng(21)
+        placements = random_placements(problem, rng, 8)
+        scalar = Evaluator(problem, engine="dense")
+        sparse = SparseEngine(problem)
+        for placement in placements:
+            assert_same_evaluation(
+                scalar.evaluate(placement), sparse.evaluate(placement)
+            )
+
+    def test_sparse_delta_move_chain_bit_identical(self, link_rule, coverage_rule):
+        problem = make_problem(link_rule, coverage_rule)
+        rng = np.random.default_rng(77)
+        delta = DeltaEvaluator(Evaluator(problem), engine="sparse")
+        current = delta.reset(
+            Placement.random(problem.grid, problem.n_routers, rng)
+        )
+        reference = Evaluator(problem, engine="dense")
+        assert_same_evaluation(reference.evaluate(current.placement), current)
+        for step in range(40):
+            if step % 5 == 4:
+                a, b = rng.choice(problem.n_routers, size=2, replace=False)
+                move = SwapMove(router_a=int(a), router_b=int(b))
+            else:
+                router = int(rng.integers(0, problem.n_routers))
+                cell = problem.grid.random_free_cell(
+                    current.placement.occupied, rng
+                )
+                move = RelocateMove(router_id=router, target=cell)
+            candidate = delta.propose(move)
+            expected = reference.evaluate(move.apply(current.placement))
+            assert_same_evaluation(expected, candidate)
+            if rng.uniform() < 0.5:
+                delta.commit(candidate)
+                current = candidate
+
+    def test_sparse_delta_commit_of_earlier_propose(self, link_rule, coverage_rule):
+        """Tabu-style: commit an evaluation that was not the last propose
+        (the commit fast-path cache must miss and recompute)."""
+        problem = make_problem(link_rule, coverage_rule)
+        rng = np.random.default_rng(55)
+        delta = DeltaEvaluator(Evaluator(problem), engine="sparse")
+        current = delta.reset(
+            Placement.random(problem.grid, problem.n_routers, rng)
+        )
+        reference = Evaluator(problem, engine="dense")
+        for _ in range(4):
+            candidates = []
+            for _ in range(5):
+                router = int(rng.integers(0, problem.n_routers))
+                cell = problem.grid.random_free_cell(
+                    current.placement.occupied, rng
+                )
+                candidates.append(
+                    delta.propose(RelocateMove(router_id=router, target=cell))
+                )
+            chosen = candidates[0]  # deliberately not the last propose
+            delta.commit(chosen)
+            current = chosen
+            follow = delta.propose(
+                RelocateMove(
+                    router_id=0,
+                    target=problem.grid.random_free_cell(
+                        current.placement.occupied, rng
+                    ),
+                )
+            )
+            assert_same_evaluation(reference.evaluate(follow.placement), follow)
+
+
+class TestSparseParityAtScale:
+    """Cross-engine parity on the paper catalog and a city-scale frame."""
+
+    def test_paper_catalog_instances(self):
+        rng = np.random.default_rng(31)
+        for distribution, params in [
+            ("normal", {"mean": 64.0, "std": 12.8}),
+            ("exponential", {"scale": 32.0}),
+            ("weibull", {"shape": 1.2}),
+            ("uniform", {}),
+        ]:
+            problem = paper_spec(distribution, **params).generate()
+            placements = random_placements(problem, rng, 3)
+            scalar = Evaluator(problem, engine="dense")
+            batch = BatchEvaluator(problem, engine="dense")
+            references = [scalar.evaluate(p) for p in placements]
+            for ref, got in zip(references, batch.evaluate_many(placements)):
+                assert_same_evaluation(ref, got)
+            for ref, got in zip(
+                references,
+                evaluate_sparse(problem, WeightedSumFitness(), placements),
+            ):
+                assert_same_evaluation(ref, got)
+
+    def test_city_scale_frame(self):
+        # Small enough for the dense reference, sparse enough (512x512
+        # area) that binning actually prunes: the city regime in miniature.
+        problem = city_spec(256, 2_000, seed=5).generate()
+        rng = np.random.default_rng(13)
+        placements = random_placements(problem, rng, 3)
+        scalar = Evaluator(problem, engine="dense")
+        sparse = BatchEvaluator(problem, engine="sparse")
+        references = [scalar.evaluate(p) for p in placements]
+        for ref, got in zip(references, sparse.evaluate_many(placements)):
+            assert_same_evaluation(ref, got)
+
+    def test_sparse_counter_and_archive_semantics(self):
+        problem = make_problem(LinkRule.BIDIRECTIONAL, CoverageRule.GIANT_ONLY)
+        rng = np.random.default_rng(17)
+        placements = random_placements(problem, rng, 5)
+        forced = Evaluator(problem, engine="sparse")
+        assert forced.engine == "sparse"
+        forced.evaluate_many(placements)
+        forced.evaluate(placements[0])
+        assert forced.n_evaluations == 6
+        batch = BatchEvaluator(problem, engine="sparse")
+        batch.evaluate_many(placements)
+        assert batch.n_evaluations == 5
 
 
 class TestCounterSemantics:

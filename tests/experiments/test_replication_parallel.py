@@ -1,0 +1,60 @@
+"""Parallel replication must be bit-identical to the serial path.
+
+The ``workers=`` fan-out only changes *where* each (method, seed) run
+executes; every run's RNG key is computed in the parent, so the per-seed
+values — and therefore every derived mean/std — must match the serial
+results exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.replication import (
+    replicate_movements,
+    replicate_standalone,
+)
+from repro.instances.catalog import tiny_spec
+
+
+def assert_identical_results(serial, parallel):
+    assert serial.keys() == parallel.keys()
+    for name in serial:
+        assert serial[name].keys() == parallel[name].keys()
+        for metric in serial[name]:
+            assert serial[name][metric].values == parallel[name][metric].values
+
+
+class TestParallelStandalone:
+    def test_workers_match_serial_exactly(self):
+        spec = tiny_spec(seed=11)
+        methods = ("random", "hotspot", "diag")
+        serial = replicate_standalone(spec, n_seeds=3, methods=methods)
+        parallel = replicate_standalone(
+            spec, n_seeds=3, methods=methods, workers=2
+        )
+        assert_identical_results(serial, parallel)
+
+    def test_workers_one_is_serial(self):
+        spec = tiny_spec(seed=4)
+        serial = replicate_standalone(spec, n_seeds=2, methods=("random",))
+        one = replicate_standalone(
+            spec, n_seeds=2, methods=("random",), workers=1
+        )
+        assert_identical_results(serial, one)
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            replicate_standalone(tiny_spec(), n_seeds=1, workers=0)
+
+
+class TestParallelMovements:
+    def test_workers_match_serial_exactly(self):
+        spec = tiny_spec(seed=8)
+        serial = replicate_movements(
+            spec, n_seeds=2, n_candidates=4, max_phases=4
+        )
+        parallel = replicate_movements(
+            spec, n_seeds=2, n_candidates=4, max_phases=4, workers=2
+        )
+        assert_identical_results(serial, parallel)

@@ -1,0 +1,66 @@
+"""The city-scale instance catalog and its end-to-end sparse path."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.engine import select_engine
+from repro.core.evaluation import Evaluator
+from repro.core.solution import Placement
+from repro.instances.catalog import (
+    CITY_SEED,
+    city_catalog,
+    city_large,
+    city_medium,
+    city_spec,
+)
+from repro.neighborhood.movements import RandomMovement
+from repro.neighborhood.search import NeighborhoodSearch
+
+
+class TestCitySpecs:
+    def test_named_specs(self):
+        medium = city_medium()
+        large = city_large()
+        assert (medium.width, medium.height) == (512, 512)
+        assert medium.n_routers == 2048 and medium.n_clients == 20_000
+        assert large.n_routers == 4096 and large.n_clients == 50_000
+        assert medium.seed == CITY_SEED
+        assert city_catalog() == {
+            "city-medium": city_medium(),
+            "city-large": city_large(),
+        }
+
+    def test_city_specs_dispatch_sparse(self):
+        # The selection heuristic needs only the spec's shape, not a
+        # full generate: a scaled-down frame with the same density
+        # profile already crosses the dense cell budget.
+        problem = city_spec(1024, 4_000, seed=1).generate()
+        assert select_engine(problem) == "sparse"
+
+    def test_reproducible_generation(self):
+        spec = city_spec(128, 1_000, width=256, height=256, seed=9)
+        a = spec.generate()
+        b = spec.generate()
+        assert np.array_equal(a.fleet.radii, b.fleet.radii)
+        assert np.array_equal(a.clients.positions, b.clients.positions)
+
+
+class TestCityEndToEnd:
+    def test_city_medium_neighborhood_search_on_sparse_engine(self):
+        # Acceptance path: a city-scale *catalog* instance through the
+        # paper's neighborhood search, with the engine auto-dispatched.
+        problem = city_medium().generate()
+        evaluator = Evaluator(problem)
+        assert evaluator.engine == "sparse"
+        rng = np.random.default_rng(CITY_SEED)
+        initial = Placement.random(problem.grid, problem.n_routers, rng)
+        search = NeighborhoodSearch(
+            RandomMovement(), n_candidates=4, max_phases=2, stall_phases=None
+        )
+        outcome = search.run(evaluator, initial, rng)
+        assert outcome.n_evaluations == evaluator.n_evaluations
+        assert outcome.n_evaluations >= 1 + 2 * 1
+        assert 0 < outcome.best.giant_size <= problem.n_routers
+        assert 0 <= outcome.best.covered_clients <= problem.n_clients
+        assert outcome.best.fitness > 0
