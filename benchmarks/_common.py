@@ -28,6 +28,12 @@ __all__ = [
     "write_bench_json",
 ]
 
+#: Default destination for benchmark records: the repository root, so
+#: every bench run leaves a committed-able ``BENCH_<name>.json`` behind
+#: and successive PRs accumulate a perf trajectory without anyone
+#: remembering a flag.
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
 
 def bench_scale() -> ExperimentScale:
     """The scale benches run at (``REPRO_SCALE``, default quick)."""
@@ -62,26 +68,28 @@ def add_json_argument(parser) -> None:
         const=".",
         default=None,
         metavar="DIR",
-        help="write a machine-readable BENCH_<name>.json record to DIR "
-        "(default: current directory; or set REPRO_BENCH_JSON=DIR)",
+        help="write the machine-readable BENCH_<name>.json record to DIR "
+        "(default: $REPRO_BENCH_JSON, else the repository root, so the "
+        "perf trajectory accumulates without flags)",
     )
 
 
-def write_bench_json(name: str, payload: dict, directory: "str | None") -> "Path | None":
+def write_bench_json(name: str, payload: dict, directory: "str | None") -> Path:
     """Write one machine-readable benchmark record, if enabled.
 
     ``payload`` carries the bench-specific records (timings, sizes,
     speedups); this helper stamps the shared envelope (bench name,
     scale, unix timestamp) and writes ``BENCH_<name>.json`` into
-    ``directory`` (or ``$REPRO_BENCH_JSON`` when ``directory`` is
-    ``None``).  Returns the written path, or ``None`` when JSON output
-    is not enabled — benches stay print-only by default.
+    ``directory``, falling back to ``$REPRO_BENCH_JSON`` and finally to
+    the repository root — records are always written, so the committed
+    ``BENCH_*.json`` trajectory tracks regressions across PRs.  Returns
+    the written path.
     """
     directory = directory if directory is not None else os.environ.get(
         "REPRO_BENCH_JSON"
     )
     if not directory:
-        return None
+        directory = str(_REPO_ROOT)
     target = Path(directory)
     target.mkdir(parents=True, exist_ok=True)
     record = {

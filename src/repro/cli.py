@@ -154,6 +154,13 @@ def build_parser() -> argparse.ArgumentParser:
     replicate.add_argument("--seeds", type=int, default=5)
     replicate.add_argument("--phases", type=int, default=30)
     replicate.add_argument("--candidates", type=int, default=16)
+    replicate.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan seed shards out over a process pool (identical results; "
+        "chains still run in lockstep within each process)",
+    )
 
     sweep = subparsers.add_parser(
         "sweep", help="scaling sweeps around the paper's operating point"
@@ -170,6 +177,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated parameter values (e.g. 16,32,64)",
     )
     sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument(
+        "--restarts",
+        type=int,
+        default=1,
+        help="best-of-R restart portfolio per movement at every sweep "
+        "point (lockstep multi-start; default 1)",
+    )
     return parser
 
 
@@ -332,13 +346,16 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
         link_rule=problem.link_rule,
         coverage_rule=problem.coverage_rule,
     )
-    standalone = replicate_standalone(spec, n_seeds=args.seeds)
+    standalone = replicate_standalone(
+        spec, n_seeds=args.seeds, workers=args.workers
+    )
     print(format_replication(standalone, "stand-alone ad hoc methods"))
     movements = replicate_movements(
         spec,
         n_seeds=args.seeds,
         n_candidates=args.candidates,
         max_phases=args.phases,
+        workers=args.workers,
     )
     print(format_replication(movements, "neighborhood search movements"))
     return 0
@@ -359,14 +376,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             if args.values
             else (16, 32, 64)
         )
-        result = sweep_router_count(base, counts=values, seed=args.seed)
+        result = sweep_router_count(
+            base, counts=values, seed=args.seed, n_restarts=args.restarts
+        )
     else:
         values = (
             tuple(float(v) for v in args.values.split(","))
             if args.values
             else (4.0, 7.0, 12.0)
         )
-        result = sweep_radio_range(base, max_radii=values, seed=args.seed)
+        result = sweep_radio_range(
+            base, max_radii=values, seed=args.seed, n_restarts=args.restarts
+        )
     print(format_sweep(result))
     return 0
 

@@ -65,10 +65,16 @@ class DensityMap:
             )
         histogram = np.zeros((grid.height, grid.width), dtype=np.int64)
         array = np.asarray(points, dtype=int).reshape(-1, 2)
-        for x, y in array:
-            if not (0 <= x < grid.width and 0 <= y < grid.height):
-                raise ValueError(f"point ({x}, {y}) outside the grid")
-            histogram[y, x] += 1
+        if array.size:
+            xs = array[:, 0]
+            ys = array[:, 1]
+            outside = (xs < 0) | (xs >= grid.width) | (ys < 0) | (ys >= grid.height)
+            if outside.any():
+                index = int(np.flatnonzero(outside)[0])
+                raise ValueError(
+                    f"point ({array[index, 0]}, {array[index, 1]}) outside the grid"
+                )
+            np.add.at(histogram, (ys, xs), 1)
         # Integral image with a zero border row/column, so that
         # sum(rect) = I[y1, x1] - I[y0, x1] - I[y1, x0] + I[y0, x0].
         integral = np.zeros((grid.height + 1, grid.width + 1), dtype=np.int64)

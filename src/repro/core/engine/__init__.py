@@ -21,6 +21,13 @@ masks for the same placement:
   ``O(N^2 + M * N)`` matrices with ``O(N k + M k)`` edge and hit
   arrays.  Use it — normally via the automatic dispatch — for
   city-scale instances the dense tensors cannot hold.
+* **Stacked** — :class:`StackedEngine` (and the pure
+  :func:`measure_stack`).  Array-level measurement of whole multi-chain
+  candidate stacks: metric *arrays* instead of per-candidate
+  ``Evaluation`` objects, with dense/sparse dispatch.  Use it when a
+  portfolio of searches advances in lockstep
+  (:mod:`repro.neighborhood.multichain`) and only winning rows are ever
+  materialized.
 
 The scalar, batch and delta evaluators all take an ``engine`` argument
 (``"auto"`` default): :func:`select_engine` picks dense at paper scale
@@ -32,9 +39,11 @@ experiments is unaffected by which engine a search runs on.
 
 from repro.core.engine.batch import (
     BatchEvaluator,
+    StackedMeasurement,
     batch_adjacency,
     batch_coverage,
     evaluate_batch,
+    measure_stack,
 )
 from repro.core.engine.components import (
     batch_labels_from_adjacency,
@@ -50,16 +59,20 @@ from repro.core.engine.sparse import (
     evaluate_sparse,
     sparse_edges,
 )
+from repro.core.engine.stacked import StackedEngine
 
 __all__ = [
     "BatchEvaluator",
     "DeltaEvaluator",
     "SparseEngine",
     "SpatialGridIndex",
+    "StackedEngine",
+    "StackedMeasurement",
     "batch_adjacency",
     "batch_coverage",
     "evaluate_batch",
     "evaluate_sparse",
+    "measure_stack",
     "sparse_edges",
     "batch_labels_from_adjacency",
     "labels_from_adjacency",

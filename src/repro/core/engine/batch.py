@@ -21,6 +21,7 @@ the public helpers) fall back to the float64 reference formulas.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
@@ -35,9 +36,11 @@ from repro.core.solution import Placement
 
 __all__ = [
     "DEFAULT_MAX_CHUNK",
+    "StackedMeasurement",
     "batch_adjacency",
     "batch_coverage",
     "evaluate_batch",
+    "measure_stack",
     "BatchEvaluator",
 ]
 
@@ -169,27 +172,127 @@ def _client_within(
     return dx <= _floor_threshold(radii_squared, dx.dtype)
 
 
-def evaluate_batch(
+@dataclass(eq=False)
+class StackedMeasurement:
+    """Array-level metrics for ``K`` stacked candidate placements.
+
+    The multi-chain search layer measures whole candidate stacks per
+    phase but only ever *materializes* the few winners, so this holds
+    one metric array per field (indexed by candidate) instead of ``K``
+    :class:`~repro.core.evaluation.Evaluation` objects.
+    :meth:`evaluation` converts any row into a full, bit-identical
+    ``Evaluation`` on demand.  Implements the row protocol that
+    :meth:`repro.core.fitness.FitnessFunction.score_rows` consumes.
+    """
+
+    problem: ProblemInstance
+    fitness_function: FitnessFunction
+    giant_sizes: np.ndarray
+    covered_clients: np.ndarray
+    n_components: np.ndarray
+    n_links: np.ndarray
+    mean_degrees: np.ndarray
+    giant_masks: np.ndarray
+    #: Per-row scalar fitness, filled by ``measure_stack`` via
+    #: ``fitness_function.score_rows`` (bit-identical to per-row
+    #: ``score`` calls).
+    fitness: np.ndarray = field(default=None)
+    #: Sparse-path measurements wrap already-materialized evaluations.
+    evaluations: "list[Evaluation] | None" = None
+
+    def __len__(self) -> int:
+        return int(self.giant_sizes.shape[0])
+
+    @property
+    def n_routers(self) -> int:
+        """Fleet size (shared by every candidate row)."""
+        return self.problem.n_routers
+
+    @property
+    def n_clients(self) -> int:
+        """Client count (shared by every candidate row)."""
+        return self.problem.n_clients
+
+    def metrics(self, index: int) -> NetworkMetrics:
+        """The full metric bundle of one row."""
+        return NetworkMetrics(
+            giant_size=int(self.giant_sizes[index]),
+            n_routers=self.problem.n_routers,
+            covered_clients=int(self.covered_clients[index]),
+            n_clients=self.problem.n_clients,
+            n_components=int(self.n_components[index]),
+            n_links=int(self.n_links[index]),
+            mean_degree=float(self.mean_degrees[index]),
+        )
+
+    def evaluation(self, index: int, placement: Placement | None = None) -> Evaluation:
+        """Materialize row ``index`` as a full :class:`Evaluation`.
+
+        ``placement`` must be supplied on the array path (the stack never
+        saw placement objects); sparse-path measurements return their
+        stored evaluation directly.
+        """
+        if self.evaluations is not None:
+            return self.evaluations[index]
+        if placement is None:
+            raise ValueError(
+                "materializing an array-path row needs its placement"
+            )
+        return Evaluation(
+            placement=placement,
+            metrics=self.metrics(index),
+            fitness=float(self.fitness[index]),
+            giant_mask=self.giant_masks[index],
+        )
+
+    @classmethod
+    def concatenate(
+        cls, parts: "Sequence[StackedMeasurement]"
+    ) -> "StackedMeasurement":
+        """Join chunked measurements back into one stack (row order kept)."""
+        if not parts:
+            raise ValueError("cannot concatenate zero measurement chunks")
+        if len(parts) == 1:
+            return parts[0]
+        first = parts[0]
+        evaluations = None
+        if all(part.evaluations is not None for part in parts):
+            evaluations = [e for part in parts for e in part.evaluations]
+        return cls(
+            problem=first.problem,
+            fitness_function=first.fitness_function,
+            giant_sizes=np.concatenate([p.giant_sizes for p in parts]),
+            covered_clients=np.concatenate([p.covered_clients for p in parts]),
+            n_components=np.concatenate([p.n_components for p in parts]),
+            n_links=np.concatenate([p.n_links for p in parts]),
+            mean_degrees=np.concatenate([p.mean_degrees for p in parts]),
+            giant_masks=np.concatenate([p.giant_masks for p in parts]),
+            fitness=np.concatenate([p.fitness for p in parts]),
+            evaluations=evaluations,
+        )
+
+
+def measure_stack(
     problem: ProblemInstance,
     fitness: FitnessFunction,
-    placements: Sequence[Placement],
-) -> list[Evaluation]:
-    """Evaluate every placement in one vectorized pass.
+    positions: np.ndarray,
+) -> StackedMeasurement:
+    """Measure a ``(K, N, 2)`` candidate-position stack in one pass.
 
-    Pure function: no counters, no archive — callers that need the
-    bookkeeping wrap it (:class:`BatchEvaluator`,
-    :meth:`repro.core.evaluation.Evaluator.evaluate_many`).
+    The array-level entry point for multi-chain search: identical math
+    to :func:`evaluate_batch` (which is now a thin materializing wrapper
+    around this function) without constructing per-candidate python
+    objects.  Pure function — no counters, no archive.
     """
-    if not placements:
-        return []
+    positions = np.asarray(positions, dtype=float)
+    if positions.ndim != 3 or positions.shape[2] != 2:
+        raise ValueError(f"positions must be (K, N, 2), got {positions.shape}")
     n = problem.n_routers
-    for placement in placements:
-        if len(placement) != n:
-            raise ValueError(
-                f"placement positions {len(placement)} routers but the fleet "
-                f"has {n}"
-            )
-    positions = np.stack([p.positions_array() for p in placements])
+    if positions.shape[1] != n:
+        raise ValueError(
+            f"positions stack has {positions.shape[1]} routers but the "
+            f"fleet has {n}"
+        )
     radii = problem.fleet.radii
     adjacency = batch_adjacency(positions, radii, problem.link_rule)
     k = positions.shape[0]
@@ -233,26 +336,46 @@ def evaluate_batch(
     else:
         covered = (coverage & giant_masks[:, np.newaxis, :]).any(axis=2).sum(axis=1)
 
-    evaluations: list[Evaluation] = []
-    for index, placement in enumerate(placements):
-        metrics = NetworkMetrics(
-            giant_size=int(giant_sizes[index]),
-            n_routers=n,
-            covered_clients=int(covered[index]),
-            n_clients=problem.n_clients,
-            n_components=int(n_components[index]),
-            n_links=int(n_links[index]),
-            mean_degree=float(mean_degrees[index]),
-        )
-        evaluations.append(
-            Evaluation(
-                placement=placement,
-                metrics=metrics,
-                fitness=fitness.score(metrics),
-                giant_mask=giant_masks[index],
+    measurement = StackedMeasurement(
+        problem=problem,
+        fitness_function=fitness,
+        giant_sizes=giant_sizes,
+        covered_clients=covered,
+        n_components=n_components,
+        n_links=n_links,
+        mean_degrees=mean_degrees,
+        giant_masks=giant_masks,
+    )
+    measurement.fitness = fitness.score_rows(measurement)
+    return measurement
+
+
+def evaluate_batch(
+    problem: ProblemInstance,
+    fitness: FitnessFunction,
+    placements: Sequence[Placement],
+) -> list[Evaluation]:
+    """Evaluate every placement in one vectorized pass.
+
+    Pure function: no counters, no archive — callers that need the
+    bookkeeping wrap it (:class:`BatchEvaluator`,
+    :meth:`repro.core.evaluation.Evaluator.evaluate_many`).
+    """
+    if not placements:
+        return []
+    n = problem.n_routers
+    for placement in placements:
+        if len(placement) != n:
+            raise ValueError(
+                f"placement positions {len(placement)} routers but the fleet "
+                f"has {n}"
             )
-        )
-    return evaluations
+    positions = np.stack([p.positions_array() for p in placements])
+    measurement = measure_stack(problem, fitness, positions)
+    return [
+        measurement.evaluation(index, placement)
+        for index, placement in enumerate(placements)
+    ]
 
 
 class BatchEvaluator:

@@ -1,0 +1,664 @@
+"""Stacked evaluation entry points for multi-chain search portfolios.
+
+The lockstep search engine (:mod:`repro.neighborhood.multichain`)
+advances ``R`` independent chains at once, so each phase produces one
+candidate stack of ``R x C`` placements.  :class:`StackedEngine` is the
+engine-layer entry point for those stacks: it follows the shared
+dispatch contract (``engine="auto" | "dense" | "sparse"``) and measures
+a whole stack in as few passes as possible —
+
+* **dense** — the ``(K, N, 2)`` position tensor goes straight into
+  :func:`repro.core.engine.batch.measure_stack` in bounded chunks.  No
+  per-candidate :class:`~repro.core.solution.Placement` or
+  :class:`~repro.core.evaluation.Evaluation` objects are built; callers
+  materialize only the rows they keep.
+* **sparse** — each candidate runs through one shared
+  :class:`~repro.core.engine.sparse.SparseEngine` (the per-candidate
+  cost and memory stay ``O(N k + M k)``, which dominates any object
+  overhead at city scale); the resulting evaluations are wrapped in the
+  same :class:`~repro.core.engine.batch.StackedMeasurement` interface.
+
+Both paths produce bit-identical metric rows, so the search layer never
+needs to know which engine a portfolio runs on.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.coverage import coverage_matrix
+from repro.core.engine.batch import (
+    DEFAULT_MAX_CHUNK,
+    StackedMeasurement,
+    measure_stack,
+)
+from repro.core.engine.components import labels_from_edge_stack
+from repro.core.engine.dispatch import resolve_engine
+from repro.core.fitness import FitnessFunction, WeightedSumFitness
+from repro.core.network import adjacency_matrix
+from repro.core.problem import ProblemInstance
+from repro.core.radio import CoverageRule
+from repro.core.solution import Placement
+
+__all__ = ["StackedEngine", "StackedDeltaEngine"]
+
+
+class StackedEngine:
+    """Array-level candidate-stack evaluation with engine dispatch.
+
+    Pure measurement: no evaluation counters, no archive — the search
+    layer on top owns the per-chain bookkeeping.  ``max_chunk`` bounds
+    the dense path's peak memory exactly like
+    :class:`~repro.core.engine.batch.BatchEvaluator`.
+    """
+
+    def __init__(
+        self,
+        problem: ProblemInstance,
+        fitness: FitnessFunction | None = None,
+        engine: str = "auto",
+        max_chunk: int = DEFAULT_MAX_CHUNK,
+    ) -> None:
+        if max_chunk <= 0:
+            raise ValueError(f"max_chunk must be positive, got {max_chunk}")
+        self._problem = problem
+        self._fitness = fitness if fitness is not None else WeightedSumFitness()
+        self._max_chunk = max_chunk
+        self._engine = resolve_engine(problem, engine)
+        self._sparse = None
+
+    @property
+    def problem(self) -> ProblemInstance:
+        """The instance this engine measures against."""
+        return self._problem
+
+    @property
+    def fitness_function(self) -> FitnessFunction:
+        """The configured scalarization."""
+        return self._fitness
+
+    @property
+    def engine(self) -> str:
+        """The resolved evaluation path: ``"dense"`` or ``"sparse"``."""
+        return self._engine
+
+    def _sparse_engine(self):
+        if self._sparse is None:
+            from repro.core.engine.sparse import SparseEngine
+
+            self._sparse = SparseEngine(self._problem, self._fitness)
+        return self._sparse
+
+    def measure_positions(self, positions: np.ndarray) -> StackedMeasurement:
+        """Measure a raw ``(K, N, 2)`` position stack (dense path only).
+
+        The fast lane for multi-chain phases: candidate rows are derived
+        numerically from the incumbents' position rows, so no placement
+        objects exist yet.  Raises on the sparse path, which needs
+        placements — use :meth:`measure_placements` there.
+        """
+        if self._engine != "dense":
+            raise ValueError(
+                "measure_positions requires the dense engine; the sparse "
+                "path measures placements (see measure_placements)"
+            )
+        positions = np.asarray(positions, dtype=float)
+        if positions.ndim != 3 or positions.shape[2] != 2:
+            raise ValueError(
+                f"positions must be (K, N, 2), got {positions.shape}"
+            )
+        k = positions.shape[0]
+        if k == 0:
+            return self._empty_measurement()
+        if k <= self._max_chunk:
+            return measure_stack(self._problem, self._fitness, positions)
+        chunks = [
+            measure_stack(
+                self._problem,
+                self._fitness,
+                positions[start : start + self._max_chunk],
+            )
+            for start in range(0, k, self._max_chunk)
+        ]
+        return StackedMeasurement.concatenate(chunks)
+
+    def measure_placements(
+        self, placements: Sequence[Placement]
+    ) -> StackedMeasurement:
+        """Measure a candidate set of placements on the dispatched path.
+
+        Dense: stacks the (cached) position arrays and defers to
+        :meth:`measure_positions`.  Sparse: evaluates each placement on
+        the shared spatial-grid engine and keeps the evaluations, so
+        :meth:`StackedMeasurement.evaluation` is free.
+        """
+        if not placements:
+            return self._empty_measurement()
+        if self._engine == "dense":
+            positions = np.stack([p.positions_array() for p in placements])
+            return self.measure_positions(positions)
+        evaluations = [
+            self._sparse_engine().evaluate(placement) for placement in placements
+        ]
+        n = self._problem.n_routers
+        return StackedMeasurement(
+            problem=self._problem,
+            fitness_function=self._fitness,
+            giant_sizes=np.array(
+                [e.giant_size for e in evaluations], dtype=np.intp
+            ),
+            covered_clients=np.array(
+                [e.covered_clients for e in evaluations], dtype=np.intp
+            ),
+            n_components=np.array(
+                [e.metrics.n_components for e in evaluations], dtype=np.intp
+            ),
+            n_links=np.array(
+                [e.metrics.n_links for e in evaluations], dtype=np.intp
+            ),
+            mean_degrees=np.array(
+                [e.metrics.mean_degree for e in evaluations], dtype=float
+            ),
+            giant_masks=(
+                np.stack([e.giant_mask for e in evaluations])
+                if evaluations
+                else np.zeros((0, n), dtype=bool)
+            ),
+            fitness=np.array([e.fitness for e in evaluations], dtype=float),
+            evaluations=evaluations,
+        )
+
+    def _empty_measurement(self) -> StackedMeasurement:
+        return _empty_stacked(self._problem, self._fitness)
+
+    def __repr__(self) -> str:
+        return (
+            f"StackedEngine(n_routers={self._problem.n_routers}, "
+            f"engine={self._engine!r}, max_chunk={self._max_chunk})"
+        )
+
+
+class _ChainCache:
+    """Incumbent state of one chain (see :class:`StackedDeltaEngine`)."""
+
+    __slots__ = (
+        "placement",
+        "positions",
+        "adjacency",
+        "coverage",
+        "coverage32",
+        "coverage_counts",
+        "edge_rows",
+        "edge_cols",
+    )
+
+    def __init__(self, problem: ProblemInstance, placement: Placement) -> None:
+        self.placement = placement
+        self.positions = np.array(placement.positions_array(), dtype=float)
+        # The reference matrix builders, so the cached state is exactly
+        # what the scalar/batch paths would compute.
+        self.adjacency = adjacency_matrix(
+            self.positions, problem.fleet.radii, problem.link_rule
+        )
+        self.coverage = coverage_matrix(
+            problem.clients.positions, self.positions, problem.fleet.radii
+        )
+        rows, cols = np.nonzero(self.adjacency)
+        one_way = rows < cols
+        self.edge_rows = rows[one_way].astype(np.intp)
+        self.edge_cols = cols[one_way].astype(np.intp)
+        if problem.coverage_rule is CoverageRule.ANY_ROUTER:
+            self.coverage32 = None
+            self.coverage_counts = self.coverage.sum(axis=1, dtype=np.int32)
+        else:
+            # float32 copy for the per-phase sgemm: counts stay exact
+            # (at most N ones per client, far below 2**24).
+            self.coverage32 = self.coverage.astype(np.float32)
+            self.coverage_counts = None
+
+
+class StackedDeltaEngine:
+    """Incremental stacked measurement for lockstep chains (dense layout).
+
+    Every phase candidate differs from its chain's incumbent by at most
+    a couple of *moved* routers, so rebuilding the full
+    ``O(K * (N^2 + M * N))`` tensors per phase — what
+    :func:`~repro.core.engine.batch.measure_stack` does — wastes almost
+    all of its arithmetic on unchanged rows.  This engine keeps one
+    :class:`_ChainCache` per chain (incumbent adjacency, coverage hits
+    and one-way edge arrays, built by the reference formulas) and per
+    phase recomputes only:
+
+    * one ``(P, N)`` adjacency-row and one ``(P, M)`` coverage-column
+      broadcast per chain for the ``P`` (candidate, moved-router) pairs;
+    * per-candidate edge lists as *kept incumbent edges* (a boolean mask
+      over the cached one-way arrays) plus the moved routers' new edges,
+      labeled for the whole phase in one
+      :func:`~repro.core.engine.components.labels_from_edge_stack` pass;
+    * covered-client counts from one exact ``float32`` matmul of the
+      cached hit matrix against the candidate giant masks, corrected per
+      moved router (``GIANT_ONLY``), or cached per-client hit counts
+      corrected per moved router (``ANY_ROUTER``).
+
+    Results are bit-identical to ``measure_stack`` on the candidate
+    placements (the multichain parity suite asserts it): the float64
+    row/column predicates match the reference matrix builders
+    elementwise, labels are canonical smallest-member ids, and the
+    integer count arithmetic is exact.
+
+    Protocol: :meth:`reset_chain` once per chain, :meth:`measure_phase`
+    once per phase with neutral ``(chain, movers, new_positions)``
+    candidate descriptions, :meth:`commit_chain` whenever a chain
+    accepts a candidate.  Pure measurement — counters and archives live
+    in the search layer.
+    """
+
+    def __init__(
+        self, problem: ProblemInstance, fitness: FitnessFunction | None = None
+    ) -> None:
+        self._problem = problem
+        self._fitness = fitness if fitness is not None else WeightedSumFitness()
+        radii = problem.fleet.radii
+        link_range = problem.link_rule.range_matrix(radii)
+        self._range_squared = link_range * link_range
+        self._radii_squared = radii * radii
+        self._clients = problem.clients.positions
+        self._giant_only = problem.coverage_rule is not CoverageRule.ANY_ROUTER
+        self._caches: dict[int, _ChainCache] = {}
+
+    @property
+    def problem(self) -> ProblemInstance:
+        """The instance this engine measures against."""
+        return self._problem
+
+    @property
+    def fitness_function(self) -> FitnessFunction:
+        """The configured scalarization."""
+        return self._fitness
+
+    def reset_chain(self, chain: int, placement: Placement) -> None:
+        """(Re)build chain ``chain``'s incumbent cache from scratch."""
+        self._caches[chain] = _ChainCache(self._problem, placement)
+
+    def commit_chain(self, chain: int, placement: Placement) -> None:
+        """Advance chain ``chain``'s incumbent to an accepted placement.
+
+        Rewrites only the moved routers' adjacency rows/columns and
+        coverage columns in place (the same update rule as
+        :meth:`~repro.core.engine.delta.DeltaEvaluator.commit`), then
+        refreshes the one-way edge arrays from the patched adjacency.
+        """
+        cache = self._caches.get(chain)
+        if cache is None:
+            self.reset_chain(chain, placement)
+            return
+        new_positions = placement.positions_array()
+        moved = np.flatnonzero((new_positions != cache.positions).any(axis=1))
+        if moved.size == 0:
+            cache.placement = placement
+            return
+        x = new_positions[:, 0]
+        y = new_positions[:, 1]
+        clients = self._clients
+        for router in moved.tolist():
+            dx = x[router] - x
+            dy = y[router] - y
+            row = dx * dx + dy * dy <= self._range_squared[router]
+            row[router] = False
+            cache.adjacency[router, :] = row
+            cache.adjacency[:, router] = row
+            if clients.size:
+                cdx = clients[:, 0] - x[router]
+                cdy = clients[:, 1] - y[router]
+                column = cdx * cdx + cdy * cdy <= self._radii_squared[router]
+                if cache.coverage_counts is not None:
+                    # Keep the per-client totals in sync before the
+                    # column is overwritten.
+                    cache.coverage_counts += column
+                    cache.coverage_counts -= cache.coverage[:, router]
+                cache.coverage[:, router] = column
+                if cache.coverage32 is not None:
+                    cache.coverage32[:, router] = column
+        rows, cols = np.nonzero(cache.adjacency)
+        one_way = rows < cols
+        cache.edge_rows = rows[one_way].astype(np.intp)
+        cache.edge_cols = cols[one_way].astype(np.intp)
+        cache.positions[moved] = new_positions[moved]
+        cache.placement = placement
+
+    # ------------------------------------------------------------------
+    # Phase measurement
+    # ------------------------------------------------------------------
+
+    def measure_phase(
+        self,
+        items: "Sequence[tuple[int, tuple[int, ...], tuple[tuple[float, float], ...]]]",
+    ) -> StackedMeasurement:
+        """Measure one phase's candidate stack incrementally.
+
+        ``items[k] = (chain, movers, new_positions)`` describes candidate
+        ``k`` as its chain id plus the parallel tuples of moved router
+        ids — distinct within one candidate — and their new ``(x, y)``
+        cells (empty tuples for a no-op candidate identical to the
+        incumbent).  Items must be grouped by chain (the search layer
+        emits them chain-major).  Returns a
+        :class:`~repro.core.engine.batch.StackedMeasurement` in item
+        order; materialize winners with ``measurement.evaluation(k,
+        placement)``.
+        """
+        n = self._problem.n_routers
+        k_total = len(items)
+        if k_total == 0:
+            return _empty_stacked(self._problem, self._fitness)
+
+        giant_sizes = np.empty(k_total, dtype=np.intp)
+        covered = np.empty(k_total, dtype=np.intp)
+        n_components = np.empty(k_total, dtype=np.intp)
+        n_links = np.empty(k_total, dtype=np.intp)
+        giant_masks = np.empty((k_total, n), dtype=bool)
+
+        # ---- pass 1: per-chain adjacency deltas and edge stacks ------
+        segments = _chain_segments(items)
+        edge_sources: list[np.ndarray] = []
+        edge_targets: list[np.ndarray] = []
+        chain_scratch: list[tuple] = []
+        for chain, start, end in segments:
+            cache = self._caches[chain]
+            scratch = self._chain_edges(
+                cache, items, start, end, n_links, edge_sources, edge_targets
+            )
+            chain_scratch.append(scratch)
+
+        # ---- global component labeling for the whole phase -----------
+        sources = (
+            np.concatenate(edge_sources) if edge_sources else np.zeros(0, np.intp)
+        )
+        targets = (
+            np.concatenate(edge_targets) if edge_targets else np.zeros(0, np.intp)
+        )
+        labels = labels_from_edge_stack(k_total * n, sources, targets)
+        counts = np.bincount(labels, minlength=k_total * n).reshape(k_total, n)
+        labels = labels.reshape(k_total, n)
+        labels -= np.arange(k_total, dtype=np.intp)[:, np.newaxis] * n
+        # First maximum = smallest canonical label among the largest
+        # components — the shared giant tie-break rule.
+        giant_labels = counts.argmax(axis=1)
+        giant_sizes[:] = counts[np.arange(k_total), giant_labels]
+        n_components[:] = (counts > 0).sum(axis=1)
+        np.equal(labels, giant_labels[:, np.newaxis], out=giant_masks)
+
+        # ---- pass 2: coverage, per chain ------------------------------
+        for (chain, start, end), scratch in zip(segments, chain_scratch):
+            self._chain_coverage(
+                self._caches[chain], start, end, scratch, giant_masks, covered
+            )
+
+        degree_totals = 2 * n_links
+        measurement = StackedMeasurement(
+            problem=self._problem,
+            fitness_function=self._fitness,
+            giant_sizes=giant_sizes,
+            covered_clients=covered,
+            n_components=n_components,
+            n_links=n_links,
+            mean_degrees=degree_totals / n,
+            giant_masks=giant_masks,
+        )
+        measurement.fitness = self._fitness.score_rows(measurement)
+        return measurement
+
+    # ------------------------------------------------------------------
+    # Per-chain internals
+    # ------------------------------------------------------------------
+
+    def _chain_edges(
+        self,
+        cache: _ChainCache,
+        items,
+        start: int,
+        end: int,
+        n_links: np.ndarray,
+        edge_sources: list[np.ndarray],
+        edge_targets: list[np.ndarray],
+    ) -> tuple:
+        """Adjacency deltas + stacked edge arrays for one chain's segment.
+
+        Fills ``n_links[start:end]`` and appends this chain's globally
+        offset edge arrays; returns the scratch (pair arrays and new
+        coverage columns) the coverage pass reuses.
+        """
+        n = self._problem.n_routers
+        count = end - start
+        # Flatten (candidate, mover) pairs for the whole segment,
+        # candidate-major: candidate k's pairs are the contiguous run
+        # pair_first[k - start] .. (next first).
+        segment = [items[k] for k in range(start, end)]
+        single = all(len(item[1]) <= 1 for item in segment)
+        if single:
+            # Fast path for the dominant shape (relocations: at most one
+            # mover per candidate): two comprehension passes instead of
+            # the generic ragged flattening.
+            pair_locals = [
+                local for local, item in enumerate(segment) if item[1]
+            ]
+            cand_of_pair = np.asarray(pair_locals, dtype=np.intp)
+            router_of_pair = np.asarray(
+                [segment[local][1][0] for local in pair_locals], dtype=np.intp
+            )
+            pair_xy = [segment[local][2][0] for local in pair_locals]
+            mover_lengths = None
+            pair_first = None
+        else:
+            mover_lengths = [len(item[1]) for item in segment]
+            pair_first = [0] * count
+            total = 0
+            for local, length in enumerate(mover_lengths):
+                pair_first[local] = total
+                total += length
+            cand_of_pair = np.repeat(
+                np.arange(count, dtype=np.intp), mover_lengths
+            )
+            router_of_pair = np.asarray(
+                [router for item in segment for router in item[1]],
+                dtype=np.intp,
+            )
+            pair_xy = [xy for item in segment for xy in item[2]]
+        n_pairs = router_of_pair.size
+
+        if n_pairs:
+            new_xy = np.asarray(pair_xy, dtype=float)
+            new_x = new_xy[:, 0]
+            new_y = new_xy[:, 1]
+            # New adjacency rows against the *incumbent* positions —
+            # identical predicate to the reference adjacency_matrix.
+            dx = new_x[:, np.newaxis] - cache.positions[np.newaxis, :, 0]
+            dy = new_y[:, np.newaxis] - cache.positions[np.newaxis, :, 1]
+            rows_new = dx * dx + dy * dy <= self._range_squared[router_of_pair]
+            rows_new[np.arange(n_pairs), router_of_pair] = False
+            # New coverage columns (client within the mover's radius).
+            if self._clients.size:
+                cdx = new_x[:, np.newaxis] - self._clients[np.newaxis, :, 0]
+                cdy = new_y[:, np.newaxis] - self._clients[np.newaxis, :, 1]
+                cols_new = (
+                    cdx * cdx + cdy * cdy
+                    <= self._radii_squared[router_of_pair, np.newaxis]
+                )
+            else:
+                cols_new = np.zeros((n_pairs, 0), dtype=bool)
+        else:
+            rows_new = np.zeros((0, n), dtype=bool)
+            cols_new = np.zeros((0, self._problem.n_clients), dtype=bool)
+
+        # Mover-mover entries: computed from both new positions (the row
+        # broadcast above tested against the co-mover's *old* position),
+        # counted/emitted once per unordered pair.
+        extra_edges: list[tuple[int, int, int]] = []  # (local cand, a, b)
+        if not single:
+            for local, (_, movers, new_positions) in enumerate(segment):
+                if len(movers) < 2:
+                    continue
+                first = pair_first[local]
+                pair_ids = range(first, first + len(movers))
+                for i in range(len(movers)):
+                    for j in range(i + 1, len(movers)):
+                        a, b = movers[i], movers[j]
+                        ax, ay = new_positions[i]
+                        bx, by = new_positions[j]
+                        dx2 = float(ax) - float(bx)
+                        dy2 = float(ay) - float(by)
+                        linked = (
+                            dx2 * dx2 + dy2 * dy2 <= self._range_squared[a, b]
+                        )
+                        # Clear both directed row entries so the pair is
+                        # neither double-counted nor tested against stale
+                        # positions.
+                        rows_new[pair_ids[i], b] = False
+                        rows_new[pair_ids[j], a] = False
+                        if linked:
+                            extra_edges.append((local, a, b))
+
+        # Kept incumbent edges: both endpoints unmoved.
+        base_rows = cache.edge_rows
+        base_cols = cache.edge_cols
+        keep = np.ones((count, base_rows.size), dtype=bool)
+        if single:
+            if n_pairs:
+                movers_column = np.full(count, -1, dtype=np.intp)
+                movers_column[cand_of_pair] = router_of_pair
+                column = movers_column[:, np.newaxis]
+                keep &= base_rows[np.newaxis, :] != column
+                keep &= base_cols[np.newaxis, :] != column
+        else:
+            max_movers = max(mover_lengths, default=0)
+            if max_movers:
+                padded = np.full((count, max_movers), -1, dtype=np.intp)
+                for local, (_, movers, _unused) in enumerate(segment):
+                    if movers:
+                        padded[local, : len(movers)] = movers
+                for w in range(max_movers):
+                    column = padded[:, w][:, np.newaxis]
+                    keep &= base_rows[np.newaxis, :] != column
+                    keep &= base_cols[np.newaxis, :] != column
+
+        kept_counts = keep.sum(axis=1)
+        new_counts = np.zeros(count, dtype=np.intp)
+        if n_pairs:
+            np.add.at(new_counts, cand_of_pair, rows_new.sum(axis=1))
+        for local, _, _ in extra_edges:
+            new_counts[local] += 1
+        n_links[start:end] = kept_counts + new_counts
+
+        # Globally offset edge arrays for the phase labeling.
+        offsets = (np.arange(start, end, dtype=np.intp)) * n
+        kept_cand, kept_edge = np.nonzero(keep)
+        edge_sources.append(offsets[kept_cand] + base_rows[kept_edge])
+        edge_targets.append(offsets[kept_cand] + base_cols[kept_edge])
+        if n_pairs:
+            new_pair, new_target = np.nonzero(rows_new)
+            edge_sources.append(
+                offsets[cand_of_pair[new_pair]] + router_of_pair[new_pair]
+            )
+            edge_targets.append(offsets[cand_of_pair[new_pair]] + new_target)
+        if extra_edges:
+            edge_sources.append(
+                np.asarray(
+                    [offsets[local] + a for local, a, _ in extra_edges],
+                    dtype=np.intp,
+                )
+            )
+            edge_targets.append(
+                np.asarray(
+                    [offsets[local] + b for local, _, b in extra_edges],
+                    dtype=np.intp,
+                )
+            )
+        return (cand_of_pair, router_of_pair, cols_new)
+
+    def _chain_coverage(
+        self,
+        cache: _ChainCache,
+        start: int,
+        end: int,
+        scratch: tuple,
+        giant_masks: np.ndarray,
+        covered: np.ndarray,
+    ) -> None:
+        """Covered-client counts for one chain's segment."""
+        m = self._problem.n_clients
+        count = end - start
+        if m == 0:
+            covered[start:end] = 0
+            return
+        cand_of_pair, router_of_pair, cols_new = scratch
+        if not self._giant_only:
+            counts = np.repeat(
+                cache.coverage_counts[np.newaxis, :], count, axis=0
+            )
+            if cand_of_pair.size:
+                difference = (
+                    cols_new.astype(np.int32)
+                    - cache.coverage[:, router_of_pair].T
+                )
+                np.add.at(counts, cand_of_pair, difference)
+            covered[start:end] = np.count_nonzero(counts > 0, axis=1)
+            return
+        # GIANT_ONLY: per-client count of covering giant routers =
+        # hits x giant-mask, one exact float32 sgemm for the segment...
+        giant32 = giant_masks[start:end].astype(np.float32)
+        counts = cache.coverage32 @ giant32.T  # (M, count)
+        # ...then exchange each mover's old column for its new one when
+        # the mover sits in that candidate's giant component.  add.at
+        # accumulates correctly when one candidate moves several giant
+        # routers.
+        if cand_of_pair.size:
+            in_giant = giant_masks[start + cand_of_pair, router_of_pair]
+            hot = np.flatnonzero(in_giant)
+            if hot.size:
+                difference = (
+                    cols_new[hot].astype(np.float32)
+                    - cache.coverage32[:, router_of_pair[hot]].T
+                )
+                np.add.at(counts.T, cand_of_pair[hot], difference)
+        covered[start:end] = np.count_nonzero(counts > 0.5, axis=0)
+
+    def __repr__(self) -> str:
+        return (
+            f"StackedDeltaEngine(n_routers={self._problem.n_routers}, "
+            f"chains={len(self._caches)})"
+        )
+
+
+def _chain_segments(items) -> list[tuple[int, int, int]]:
+    """``(chain, start, end)`` runs of chain-major candidate items."""
+    segments: list[tuple[int, int, int]] = []
+    start = 0
+    for index in range(1, len(items) + 1):
+        if index == len(items) or items[index][0] != items[start][0]:
+            segments.append((items[start][0], start, index))
+            start = index
+    seen = set()
+    for chain, _, _ in segments:
+        if chain in seen:
+            raise ValueError("measure_phase items must be grouped by chain")
+        seen.add(chain)
+    return segments
+
+
+def _empty_stacked(
+    problem: ProblemInstance, fitness: FitnessFunction
+) -> StackedMeasurement:
+    empty = np.zeros(0, dtype=np.intp)
+    return StackedMeasurement(
+        problem=problem,
+        fitness_function=fitness,
+        giant_sizes=empty,
+        covered_clients=empty.copy(),
+        n_components=empty.copy(),
+        n_links=empty.copy(),
+        mean_degrees=np.zeros(0, dtype=float),
+        giant_masks=np.zeros((0, problem.n_routers), dtype=bool),
+        fitness=np.zeros(0, dtype=float),
+        evaluations=[],
+    )

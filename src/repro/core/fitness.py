@@ -21,6 +21,8 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 
+import numpy as np
+
 __all__ = [
     "NetworkMetrics",
     "FitnessFunction",
@@ -93,6 +95,23 @@ class FitnessFunction(abc.ABC):
         """Whether ``candidate`` strictly improves on ``incumbent``."""
         return self.score(candidate) > self.score(incumbent)
 
+    def score_rows(self, rows) -> np.ndarray:
+        """Fitness of every row of a stacked measurement, as an array.
+
+        ``rows`` is any object exposing the stacked-measurement protocol
+        (see :class:`repro.core.engine.batch.StackedMeasurement`):
+        ``len(rows)`` candidates plus a ``metrics(index)`` accessor.  The
+        base implementation loops :meth:`score` per row — exactly the
+        scalar semantics — so every custom fitness works unmodified;
+        subclasses whose formula vectorizes override this with
+        bit-identical array arithmetic (same operations in the same
+        order, so float64 results match the scalar path exactly).
+        """
+        return np.array(
+            [self.score(rows.metrics(index)) for index in range(len(rows))],
+            dtype=float,
+        )
+
 
 @dataclass(frozen=True)
 class WeightedSumFitness(FitnessFunction):
@@ -118,6 +137,23 @@ class WeightedSumFitness(FitnessFunction):
             + self.coverage_weight * metrics.coverage_ratio
         )
 
+    def score_rows(self, rows) -> np.ndarray:
+        # Same formula, same operation order as score(): int/int division
+        # is identical in python floats and numpy float64, so the rows
+        # are bit-identical to per-row score() calls.
+        if rows.n_routers == 0:
+            connectivity = np.zeros(len(rows), dtype=float)
+        else:
+            connectivity = rows.giant_sizes / rows.n_routers
+        if rows.n_clients == 0:
+            coverage = np.ones(len(rows), dtype=float)
+        else:
+            coverage = rows.covered_clients / rows.n_clients
+        return (
+            self.connectivity_weight * connectivity
+            + self.coverage_weight * coverage
+        )
+
 
 @dataclass(frozen=True)
 class LexicographicFitness(FitnessFunction):
@@ -139,3 +175,10 @@ class LexicographicFitness(FitnessFunction):
 
     def score(self, metrics: NetworkMetrics) -> float:
         return metrics.giant_size + self.epsilon * metrics.coverage_ratio
+
+    def score_rows(self, rows) -> np.ndarray:
+        if rows.n_clients == 0:
+            coverage = np.ones(len(rows), dtype=float)
+        else:
+            coverage = rows.covered_clients / rows.n_clients
+        return rows.giant_sizes + self.epsilon * coverage

@@ -179,7 +179,12 @@ class GridArea:
         region = self.bounds if within is None else within.intersection(self.bounds)
         if region.area == 0:
             raise ValueError("sampling region is empty")
-        occupied_set = set(occupied)
+        # Placements pass their cached frozenset; copying it per call is
+        # pure overhead on the proposal hot path.
+        if isinstance(occupied, (set, frozenset)):
+            occupied_set = occupied
+        else:
+            occupied_set = set(occupied)
         # Rejection sampling is fast when occupancy is sparse (the common
         # case: N routers << W*H cells).
         max_attempts = 64

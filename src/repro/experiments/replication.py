@@ -5,13 +5,33 @@ that the claims are not seed artifacts, so this harness reruns the
 stand-alone method comparison and the movement comparison across many
 seeds and reports mean +/- standard deviation per metric.
 
-Both harnesses accept ``workers=``: replication runs are embarrassingly
-parallel, so seeds fan out over a ``ProcessPoolExecutor``.  Every run's
-RNG is seeded in the parent from the same per-seed key the serial loop
-uses, so means, stds and per-seed values are identical to the serial
-path — parallelism only changes wall-clock time.  Serial remains the
-default; with ``workers > 1`` the method/movement inputs must be
-picklable (the built-in registries and movements all are).
+Both harnesses execute their portfolios through the vectorized engine
+layer: the stand-alone placements of each method are evaluated as one
+batched candidate set, and the (movement, seed) search chains advance in
+lockstep through :class:`~repro.neighborhood.multichain.MultiChainSearch`
+— one stacked engine pass per phase instead of one small batch per chain
+per phase (see ``benchmarks/bench_multichain.py`` for the measured
+speedup).
+
+Per-chain RNG contract
+----------------------
+
+Every (method/movement, seed) run owns one ``numpy`` Generator seeded in
+the parent from the stable key ``(spec.seed, crc32(label), seed)``
+(:func:`_name_key`; CRC32 because the builtin ``hash`` is salted per
+process).  A movement chain consumes its generator in a fixed order —
+the initial random placement first, then the per-phase candidate
+proposals — and **only** that chain touches it, so the per-seed values
+are bit-identical however the chains are grouped: the lockstep engine,
+the serial per-chain loop and every ``workers=`` sharding all report the
+same numbers (asserted by ``tests/experiments/test_replication_parallel``
+and ``tests/neighborhood/test_multichain.py``).
+
+``workers=`` composes both parallelism axes: chains run in lockstep
+*within* a process while contiguous seed shards fan out over a
+``ProcessPoolExecutor`` *across* cores.  Serial remains the default;
+with ``workers > 1`` the method/movement inputs must be picklable (the
+built-in registries and movements all are).
 """
 
 from __future__ import annotations
@@ -27,7 +47,7 @@ from repro.core.evaluation import Evaluator
 from repro.core.fitness import FitnessFunction
 from repro.instances.generator import InstanceSpec
 from repro.neighborhood.movements import MovementType
-from repro.neighborhood.search import NeighborhoodSearch
+from repro.neighborhood.multichain import MultiChainSearch, _shard_slices
 
 __all__ = [
     "ReplicatedMetric",
@@ -62,47 +82,81 @@ def _name_key(name: str) -> int:
     return zlib.crc32(name.encode("utf-8")) & 0xFFFF
 
 
-def _standalone_run(task) -> tuple[float, float, float]:
-    """One (method, seed) stand-alone run; top-level for pickling."""
-    spec, method_name, fitness, rng_key = task
+def _seed_shards(n_seeds: int, workers: "int | None") -> list[range]:
+    """Contiguous seed ranges: one per worker slot (one total when serial).
+
+    Same split as the multi-chain engine's own worker sharding (one
+    shared implementation, so the two ``workers=`` layers cannot drift).
+    """
+    if workers is None or workers <= 1 or n_seeds <= 1:
+        return [range(n_seeds)]
+    return [
+        range(part.start, part.stop)
+        for part in _shard_slices(n_seeds, workers)
+    ]
+
+
+def _standalone_run(task) -> list[tuple[float, float, float]]:
+    """One (method, seed-shard) batch of stand-alone runs (picklable).
+
+    The shard's placements are generated per seed on that seed's own
+    generator, then measured as one batched candidate set — identical
+    values to per-seed scalar evaluation (engine parity), one stacked
+    pass instead of ``len(shard)``.
+    """
+    spec, method_name, fitness, rng_keys = task
     problem = _cached_problem(spec)
+    placements = []
+    for key in rng_keys:
+        rng = np.random.default_rng(key)
+        placements.append(make_method(method_name).place(problem, rng))
     evaluator = Evaluator(problem, fitness)
-    rng = np.random.default_rng(rng_key)
-    evaluation = evaluator.evaluate(make_method(method_name).place(problem, rng))
-    return (
-        float(evaluation.giant_size),
-        float(evaluation.covered_clients),
-        evaluation.fitness,
-    )
+    evaluations = evaluator.evaluate_many(placements)
+    return [
+        (float(e.giant_size), float(e.covered_clients), e.fitness)
+        for e in evaluations
+    ]
 
 
-def _movement_run(task) -> tuple[float, float]:
-    """One (movement, seed) search run; top-level for pickling."""
+def _movement_run(task) -> list[tuple[float, float]]:
+    """One (movement, seed-shard) lockstep portfolio (picklable).
+
+    Chain ``i`` draws its initial placement and all proposals from the
+    generator seeded with ``rng_keys[i]`` — exactly the serial per-chain
+    loop's stream — so the per-seed results are bit-identical to running
+    each seed through its own ``NeighborhoodSearch``.
+    """
     from repro.core.solution import Placement
 
-    spec, factory, n_candidates, max_phases, fitness, rng_key = task
+    spec, factory, n_candidates, max_phases, fitness, rng_keys = task
     problem = _cached_problem(spec)
-    rng = np.random.default_rng(rng_key)
-    evaluator = Evaluator(problem, fitness)
-    initial = Placement.random(problem.grid, problem.n_routers, rng)
-    search = NeighborhoodSearch(
+    rngs = [np.random.default_rng(key) for key in rng_keys]
+    initials = [
+        Placement.random(problem.grid, problem.n_routers, rng) for rng in rngs
+    ]
+    search = MultiChainSearch(
         factory(),
         n_candidates=n_candidates,
         max_phases=max_phases,
         stall_phases=None,
     )
-    outcome = search.run(evaluator, initial, rng)
-    return (float(outcome.best.giant_size), float(outcome.best.covered_clients))
+    outcomes = search.run(problem, initials, rngs, fitness=fitness)
+    return [
+        (float(outcome.best.giant_size), float(outcome.best.covered_clients))
+        for outcome in outcomes
+    ]
 
 
 def _run_tasks(runner, tasks: list, workers: int | None) -> list:
-    """Run tasks serially or over a process pool, preserving order."""
+    """Run shard tasks serially or over a process pool, flattening in order."""
     if workers is not None and workers < 1:
         raise ValueError(f"workers must be a positive int or None, got {workers}")
     if workers is None or workers == 1:
-        return [runner(task) for task in tasks]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(runner, tasks))
+        shards = [runner(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            shards = list(pool.map(runner, tasks))
+    return [row for shard in shards for row in shard]
 
 
 @dataclass(frozen=True)
@@ -158,16 +212,23 @@ def replicate_standalone(
     Returns ``{method: {"giant": ..., "coverage": ..., "fitness": ...}}``.
     The instance is fixed (the spec's seed); only the methods' randomness
     varies, exactly like repeated planning runs on one deployment area.
-    With ``workers``, seeds fan out over a process pool; every run's RNG
-    key is computed here in the parent, so the per-seed values are
-    identical to the serial path.
+    Every method's seed batch is evaluated in one stacked engine pass;
+    with ``workers``, contiguous seed shards fan out over a process pool.
+    RNG keys are computed here in the parent (see the module docstring),
+    so the per-seed values are identical in every configuration.
     """
     if n_seeds <= 0:
         raise ValueError(f"n_seeds must be positive, got {n_seeds}")
+    shards = _seed_shards(n_seeds, workers)
     tasks = [
-        (spec, name, fitness, (spec.seed, _name_key(name), seed))
+        (
+            spec,
+            name,
+            fitness,
+            [(spec.seed, _name_key(name), seed) for seed in shard],
+        )
         for name in methods
-        for seed in range(n_seeds)
+        for shard in shards
     ]
     values = _run_tasks(_standalone_run, tasks, workers)
     results: dict[str, dict[str, ReplicatedMetric]] = {}
@@ -193,11 +254,15 @@ def replicate_movements(
     """Final neighborhood-search giants across seeds, per movement.
 
     ``movements`` maps labels to zero-argument movement factories; the
-    default compares the paper's Swap and Random movements.  Each seed
-    draws its own initial random placement, so the statistics cover both
-    the start and the search randomness.  With ``workers``, the
-    (movement, seed) runs fan out over a process pool with
-    parent-computed RNG keys — identical statistics, less wall-clock.
+    default compares the paper's Swap and Random movements.  Each label's
+    seed chains advance in lockstep through one
+    :class:`~repro.neighborhood.multichain.MultiChainSearch` portfolio
+    (per-seed results bit-identical to the serial per-chain loop — see
+    the module docstring for the RNG contract).  Each seed draws its own
+    initial random placement, so the statistics cover both the start and
+    the search randomness.  With ``workers``, contiguous seed shards of
+    every portfolio fan out over a process pool — identical statistics,
+    less wall-clock.
     """
     from repro.neighborhood.movements import RandomMovement, SwapMovement
 
@@ -206,6 +271,7 @@ def replicate_movements(
     if movements is None:
         movements = {"Swap": SwapMovement, "Random": RandomMovement}
     labels = list(movements)
+    shards = _seed_shards(n_seeds, workers)
     tasks = [
         (
             spec,
@@ -213,10 +279,10 @@ def replicate_movements(
             n_candidates,
             max_phases,
             fitness,
-            (spec.seed, _name_key(label), seed),
+            [(spec.seed, _name_key(label), seed) for seed in shard],
         )
         for label in labels
-        for seed in range(n_seeds)
+        for shard in shards
     ]
     values = _run_tasks(_movement_run, tasks, workers)
     results: dict[str, dict[str, ReplicatedMetric]] = {}

@@ -6,6 +6,15 @@ happens to stand-alone quality and to the Swap-vs-Random gap when the
 fleet grows, when radios strengthen or when the client population
 thickens.  Each sweep reruns a compact version of the relevant
 experiment per parameter value.
+
+Each point's Swap and Random searches run as best-of-``n_restarts``
+portfolios on the lockstep engine
+(:class:`~repro.neighborhood.multichain.MultiStartSearch`): restart
+chains advance together through one stacked evaluation per phase, so
+raising ``n_restarts`` costs far less than proportional wall-clock.
+Search seeds derive from stable CRC32 label keys (the salted builtin
+``hash`` of earlier revisions made sweep values irreproducible across
+interpreter runs).
 """
 
 from __future__ import annotations
@@ -17,11 +26,11 @@ import numpy as np
 
 from repro.adhoc.registry import make_method
 from repro.core.evaluation import Evaluator
-from repro.core.solution import Placement
 from repro.experiments.config import ExperimentScale, current_scale
+from repro.experiments.replication import _name_key
 from repro.instances.generator import InstanceSpec
 from repro.neighborhood.movements import RandomMovement, SwapMovement
-from repro.neighborhood.search import NeighborhoodSearch
+from repro.neighborhood.multichain import MultiStartSearch
 
 __all__ = ["SweepPoint", "SweepResult", "sweep_router_count", "sweep_radio_range", "format_sweep"]
 
@@ -67,36 +76,37 @@ def _measure_point(
     parameter: float,
     scale: ExperimentScale,
     seed: int,
+    n_restarts: int,
 ) -> SweepPoint:
-    """Stand-alone + short Swap/Random searches on one instance."""
+    """Stand-alone + best-of-restarts Swap/Random searches on one instance."""
     problem = spec.generate()
-    rng = np.random.default_rng((seed, int(parameter * 1000) & 0xFFFF))
-    initial = Placement.random(problem.grid, problem.n_routers, rng)
+    parameter_key = int(parameter * 1000) & 0xFFFF
+    rng = np.random.default_rng((seed, parameter_key))
     standalone = Evaluator(problem).evaluate(
         make_method("random").place(problem, rng)
     )
     outcomes = {}
     for label, movement in (
-        ("swap", SwapMovement()),
-        ("random", RandomMovement()),
+        ("swap", SwapMovement),
+        ("random", RandomMovement),
     ):
-        search = NeighborhoodSearch(
+        search = MultiStartSearch(
             movement,
+            n_restarts=n_restarts,
             n_candidates=scale.ns_candidates,
             max_phases=scale.ns_phases,
             stall_phases=None,
         )
-        outcomes[label] = search.run(
-            Evaluator(problem),
-            initial,
-            np.random.default_rng((seed, hash(label) & 0xFFFF)),
+        outcome = search.run(
+            problem, seed=(seed, _name_key(label), parameter_key)
         )
+        outcomes[label] = outcome.best_evaluation
     return SweepPoint(
         parameter=parameter,
         standalone_giant=standalone.giant_size,
-        swap_giant=outcomes["swap"].best.giant_size,
-        random_giant=outcomes["random"].best.giant_size,
-        swap_coverage=outcomes["swap"].best.covered_clients,
+        swap_giant=outcomes["swap"].giant_size,
+        random_giant=outcomes["random"].giant_size,
+        swap_coverage=outcomes["swap"].covered_clients,
     )
 
 
@@ -105,18 +115,26 @@ def sweep_router_count(
     counts: Sequence[int] = (16, 32, 64, 96),
     scale: ExperimentScale | None = None,
     seed: int = 1,
+    n_restarts: int = 1,
 ) -> SweepResult:
-    """How fleet size changes the picture (paper fixes N = 64)."""
+    """How fleet size changes the picture (paper fixes N = 64).
+
+    ``n_restarts`` widens each point's search into a best-of-``R``
+    lockstep portfolio per movement (default 1 keeps the historical
+    single-run cost).
+    """
     if scale is None:
         scale = current_scale()
     if not counts:
         raise ValueError("counts must not be empty")
+    if n_restarts <= 0:
+        raise ValueError(f"n_restarts must be positive, got {n_restarts}")
     points = []
     for count in counts:
         if count <= 0:
             raise ValueError(f"router counts must be positive, got {count}")
         spec = replace(base_spec, n_routers=int(count))
-        points.append(_measure_point(spec, float(count), scale, seed))
+        points.append(_measure_point(spec, float(count), scale, seed, n_restarts))
     return SweepResult(
         parameter_name="n_routers",
         points=tuple(points),
@@ -131,12 +149,15 @@ def sweep_radio_range(
     max_radii: Sequence[float] = (4.0, 7.0, 10.0, 14.0),
     scale: ExperimentScale | None = None,
     seed: int = 1,
+    n_restarts: int = 1,
 ) -> SweepResult:
     """How radio strength changes the picture (the oscillation ceiling)."""
     if scale is None:
         scale = current_scale()
     if not max_radii:
         raise ValueError("max_radii must not be empty")
+    if n_restarts <= 0:
+        raise ValueError(f"n_restarts must be positive, got {n_restarts}")
     points = []
     for max_radius in max_radii:
         if max_radius < base_spec.min_radius:
@@ -145,7 +166,9 @@ def sweep_radio_range(
                 f"{base_spec.min_radius}"
             )
         spec = replace(base_spec, max_radius=float(max_radius))
-        points.append(_measure_point(spec, float(max_radius), scale, seed))
+        points.append(
+            _measure_point(spec, float(max_radius), scale, seed, n_restarts)
+        )
     return SweepResult(
         parameter_name="max_radius",
         points=tuple(points),

@@ -3,13 +3,21 @@
 The paper's Algorithm 1 (best-improvement neighborhood search),
 Algorithm 2 (sampled best-neighbor selection) and Algorithm 3 (the swap
 movement), the purely-random movement baseline, plus the "full featured
-local search methods" announced as future work: simulated annealing and
-tabu search.
+local search methods" announced as future work: simulated annealing,
+tabu search, and the lockstep multi-chain / multi-start portfolio
+engine (:mod:`repro.neighborhood.multichain`) that executes whole
+replication portfolios through one stacked evaluation per phase.
 """
 
 from repro.neighborhood.annealing import AnnealingSchedule, SimulatedAnnealing
-from repro.neighborhood.best_neighbor import best_neighbor
+from repro.neighborhood.best_neighbor import apply_valid_move, best_neighbor
 from repro.neighborhood.moves import Move, RelocateMove, SwapMove
+from repro.neighborhood.multichain import (
+    MultiChainSearch,
+    MultiStartResult,
+    MultiStartSearch,
+    chain_generators,
+)
 from repro.neighborhood.movements import (
     CombinedMovement,
     MovementType,
@@ -19,6 +27,7 @@ from repro.neighborhood.movements import (
 from repro.neighborhood.registry import (
     available_movements,
     make_movement,
+    movement_factory,
     register_movement,
 )
 from repro.neighborhood.search import NeighborhoodSearch, SearchResult
@@ -28,7 +37,12 @@ from repro.neighborhood.trace import PhaseRecord, SearchTrace
 __all__ = [
     "AnnealingSchedule",
     "SimulatedAnnealing",
+    "apply_valid_move",
     "best_neighbor",
+    "chain_generators",
+    "MultiChainSearch",
+    "MultiStartResult",
+    "MultiStartSearch",
     "Move",
     "RelocateMove",
     "SwapMove",
@@ -38,6 +52,7 @@ __all__ = [
     "SwapMovement",
     "available_movements",
     "make_movement",
+    "movement_factory",
     "register_movement",
     "NeighborhoodSearch",
     "SearchResult",

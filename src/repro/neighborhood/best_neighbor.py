@@ -23,9 +23,36 @@ import numpy as np
 
 from repro.core.evaluation import Evaluation, Evaluator
 from repro.core.solution import Placement
+from repro.neighborhood.moves import Move, RelocateMove
 from repro.neighborhood.movements import MovementType
 
-__all__ = ["best_neighbor"]
+__all__ = ["apply_valid_move", "best_neighbor"]
+
+#: Distinguishes "caller did not resolve the batch path" from "the
+#: evaluator has no batch path" in :func:`best_neighbor`.
+_UNRESOLVED = object()
+
+
+def apply_valid_move(move: Move, placement: Placement) -> Placement | None:
+    """``move`` applied to ``placement``, or ``None`` when it is stale.
+
+    The common staleness — a relocation whose target cell is meanwhile
+    occupied by another router — is pre-checked against the placement's
+    cached occupancy set instead of paying a raised-and-caught
+    ``ValueError`` per candidate in the search hot loops.  Anything the
+    pre-check does not cover (exotic move types, out-of-range ids) falls
+    through to the original try/except semantics.
+    """
+    if type(move) is RelocateMove and move.target in placement.occupied:
+        cells = placement.cells
+        if 0 <= move.router_id < len(cells) and cells[move.router_id] == move.target:
+            # Relocating onto its own cell: with_move's documented no-op.
+            return placement
+        return None
+    try:
+        return move.apply(placement)
+    except ValueError:
+        return None
 
 
 def best_neighbor(
@@ -34,6 +61,7 @@ def best_neighbor(
     movement: MovementType,
     rng: np.random.Generator,
     n_candidates: int = 16,
+    evaluate_many=_UNRESOLVED,
 ) -> Evaluation | None:
     """The best solution among ``n_candidates`` sampled neighbors.
 
@@ -43,24 +71,29 @@ def best_neighbor(
     the move no longer applies) are skipped; they still count against
     ``n_candidates`` so a phase has bounded cost.
 
+    ``evaluate_many`` lets a phase loop hoist the batch-path capability
+    probe: pass the evaluator's bound ``evaluate_many`` method (or
+    ``None`` for evaluators without one) to skip the per-call
+    ``getattr``; by default the probe runs here.
+
     Returns ``None`` when no candidate produced a valid neighbor —
     Algorithm 1 treats that as an idle phase.
     """
     if n_candidates <= 0:
         raise ValueError(f"n_candidates must be positive, got {n_candidates}")
+    placement = current.placement
     neighbors: list[Placement] = []
     for _ in range(n_candidates):
         move = movement.propose(current, evaluator.problem, rng)
         if move is None:
             continue
-        try:
-            neighbors.append(move.apply(current.placement))
-        except ValueError:
-            # The sampled move is stale (e.g. target cell occupied).
-            continue
+        neighbor = apply_valid_move(move, placement)
+        if neighbor is not None:
+            neighbors.append(neighbor)
     if not neighbors:
         return None
-    evaluate_many = getattr(evaluator, "evaluate_many", None)
+    if evaluate_many is _UNRESOLVED:
+        evaluate_many = getattr(evaluator, "evaluate_many", None)
     if evaluate_many is not None:
         evaluations = evaluate_many(neighbors)
     else:

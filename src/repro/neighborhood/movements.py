@@ -36,6 +36,96 @@ from repro.neighborhood.moves import Move, RelocateMove, SwapMove
 __all__ = ["MovementType", "SwapMovement", "RandomMovement", "CombinedMovement"]
 
 
+def _strongest_id(radii: np.ndarray, ids: np.ndarray) -> int:
+    """Vectorized :meth:`RouterFleet.strongest_among`: max radius, min id."""
+    selected = radii[ids]
+    return int(ids[selected == selected.max()].min())
+
+
+def _weakest_id(radii: np.ndarray, ids: np.ndarray) -> int:
+    """Vectorized :meth:`RouterFleet.weakest_among`: min radius, min id."""
+    selected = radii[ids]
+    return int(ids[selected == selected.min()].min())
+
+
+#: "Not computed yet" marker for lazily filled per-window memo slots.
+_UNSET = object()
+
+#: Entry bound for the per-placement proposal caches; a multi-chain
+#: portfolio holds one live entry per chain, so overflow means old
+#: placements — clearing keeps memory flat without an LRU.
+_CACHE_LIMIT = 512
+
+
+class _SwapWindowState:
+    """Per-incumbent proposal cache of :class:`SwapMovement`.
+
+    Holds the ranked window pools plus lazily filled memo slots for the
+    per-window router picks (weakest in a dense window, strongest in a
+    sparse window, strongest outside a dense window).  The picks are
+    RNG-free functions of the incumbent, so memoizing them never touches
+    a chain's stream.
+    """
+
+    __slots__ = (
+        "placement",
+        "pools",
+        "x",
+        "y",
+        "weak_dense",
+        "strong_sparse",
+        "fallback_outside",
+    )
+
+    def __init__(self, placement, pools) -> None:
+        self.placement = placement
+        self.pools = pools
+        positions = placement.positions_array()
+        self.x = positions[:, 0]
+        self.y = positions[:, 1]
+        self.weak_dense: list = [_UNSET] * len(pools[0])
+        self.strong_sparse: list = [_UNSET] * len(pools[1])
+        self.fallback_outside: list = [_UNSET] * len(pools[0])
+
+    def window_mask(self, window: Rect) -> np.ndarray:
+        """Boolean membership of every router in ``window``.
+
+        Same ids, in the same ascending order, as
+        :meth:`~repro.core.solution.Placement.routers_in`.
+        """
+        return (
+            (self.x >= window.x0)
+            & (self.x < window.x1)
+            & (self.y >= window.y0)
+            & (self.y < window.y1)
+        )
+
+
+def _sample_free_cell(
+    window: Rect, occupied: frozenset, rng: np.random.Generator
+) -> Point | None:
+    """Stream-identical inline of ``grid.random_free_cell(..., within=window)``.
+
+    The proposal hot loop calls this thousands of times per phase;
+    inlining drops the per-call ``Rect.intersection`` allocations (the
+    ranked windows are already clipped to the grid) while drawing from
+    ``rng`` in exactly the same order: up to 64 rejection samples of two
+    ``integers`` draws each, then the exhaustive-enumeration fallback.
+    Returns ``None`` instead of raising when the window is full.
+    """
+    x0, x1 = window.x0, window.x1
+    y0, y1 = window.y0, window.y1
+    draw = rng.integers
+    for _ in range(64):
+        cell = Point(int(draw(x0, x1)), int(draw(y0, y1)))
+        if cell not in occupied:
+            return cell
+    free = [cell for cell in window.cells() if cell not in occupied]
+    if not free:
+        return None
+    return free[int(rng.integers(0, len(free)))]
+
+
 class MovementType(abc.ABC):
     """A neighborhood structure: proposes candidate moves."""
 
@@ -55,6 +145,63 @@ class MovementType(abc.ABC):
         router in the chosen window); Algorithm 2 simply samples again.
         """
 
+    def propose_batch(
+        self,
+        currents: Sequence[Evaluation],
+        problem: ProblemInstance,
+        rngs: "Sequence[np.random.Generator]",
+        n_candidates: int,
+    ) -> "list[list[Move | None]]":
+        """Candidate moves for ``R`` lockstep chains in one call.
+
+        The multi-chain stream contract (this base implementation is its
+        definition, and overrides must preserve it): chain ``r``'s
+        proposals are exactly what ``n_candidates`` successive
+        :meth:`propose` calls against ``currents[r]`` would draw from
+        ``rngs[r]`` — each chain consumes *only its own* generator, in
+        candidate order, so results are independent of how chains are
+        grouped into batches, processes or phases.  Overrides vectorize
+        the RNG-free work (window-router lookups, occupancy filters)
+        while keeping every random draw on the chain's stream; the
+        agreement with scalar ``propose`` is asserted by
+        ``tests/neighborhood/test_multichain.py``.
+        """
+        if len(currents) != len(rngs):
+            raise ValueError(
+                f"{len(currents)} chain states for {len(rngs)} generators"
+            )
+        return [
+            [
+                self._propose_cached(current, problem, rng)
+                for _ in range(n_candidates)
+            ]
+            for current, rng in zip(currents, rngs)
+        ]
+
+    def _propose_cached(
+        self,
+        current: Evaluation,
+        problem: ProblemInstance,
+        rng: np.random.Generator,
+    ) -> Move | None:
+        """One proposal that may reuse per-incumbent cached state.
+
+        Result- and stream-identical to :meth:`propose` — the batch path
+        and :class:`CombinedMovement` route through this so subclasses
+        can hoist RNG-free work (window scans, occupancy sets) across
+        the many proposals drawn against one incumbent.  The base
+        implementation is :meth:`propose` itself.
+        """
+        return self.propose(current, problem, rng)
+
+    def release_proposal_caches(self) -> None:
+        """Drop any per-incumbent proposal caches (results unaffected).
+
+        Portfolio drivers call this when a run finishes so a long-lived
+        movement instance does not keep finished placements alive; the
+        base implementation holds no caches.
+        """
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -63,6 +210,12 @@ class RandomMovement(MovementType):
     """Relocate a uniformly random router to a uniformly random free cell."""
 
     name: ClassVar[str] = "random"
+
+    def __init__(self) -> None:
+        # One-slot (grid, bounds Rect) memo for the cached fast path;
+        # keyed on the (tiny, immutable) grid so nothing heavyweight is
+        # pinned or pickled along with the movement.
+        self._bounds_cache = None
 
     def propose(
         self,
@@ -76,6 +229,26 @@ class RandomMovement(MovementType):
             target = problem.grid.random_free_cell(placement.occupied, rng)
         except ValueError:
             # Fully packed grid: no relocation exists.
+            return None
+        return RelocateMove(router_id=router_id, target=target)
+
+    def _propose_cached(
+        self,
+        current: Evaluation,
+        problem: ProblemInstance,
+        rng: np.random.Generator,
+    ) -> Move | None:
+        # Same draws as propose(); the inline sampler skips the per-call
+        # region clipping the hot loop would otherwise re-do.
+        placement = current.placement
+        router_id = int(rng.integers(0, len(placement)))
+        grid = problem.grid
+        bounds_cache = self._bounds_cache
+        if bounds_cache is None or bounds_cache[0] is not grid:
+            bounds_cache = (grid, grid.bounds)
+            self._bounds_cache = bounds_cache
+        target = _sample_free_cell(bounds_cache[1], placement.occupied, rng)
+        if target is None:
             return None
         return RelocateMove(router_id=router_id, target=target)
 
@@ -141,11 +314,23 @@ class SwapMovement(MovementType):
         self.relocate = relocate
         self.pool = pool
         # Best-neighbor selection proposes many moves from the same
-        # current solution; the ranked windows only depend on that
-        # solution, so a one-entry cache removes the repeated density
-        # computations (the placement is immutable, identity is safe).
-        self._cached_placement = None
-        self._cached_pools: tuple[list[Rect], list[Rect]] | None = None
+        # current solution, and a lockstep portfolio holds one incumbent
+        # per chain; the ranked windows and the per-window router picks
+        # only depend on that solution, so an identity-keyed cache (one
+        # entry per live placement, placements are immutable) removes
+        # the repeated density and window-scan work.
+        self._window_cache: dict[int, _SwapWindowState] = {}
+        # One-slot pools cache for placement-independent density (see
+        # _ranked_pools).
+        self._static_pools = None
+
+    def __getstate__(self):
+        # Worker processes rebuild their own caches; shipping cached
+        # arrays would only bloat the pickle.
+        state = self.__dict__.copy()
+        state["_window_cache"] = {}
+        state["_static_pools"] = None
+        return state
 
     # ------------------------------------------------------------------
     # Algorithm 3, steps 1-3: windows
@@ -176,13 +361,36 @@ class SwapMovement(MovementType):
             return router_points
         return np.vstack([client_points, router_points])
 
-    def _window_pools(
+    def _window_state(
+        self, current: Evaluation, problem: ProblemInstance
+    ) -> "_SwapWindowState":
+        """The cached window pools + memo slots for ``current``."""
+        placement = current.placement
+        key = id(placement)
+        state = self._window_cache.get(key)
+        if state is not None and state.placement is placement:
+            return state
+        if len(self._window_cache) >= _CACHE_LIMIT:
+            self._window_cache.clear()
+        state = _SwapWindowState(placement, self._ranked_pools(current, problem))
+        self._window_cache[key] = state
+        return state
+
+    def _ranked_pools(
         self, current: Evaluation, problem: ProblemInstance
     ) -> tuple[list[Rect], list[Rect]]:
-        """The top dense and sparse windows for the current solution."""
-        placement = current.placement
-        if self._cached_placement is placement and self._cached_pools is not None:
-            return self._cached_pools
+        """Dense/sparse window pools, density-built for ``current``.
+
+        Client-only density does not depend on router positions, so its
+        pools are computed once per problem instance and shared by every
+        incumbent (the per-placement window *state* still memoizes the
+        router picks, which do depend on the placement).
+        """
+        static = self.density_source == "clients"
+        if static and self._static_pools is not None:
+            problem_key, pools = self._static_pools
+            if problem_key is problem:
+                return pools
         width, height = self.window_size(problem.grid)
         density = DensityMap.build(
             problem.grid, self._density_points(current, problem), width, height
@@ -191,9 +399,20 @@ class SwapMovement(MovementType):
             density.ranked_windows(self.pool, densest=True),
             density.ranked_windows(self.pool, densest=False),
         )
-        self._cached_placement = placement
-        self._cached_pools = pools
+        if static:
+            self._static_pools = (problem, pools)
         return pools
+
+    def _window_pools(
+        self, current: Evaluation, problem: ProblemInstance
+    ) -> tuple[list[Rect], list[Rect]]:
+        """The top dense and sparse windows for the current solution."""
+        return self._window_state(current, problem).pools
+
+    def release_proposal_caches(self) -> None:
+        # The static client-density pools stay (one tiny problem-keyed
+        # slot); only the per-placement window states pin solutions.
+        self._window_cache.clear()
 
     def _windows(
         self,
@@ -238,6 +457,65 @@ class SwapMovement(MovementType):
         if mover is None:
             return None
         target = self._free_cell_in(problem.grid, placement, dense, rng)
+        if target is None:
+            return None
+        return RelocateMove(router_id=mover, target=target)
+
+    def _propose_cached(
+        self,
+        current: Evaluation,
+        problem: ProblemInstance,
+        rng: np.random.Generator,
+    ) -> Move | None:
+        """Memoized fast path, stream-identical to :meth:`propose`.
+
+        The scalar reference re-scans the sampled windows per proposal
+        (:meth:`~repro.core.solution.Placement.routers_in` python
+        loops); here the weakest/strongest/fallback router of each
+        pooled window is resolved once per incumbent via vectorized
+        masks and memoized in the window state, so repeated draws of the
+        same window cost two generator calls and a list lookup.  Every
+        random draw — the two window choices and the free-cell rejection
+        sampling — stays on the chain's stream in the scalar call order.
+        """
+        state = self._window_state(current, problem)
+        dense_pool, sparse_pool = state.pools
+        radii = problem.fleet.radii
+        dense_index = int(rng.integers(0, len(dense_pool)))
+        sparse_index = int(rng.integers(0, len(sparse_pool)))
+        dense = dense_pool[dense_index]
+
+        if not self.relocate:
+            weak = state.weak_dense[dense_index]
+            if weak is _UNSET:
+                ids = np.flatnonzero(state.window_mask(dense))
+                weak = _weakest_id(radii, ids) if ids.size else None
+                state.weak_dense[dense_index] = weak
+            strong = state.strong_sparse[sparse_index]
+            if strong is _UNSET:
+                ids = np.flatnonzero(
+                    state.window_mask(sparse_pool[sparse_index])
+                )
+                strong = _strongest_id(radii, ids) if ids.size else None
+                state.strong_sparse[sparse_index] = strong
+            if weak is None or strong is None or weak == strong:
+                return None
+            return SwapMove(router_a=weak, router_b=strong)
+
+        mover = state.strong_sparse[sparse_index]
+        if mover is _UNSET:
+            ids = np.flatnonzero(state.window_mask(sparse_pool[sparse_index]))
+            mover = _strongest_id(radii, ids) if ids.size else None
+            state.strong_sparse[sparse_index] = mover
+        if mover is None:
+            mover = state.fallback_outside[dense_index]
+            if mover is _UNSET:
+                outside = np.flatnonzero(~state.window_mask(dense))
+                mover = _strongest_id(radii, outside) if outside.size else None
+                state.fallback_outside[dense_index] = mover
+            if mover is None:
+                return None
+        target = _sample_free_cell(dense, current.placement.occupied, rng)
         if target is None:
             return None
         return RelocateMove(router_id=mover, target=target)
@@ -312,6 +590,11 @@ class CombinedMovement(MovementType):
             raise ValueError("weights must be non-negative and not all zero")
         total = float(sum(weights))
         self._probabilities = np.array([weight / total for weight in weights])
+        # Cumulative weights for the cached fast path, normalized exactly
+        # the way Generator.choice does (cumsum then divide by the last
+        # entry) so the bisection below rounds identically.
+        self._cdf = np.cumsum(self._probabilities)
+        self._cdf /= self._cdf[-1]
 
     @property
     def probabilities(self) -> np.ndarray:
@@ -326,6 +609,27 @@ class CombinedMovement(MovementType):
     ) -> Move | None:
         index = int(rng.choice(len(self.movements), p=self._probabilities))
         return self.movements[index].propose(current, problem, rng)
+
+    def _propose_cached(
+        self,
+        current: Evaluation,
+        problem: ProblemInstance,
+        rng: np.random.Generator,
+    ) -> Move | None:
+        # Generator.choice(n, p=...) draws one uniform double and bisects
+        # the normalized cumulative weights; doing the same against the
+        # precomputed cdf consumes the identical stream value and returns
+        # the identical index, without choice()'s per-call cumsum and
+        # validation.  Exactness is pinned by the propose_batch parity
+        # tests.
+        index = int(self._cdf.searchsorted(rng.random(), side="right"))
+        if index >= len(self.movements):  # guard exact-1.0 edge draw
+            index = len(self.movements) - 1
+        return self.movements[index]._propose_cached(current, problem, rng)
+
+    def release_proposal_caches(self) -> None:
+        for movement in self.movements:
+            movement.release_proposal_caches()
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(movement) for movement in self.movements)

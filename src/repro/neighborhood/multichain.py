@@ -1,0 +1,716 @@
+"""Lockstep execution of whole neighborhood-search portfolios.
+
+The paper's headline experiments are *portfolios* of independent search
+runs — many seeds x many movements (Tables 1-3, Fig. 4) — and the
+replication harness reruns them across even more seeds.  Executing each
+chain as its own python loop leaves most of the vectorized engine's
+throughput on the table: every phase of every chain pays its own small
+batch evaluation and its own per-candidate object churn.
+
+:class:`MultiChainSearch` advances ``R`` independent
+:class:`~repro.neighborhood.search.NeighborhoodSearch` chains in
+lockstep instead:
+
+* each phase samples all chains' candidates through one
+  :meth:`~repro.neighborhood.movements.MovementType.propose_batch` call
+  (per-chain generator streams, vectorized window scans);
+* all ``R x C`` surviving candidates are stacked into one
+  ``(K, N, 2)`` position tensor and measured by a single
+  :class:`~repro.core.engine.stacked.StackedEngine` pass (dense), or one
+  shared sparse engine (city scale) — only each chain's *winning*
+  candidate is ever materialized as an
+  :class:`~repro.core.evaluation.Evaluation`;
+* converged/stalled chains drop out of the lockstep via boolean masking
+  and the survivors keep batching.
+
+Per-chain results — trace, best solution, phase and evaluation counts —
+are **bit-identical** to running each chain through a serial
+``NeighborhoodSearch`` (asserted by
+``tests/neighborhood/test_multichain.py``), because every random draw
+stays on its chain's own generator and every engine path shares the
+evaluation contract.
+
+RNG contract
+------------
+
+A portfolio is reproducible because chain streams are independent and
+parent-derived:
+
+* :func:`chain_generators` spawns ``R`` child ``SeedSequence`` s from one
+  parent (``SeedSequence(seed).spawn(R)``) and wraps each in its own
+  ``Generator`` — the documented way to seed an ad hoc portfolio;
+* callers with an existing per-chain key scheme (the replication
+  harness's ``(instance_seed, label_key, seed)`` tuples) pass one
+  pre-seeded ``Generator`` per chain instead;
+* chain ``r`` consumes **only** ``rngs[r]``, in the same order as the
+  serial loop (initial placement first if the caller drew it there, then
+  ``C`` proposals per phase).  Results are therefore invariant to chain
+  grouping: batching, ``workers=`` sharding and phase masking never
+  change a chain's stream.
+
+``run(..., workers=W)`` composes both parallelism axes: chains batch
+*within* a process, contiguous chain shards fan out *across* processes,
+and because of the stream contract the results are identical to
+``workers=1``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.engine.batch import DEFAULT_MAX_CHUNK
+from repro.core.engine.stacked import StackedDeltaEngine, StackedEngine
+from repro.core.evaluation import Evaluation
+from repro.core.fitness import FitnessFunction
+from repro.core.problem import ProblemInstance
+from repro.core.solution import Placement
+from repro.neighborhood.best_neighbor import apply_valid_move
+from repro.neighborhood.moves import RelocateMove, SwapMove
+from repro.neighborhood.movements import MovementType
+from repro.neighborhood.search import SearchResult
+from repro.neighborhood.trace import SearchTrace
+
+__all__ = [
+    "chain_generators",
+    "MultiChainSearch",
+    "MultiStartResult",
+    "MultiStartSearch",
+]
+
+
+def chain_generators(
+    seed: "int | Sequence[int] | np.random.SeedSequence", n_chains: int
+) -> list[np.random.Generator]:
+    """``n_chains`` independent per-chain generators from one parent seed.
+
+    The documented spawning contract: the parent
+    ``numpy.random.SeedSequence`` (built from ``seed`` unless one is
+    passed directly) is ``spawn``-ed once per chain, and chain ``r``
+    owns ``default_rng(child_r)``.  Spawning guarantees the child
+    streams are statistically independent and that the whole portfolio
+    is reproducible from the single parent seed, no matter how chains
+    are later grouped into batches or worker processes.
+    """
+    if n_chains <= 0:
+        raise ValueError(f"n_chains must be positive, got {n_chains}")
+    if isinstance(seed, np.random.SeedSequence):
+        sequence = seed
+    else:
+        sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(n_chains)]
+
+
+@dataclass
+class _ChainState:
+    """Mutable lockstep bookkeeping of one chain (internal)."""
+
+    rng: np.random.Generator
+    current: Evaluation
+    best: Evaluation
+    trace: SearchTrace
+    n_evaluations: int = 1
+    stall: int = 0
+    last_phase: int = 0
+    active: bool = True
+
+
+#: Tags of :func:`_classify_move`.
+_SKIP, _NOOP, _RELOCATE, _SWAP, _EXOTIC = range(5)
+
+
+def _classify_move(move, incumbent: Placement, occupied, n_routers: int, grid):
+    """The serial validity rules, shared by both lockstep collectors.
+
+    One implementation of the decision
+    :func:`~repro.neighborhood.best_neighbor.apply_valid_move` makes for
+    the serial loop — stale relocations are dropped, an own-cell
+    relocation is a no-op candidate, out-of-range ids and out-of-grid
+    targets are skipped — tagged so the delta and full-measure paths can
+    build their own candidate representations without re-deriving the
+    rules.  Returns ``(tag, target)``; ``target`` is only set for
+    ``_RELOCATE``.
+    """
+    kind = type(move)
+    if kind is RelocateMove:
+        if not 0 <= move.router_id < n_routers:
+            return _SKIP, None
+        target = move.target
+        if target in occupied:
+            if incumbent.cells[move.router_id] != target:
+                return _SKIP, None  # stale: another router holds the cell
+            return _NOOP, None
+        if not grid.contains(target):
+            return _SKIP, None
+        return _RELOCATE, target
+    if kind is SwapMove:
+        if not (
+            0 <= move.router_a < n_routers and 0 <= move.router_b < n_routers
+        ):
+            return _SKIP, None
+        if move.router_a == move.router_b:
+            # Unreachable through SwapMove's constructor (it rejects
+            # a == b), but duplicate movers would corrupt the delta
+            # engine's edge accounting — mirror with_swap's no-op.
+            return _NOOP, None
+        return _SWAP, None
+    return _EXOTIC, None
+
+
+def _shard_slices(count: int, shards: int) -> list[slice]:
+    """Contiguous, order-preserving split of ``count`` chains."""
+    shards = min(shards, count)
+    bounds = np.linspace(0, count, shards + 1).astype(int)
+    return [
+        slice(int(bounds[i]), int(bounds[i + 1]))
+        for i in range(shards)
+        if bounds[i] < bounds[i + 1]
+    ]
+
+
+def _run_shard(task) -> list[SearchResult]:
+    """One contiguous chain shard in a worker process (top-level: pickling)."""
+    (parameters, problem, movement, initials, rngs, fitness, target) = task
+    search = MultiChainSearch(movement, **parameters)
+    return search.run(problem, initials, rngs, fitness=fitness, fitness_target=target)
+
+
+class MultiChainSearch:
+    """``R`` independent best-improvement chains advanced in lockstep.
+
+    Parameters mirror :class:`~repro.neighborhood.search.NeighborhoodSearch`
+    (movement, candidates per phase, phase budget, patience, sideways
+    acceptance) plus the engine knobs of the stacked evaluation path.
+
+    ``movement`` is a :class:`MovementType` shared by all chains or a
+    zero-argument factory (one instance per run / worker shard).  Either
+    way results are identical — movements are stateless with respect to
+    outcomes — but a factory keeps instances process-local under
+    ``workers=``.
+    """
+
+    def __init__(
+        self,
+        movement: "MovementType | Callable[[], MovementType]",
+        n_candidates: int = 16,
+        max_phases: int = 64,
+        stall_phases: int | None = None,
+        accept_equal: bool = False,
+        engine: str = "auto",
+        max_chunk: int = DEFAULT_MAX_CHUNK,
+    ) -> None:
+        if n_candidates <= 0:
+            raise ValueError(f"n_candidates must be positive, got {n_candidates}")
+        if max_phases <= 0:
+            raise ValueError(f"max_phases must be positive, got {max_phases}")
+        if stall_phases is not None and stall_phases <= 0:
+            raise ValueError(
+                f"stall_phases must be positive or None, got {stall_phases}"
+            )
+        if max_chunk <= 0:
+            raise ValueError(f"max_chunk must be positive, got {max_chunk}")
+        self.movement = movement
+        self.n_candidates = n_candidates
+        self.max_phases = max_phases
+        self.stall_phases = stall_phases
+        self.accept_equal = accept_equal
+        self.engine = engine
+        self.max_chunk = max_chunk
+
+    # ------------------------------------------------------------------
+    # Public entry
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        problem: ProblemInstance,
+        initials: Sequence[Placement],
+        rngs: Sequence[np.random.Generator],
+        fitness: FitnessFunction | None = None,
+        fitness_target: float | None = None,
+        workers: int | None = None,
+    ) -> list[SearchResult]:
+        """Search all chains; one :class:`SearchResult` per chain, in order.
+
+        ``initials[r]`` and ``rngs[r]`` define chain ``r`` (see the
+        module docstring for the stream contract).  With ``workers > 1``
+        contiguous chain shards run in a process pool — bit-identical
+        results, less wall-clock; the problem, movement, placements and
+        generators must then be picklable (all built-ins are).
+        """
+        if not initials:
+            raise ValueError("a portfolio needs at least one chain")
+        if len(initials) != len(rngs):
+            raise ValueError(
+                f"{len(initials)} initial placements for {len(rngs)} generators"
+            )
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be a positive int or None, got {workers}")
+        if workers is not None and workers > 1 and len(initials) > 1:
+            return self._run_parallel(
+                problem, initials, rngs, fitness, fitness_target, workers
+            )
+        movement = self._resolve_movement()
+        engine = StackedEngine(
+            problem, fitness, engine=self.engine, max_chunk=self.max_chunk
+        )
+        # On the dense layout every phase measures incrementally against
+        # per-chain incumbent caches; sparse instances keep the shared
+        # spatial-grid engine (its per-candidate cost is already O(N k)).
+        delta = (
+            StackedDeltaEngine(problem, engine.fitness_function)
+            if engine.engine == "dense"
+            else None
+        )
+        states = self._initial_states(engine, initials, rngs)
+        if delta is not None:
+            for index, initial in enumerate(initials):
+                delta.reset_chain(index, initial)
+        try:
+            for phase in range(1, self.max_phases + 1):
+                active = [r for r, state in enumerate(states) if state.active]
+                if not active:
+                    break
+                self._advance_phase(
+                    phase, states, active, movement, engine, delta,
+                    fitness_target,
+                )
+        finally:
+            # Shared movement instances must not pin this run's
+            # incumbents after the portfolio finishes.
+            movement.release_proposal_caches()
+        return [
+            SearchResult(
+                best=state.best,
+                trace=state.trace,
+                n_phases=state.last_phase,
+                n_evaluations=state.n_evaluations,
+            )
+            for state in states
+        ]
+
+    # ------------------------------------------------------------------
+    # Lockstep internals
+    # ------------------------------------------------------------------
+
+    def _resolve_movement(self) -> MovementType:
+        if isinstance(self.movement, MovementType):
+            return self.movement
+        movement = self.movement()
+        if not isinstance(movement, MovementType):
+            raise TypeError(
+                f"movement factory returned {type(movement).__name__}, "
+                "expected a MovementType"
+            )
+        return movement
+
+    def _initial_states(
+        self,
+        engine: StackedEngine,
+        initials: Sequence[Placement],
+        rngs: Sequence[np.random.Generator],
+    ) -> list[_ChainState]:
+        """Evaluate every chain's start in one stacked pass (phase 0)."""
+        measurement = engine.measure_placements(list(initials))
+        states: list[_ChainState] = []
+        for index, (initial, rng) in enumerate(zip(initials, rngs)):
+            evaluation = measurement.evaluation(index, initial)
+            trace = SearchTrace()
+            trace.record_phase(
+                phase=0, evaluation=evaluation, improved=False, n_evaluations=1
+            )
+            states.append(
+                _ChainState(
+                    rng=rng, current=evaluation, best=evaluation, trace=trace
+                )
+            )
+        return states
+
+    def _advance_phase(
+        self,
+        phase: int,
+        states: list[_ChainState],
+        active: list[int],
+        movement: MovementType,
+        engine: StackedEngine,
+        delta: StackedDeltaEngine | None,
+        fitness_target: float | None,
+    ) -> None:
+        proposals = movement.propose_batch(
+            [states[r].current for r in active],
+            engine.problem,
+            [states[r].rng for r in active],
+            self.n_candidates,
+        )
+        collected = (
+            self._collect_delta(states, active, proposals, engine.problem)
+            if delta is not None
+            else None
+        )
+        if collected is not None:
+            items, sources, spans = collected
+            measurement = delta.measure_phase(items)
+        else:
+            sources, spans, measurement = self._measure_full(
+                states, active, proposals, engine
+            )
+
+        for (start, end), chain_index in zip(spans, active):
+            state = states[chain_index]
+            improved = False
+            if end > start:
+                state.n_evaluations += end - start
+                local = measurement.fitness[start:end]
+                # argmax keeps the first maximum — the serial loop's
+                # first-seen tie rule.
+                winner = start + int(np.argmax(local))
+                winner_fitness = float(measurement.fitness[winner])
+                accept = winner_fitness > state.current.fitness or (
+                    self.accept_equal
+                    and winner_fitness == state.current.fitness
+                )
+                if accept:
+                    improved = winner_fitness > state.current.fitness
+                    state.current = self._materialize(
+                        measurement, winner, sources[winner], state
+                    )
+                    if delta is not None:
+                        delta.commit_chain(chain_index, state.current.placement)
+                    if state.current.fitness > state.best.fitness:
+                        state.best = state.current
+            state.trace.record_phase(
+                phase=phase,
+                evaluation=state.current,
+                improved=improved,
+                n_evaluations=state.n_evaluations,
+            )
+            state.last_phase = phase
+            state.stall = 0 if improved else state.stall + 1
+            if (
+                fitness_target is not None
+                and state.best.fitness >= fitness_target
+            ):
+                state.active = False
+            elif (
+                self.stall_phases is not None
+                and state.stall >= self.stall_phases
+            ):
+                state.active = False
+
+    def _collect_delta(
+        self,
+        states: list[_ChainState],
+        active: list[int],
+        proposals,
+        problem: ProblemInstance,
+    ):
+        """Neutral ``(chain, movers, new_positions)`` items for the phase.
+
+        Applies exactly the serial loop's validity rules (see
+        :func:`~repro.neighborhood.best_neighbor.apply_valid_move`):
+        stale relocations are dropped, an own-cell relocation becomes a
+        no-op candidate.  Returns ``None`` when a move outside the delta
+        vocabulary (relocate/swap) appears — the phase then measures
+        through the full stacked path instead.
+        """
+        n_routers = problem.n_routers
+        grid = problem.grid
+        items: list[tuple] = []
+        sources: list[object] = []
+        spans: list[tuple[int, int]] = []
+        for chain_index, moves in zip(active, proposals):
+            state = states[chain_index]
+            start = len(sources)
+            incumbent = state.current.placement
+            occupied = incumbent.occupied
+            cells = incumbent.cells
+            for move in moves:
+                if move is None:
+                    continue
+                tag, target = _classify_move(
+                    move, incumbent, occupied, n_routers, grid
+                )
+                if tag == _SKIP:
+                    continue
+                if tag == _NOOP:
+                    item = (chain_index, (), ())
+                elif tag == _RELOCATE:
+                    item = (
+                        chain_index,
+                        (move.router_id,),
+                        ((float(target.x), float(target.y)),),
+                    )
+                elif tag == _SWAP:
+                    a, b = move.router_a, move.router_b
+                    pos_a, pos_b = cells[a], cells[b]
+                    item = (
+                        chain_index,
+                        (a, b),
+                        (
+                            (float(pos_b.x), float(pos_b.y)),
+                            (float(pos_a.x), float(pos_a.y)),
+                        ),
+                    )
+                else:
+                    return None
+                items.append(item)
+                sources.append(move)
+            spans.append((start, len(sources)))
+        return items, sources, spans
+
+    def _measure_full(
+        self,
+        states: list[_ChainState],
+        active: list[int],
+        proposals,
+        engine: StackedEngine,
+    ):
+        """Full stacked measurement of the phase (no incremental caches).
+
+        The sparse path always measures here (one spatial-grid pass per
+        candidate); the dense path only when a phase contains exotic
+        move types.  ``sources[k]`` materializes candidate ``k`` later —
+        a move re-applied to its chain's incumbent, or an already-built
+        placement.
+        """
+        dense = engine.engine == "dense"
+        sources: list[object] = []
+        rows: list[np.ndarray] = []
+        placements: list[Placement] = []
+        spans: list[tuple[int, int]] = []
+        n_routers = engine.problem.n_routers
+        grid = engine.problem.grid
+        for chain_index, moves in zip(active, proposals):
+            state = states[chain_index]
+            start = len(sources)
+            incumbent = state.current.placement
+            occupied = incumbent.occupied
+            positions = incumbent.positions_array()
+            for move in moves:
+                if move is None:
+                    continue
+                tag, target = (
+                    _classify_move(move, incumbent, occupied, n_routers, grid)
+                    if dense
+                    else (_EXOTIC, None)
+                )
+                if tag == _SKIP:
+                    continue
+                if tag == _NOOP:
+                    sources.append(move)
+                    rows.append(positions)
+                elif tag == _RELOCATE:
+                    row = positions.copy()
+                    row[move.router_id] = (target.x, target.y)
+                    sources.append(move)
+                    rows.append(row)
+                elif tag == _SWAP:
+                    row = positions.copy()
+                    row[[move.router_a, move.router_b]] = row[
+                        [move.router_b, move.router_a]
+                    ]
+                    sources.append(move)
+                    rows.append(row)
+                else:
+                    # Sparse path, or an exotic move type: build the
+                    # placement (validity rules identical to the serial
+                    # loop's apply_valid_move).
+                    candidate = apply_valid_move(move, incumbent)
+                    if candidate is None:
+                        continue
+                    sources.append(candidate)
+                    if dense:
+                        rows.append(
+                            np.asarray(candidate.positions_array(), dtype=float)
+                        )
+                    else:
+                        placements.append(candidate)
+            spans.append((start, len(sources)))
+
+        if dense:
+            stack = (
+                np.stack(rows)
+                if rows
+                else np.zeros((0, n_routers, 2), dtype=float)
+            )
+            measurement = engine.measure_positions(stack)
+        else:
+            measurement = engine.measure_placements(placements)
+        return sources, spans, measurement
+
+    @staticmethod
+    def _materialize(
+        measurement, index: int, source, state: _ChainState
+    ) -> Evaluation:
+        """Turn the winning stack row into a full :class:`Evaluation`."""
+        if isinstance(source, Placement):
+            return measurement.evaluation(index, source)
+        placement = apply_valid_move(source, state.current.placement)
+        if placement is None:  # pragma: no cover - validity pre-checked
+            raise RuntimeError("accepted candidate became invalid")
+        return measurement.evaluation(index, placement)
+
+    # ------------------------------------------------------------------
+    # Process fan-out
+    # ------------------------------------------------------------------
+
+    def _run_parallel(
+        self,
+        problem: ProblemInstance,
+        initials: Sequence[Placement],
+        rngs: Sequence[np.random.Generator],
+        fitness: FitnessFunction | None,
+        fitness_target: float | None,
+        workers: int,
+    ) -> list[SearchResult]:
+        parameters = dict(
+            n_candidates=self.n_candidates,
+            max_phases=self.max_phases,
+            stall_phases=self.stall_phases,
+            accept_equal=self.accept_equal,
+            engine=self.engine,
+            max_chunk=self.max_chunk,
+        )
+        tasks = [
+            (
+                parameters,
+                problem,
+                self.movement,
+                list(initials[part]),
+                list(rngs[part]),
+                fitness,
+                fitness_target,
+            )
+            for part in _shard_slices(len(initials), workers)
+        ]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            shards = list(pool.map(_run_shard, tasks))
+        return [result for shard in shards for result in shard]
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiChainSearch(movement={self.movement!r}, "
+            f"n_candidates={self.n_candidates}, max_phases={self.max_phases}, "
+            f"stall_phases={self.stall_phases}, accept_equal={self.accept_equal}, "
+            f"engine={self.engine!r})"
+        )
+
+
+@dataclass(frozen=True)
+class MultiStartResult:
+    """Outcome of a best-of-``R`` multi-start run."""
+
+    results: tuple[SearchResult, ...]
+    best_index: int
+
+    @property
+    def n_restarts(self) -> int:
+        """Number of restart chains."""
+        return len(self.results)
+
+    @property
+    def best(self) -> SearchResult:
+        """The winning chain's full search result."""
+        return self.results[self.best_index]
+
+    @property
+    def best_evaluation(self) -> Evaluation:
+        """The winning chain's best evaluation."""
+        return self.best.best
+
+    @property
+    def n_evaluations(self) -> int:
+        """Total evaluations across every restart chain."""
+        return sum(result.n_evaluations for result in self.results)
+
+
+class MultiStartSearch:
+    """Best-of-``R`` random restarts on the lockstep engine.
+
+    The classic multi-start wrapper: draw ``n_restarts`` independent
+    initial placements, search each with its own chain, return the
+    fittest outcome (first chain wins exact ties).  All chains advance
+    through one :class:`MultiChainSearch`, so a whole restart portfolio
+    costs one stacked engine pass per phase — and ``workers=`` shards it
+    across processes without changing any result.
+
+    Each restart chain draws its initial placement from its *own*
+    generator before searching (the same stream layout the replication
+    harness uses), so a single parent seed reproduces the entire
+    portfolio.
+    """
+
+    def __init__(
+        self,
+        movement: "MovementType | Callable[[], MovementType]",
+        n_restarts: int = 8,
+        n_candidates: int = 16,
+        max_phases: int = 64,
+        stall_phases: int | None = None,
+        accept_equal: bool = False,
+        engine: str = "auto",
+        max_chunk: int = DEFAULT_MAX_CHUNK,
+    ) -> None:
+        if n_restarts <= 0:
+            raise ValueError(f"n_restarts must be positive, got {n_restarts}")
+        self.n_restarts = n_restarts
+        self.search = MultiChainSearch(
+            movement,
+            n_candidates=n_candidates,
+            max_phases=max_phases,
+            stall_phases=stall_phases,
+            accept_equal=accept_equal,
+            engine=engine,
+            max_chunk=max_chunk,
+        )
+
+    def run(
+        self,
+        problem: ProblemInstance,
+        seed: "int | Sequence[int] | np.random.SeedSequence | Sequence[np.random.Generator]",
+        fitness: FitnessFunction | None = None,
+        fitness_target: float | None = None,
+        workers: int | None = None,
+    ) -> MultiStartResult:
+        """Run the restart portfolio; ``seed`` follows :func:`chain_generators`.
+
+        Pass a parent seed (int / entropy sequence / ``SeedSequence``)
+        for the documented spawn contract, or one pre-seeded
+        ``Generator`` per restart to control each stream directly.
+        """
+        rngs = self._resolve_generators(seed)
+        initials = [
+            Placement.random(problem.grid, problem.n_routers, rng) for rng in rngs
+        ]
+        results = self.search.run(
+            problem,
+            initials,
+            rngs,
+            fitness=fitness,
+            fitness_target=fitness_target,
+            workers=workers,
+        )
+        fitnesses = np.array([result.best.fitness for result in results])
+        return MultiStartResult(
+            results=tuple(results), best_index=int(np.argmax(fitnesses))
+        )
+
+    def _resolve_generators(self, seed) -> list[np.random.Generator]:
+        if isinstance(seed, (list, tuple)) and seed and all(
+            isinstance(item, np.random.Generator) for item in seed
+        ):
+            if len(seed) != self.n_restarts:
+                raise ValueError(
+                    f"{len(seed)} generators for {self.n_restarts} restarts"
+                )
+            return list(seed)
+        return chain_generators(seed, self.n_restarts)
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiStartSearch(n_restarts={self.n_restarts}, "
+            f"search={self.search!r})"
+        )

@@ -7,6 +7,7 @@ configuration refer to neighborhood structures by name (``"swap"``,
 
 from __future__ import annotations
 
+import functools
 from typing import Callable
 
 from repro.neighborhood.movements import (
@@ -16,7 +17,12 @@ from repro.neighborhood.movements import (
     SwapMovement,
 )
 
-__all__ = ["available_movements", "make_movement", "register_movement"]
+__all__ = [
+    "available_movements",
+    "make_movement",
+    "movement_factory",
+    "register_movement",
+]
 
 
 def _make_swap(**parameters) -> SwapMovement:
@@ -64,3 +70,18 @@ def make_movement(name: str, **parameters) -> MovementType:
         known = ", ".join(available_movements())
         raise ValueError(f"unknown movement {name!r}; known: {known}") from None
     return factory(**parameters)
+
+
+def movement_factory(name: str, **parameters) -> Callable[[], MovementType]:
+    """A picklable zero-argument factory for a registered movement.
+
+    The multi-chain engine and the replication harness take movement
+    *factories* so each run / worker shard gets a fresh, process-local
+    instance; ``functools.partial`` over :func:`make_movement` keeps the
+    factory picklable for ``workers=`` fan-out.  Unknown names fail here
+    rather than inside a worker.
+    """
+    if name not in _FACTORIES:
+        known = ", ".join(available_movements())
+        raise ValueError(f"unknown movement {name!r}; known: {known}")
+    return functools.partial(make_movement, name, **parameters)

@@ -104,6 +104,8 @@ class NeighborhoodSearch:
     ) -> SearchResult:
         """Search from ``initial``; returns best solution and trace."""
         evaluations_before = evaluator.n_evaluations
+        # One capability probe per run instead of one per phase.
+        evaluate_many = getattr(evaluator, "evaluate_many", None)
         current = evaluator.evaluate(initial)
         best = current
         trace = SearchTrace()
@@ -122,6 +124,7 @@ class NeighborhoodSearch:
                 self.movement,
                 rng,
                 n_candidates=self.n_candidates,
+                evaluate_many=evaluate_many,
             )
             improved = False
             if candidate is not None:

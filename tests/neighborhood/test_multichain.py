@@ -1,0 +1,371 @@
+"""Tests for the lockstep multi-chain search engine.
+
+The contract under test: per-chain results (best solution, trace, phase
+and evaluation counts) are **bit-identical** to running each chain
+through a serial :class:`NeighborhoodSearch`, for every movement type,
+stopping condition, engine path and ``workers=`` sharding — because the
+per-chain RNG streams are consumed identically everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import Evaluation, Evaluator
+from repro.core.solution import Placement
+from repro.instances.catalog import tiny_spec
+from repro.neighborhood import (
+    MultiChainSearch,
+    MultiStartSearch,
+    NeighborhoodSearch,
+    chain_generators,
+)
+from repro.neighborhood.moves import Move, RelocateMove
+from repro.neighborhood.movements import (
+    CombinedMovement,
+    MovementType,
+    RandomMovement,
+    SwapMovement,
+)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return tiny_spec(seed=7).generate()
+
+
+MOVEMENT_FACTORIES = [
+    pytest.param(SwapMovement, id="swap"),
+    pytest.param(lambda: SwapMovement(relocate=False), id="swap-literal"),
+    pytest.param(
+        lambda: SwapMovement(density_source="clients"), id="swap-clients"
+    ),
+    pytest.param(RandomMovement, id="random"),
+    pytest.param(
+        lambda: CombinedMovement([SwapMovement(), RandomMovement()]),
+        id="combined",
+    ),
+]
+
+
+def chain_rngs(n_chains, base=42):
+    return [np.random.default_rng((base, chain)) for chain in range(n_chains)]
+
+
+def chain_starts(problem, rngs):
+    return [
+        Placement.random(problem.grid, problem.n_routers, rng) for rng in rngs
+    ]
+
+
+def run_serial(problem, factory, n_chains, base=42, **kwargs):
+    results = []
+    for chain in range(n_chains):
+        rng = np.random.default_rng((base, chain))
+        initial = Placement.random(problem.grid, problem.n_routers, rng)
+        search = NeighborhoodSearch(factory(), **kwargs)
+        results.append(search.run(Evaluator(problem), initial, rng))
+    return results
+
+
+def run_lockstep(problem, factory, n_chains, base=42, workers=None, **kwargs):
+    rngs = chain_rngs(n_chains, base)
+    initials = chain_starts(problem, rngs)
+    search = MultiChainSearch(factory(), **kwargs)
+    return search.run(problem, initials, rngs, workers=workers)
+
+
+def assert_identical(serial, lockstep):
+    assert len(serial) == len(lockstep)
+    for a, b in zip(serial, lockstep):
+        assert a.best.fitness == b.best.fitness
+        assert a.best.placement.cells == b.best.placement.cells
+        assert a.best.metrics == b.best.metrics
+        assert np.array_equal(a.best.giant_mask, b.best.giant_mask)
+        assert a.n_phases == b.n_phases
+        assert a.n_evaluations == b.n_evaluations
+        assert len(a.trace) == len(b.trace)
+        for record_a, record_b in zip(a.trace, b.trace):
+            assert record_a.as_dict() == record_b.as_dict()
+
+
+class TestProposeBatchContract:
+    """propose_batch must equal R scalar propose calls per chain stream."""
+
+    @pytest.mark.parametrize("factory", MOVEMENT_FACTORIES)
+    def test_agrees_with_scalar_propose(self, problem, factory):
+        n_chains, n_candidates = 4, 10
+        evaluator = Evaluator(problem)
+        currents = [
+            evaluator.evaluate(placement)
+            for placement in chain_starts(problem, chain_rngs(n_chains, 3))
+        ]
+        batch_rngs = chain_rngs(n_chains, 11)
+        scalar_rngs = chain_rngs(n_chains, 11)
+        batch_movement = factory()
+        scalar_movement = factory()
+        batch = batch_movement.propose_batch(
+            currents, problem, batch_rngs, n_candidates
+        )
+        scalar = [
+            [
+                scalar_movement.propose(currents[chain], problem, rng)
+                for _ in range(n_candidates)
+            ]
+            for chain, rng in enumerate(scalar_rngs)
+        ]
+        assert batch == scalar
+        # The streams must also END in the same state: no hidden draws.
+        for fast, reference in zip(batch_rngs, scalar_rngs):
+            assert fast.integers(1 << 30) == reference.integers(1 << 30)
+
+    def test_rejects_mismatched_lengths(self, problem):
+        evaluator = Evaluator(problem)
+        current = evaluator.evaluate(
+            Placement.random(problem.grid, problem.n_routers, chain_rngs(1)[0])
+        )
+        with pytest.raises(ValueError):
+            RandomMovement().propose_batch(
+                [current], problem, chain_rngs(2), 4
+            )
+
+
+class TestChainGenerators:
+    def test_reproducible_and_independent(self):
+        first = chain_generators(123, 4)
+        second = chain_generators(123, 4)
+        draws_first = [rng.integers(1 << 30) for rng in first]
+        draws_second = [rng.integers(1 << 30) for rng in second]
+        assert draws_first == draws_second
+        assert len(set(draws_first)) == len(draws_first)
+
+    def test_accepts_seed_sequence(self):
+        sequence = np.random.SeedSequence(9)
+        rngs = chain_generators(sequence, 2)
+        assert len(rngs) == 2
+
+    def test_rejects_non_positive_count(self):
+        with pytest.raises(ValueError):
+            chain_generators(1, 0)
+
+
+class TestLockstepParity:
+    @pytest.mark.parametrize("factory", MOVEMENT_FACTORIES)
+    def test_matches_serial_chains(self, problem, factory):
+        serial = run_serial(
+            problem, factory, 5, n_candidates=6, max_phases=10
+        )
+        lockstep = run_lockstep(
+            problem, factory, 5, n_candidates=6, max_phases=10
+        )
+        assert_identical(serial, lockstep)
+
+    def test_stall_and_sideways_acceptance(self, problem):
+        kwargs = dict(
+            n_candidates=5, max_phases=12, stall_phases=3, accept_equal=True
+        )
+        serial = run_serial(problem, RandomMovement, 4, **kwargs)
+        lockstep = run_lockstep(problem, RandomMovement, 4, **kwargs)
+        assert_identical(serial, lockstep)
+
+    def test_fitness_target_masks_chains(self, problem):
+        serial = []
+        for chain in range(4):
+            rng = np.random.default_rng((42, chain))
+            initial = Placement.random(problem.grid, problem.n_routers, rng)
+            search = NeighborhoodSearch(
+                SwapMovement(), n_candidates=5, max_phases=15
+            )
+            serial.append(
+                search.run(Evaluator(problem), initial, rng, fitness_target=0.5)
+            )
+        rngs = chain_rngs(4)
+        initials = chain_starts(problem, rngs)
+        lockstep = MultiChainSearch(
+            SwapMovement(), n_candidates=5, max_phases=15
+        ).run(problem, initials, rngs, fitness_target=0.5)
+        assert_identical(serial, lockstep)
+
+    def test_chains_stop_at_different_phases(self, problem):
+        # With a tight patience different chains stall at different
+        # phases; the lockstep masking must reproduce each endpoint.
+        kwargs = dict(n_candidates=4, max_phases=20, stall_phases=2)
+        serial = run_serial(problem, SwapMovement, 6, **kwargs)
+        lockstep = run_lockstep(problem, SwapMovement, 6, **kwargs)
+        assert_identical(serial, lockstep)
+        assert len({result.n_phases for result in lockstep}) > 1
+
+    def test_sparse_engine_parity(self, problem):
+        dense = run_lockstep(
+            problem, SwapMovement, 3, n_candidates=5, max_phases=8
+        )
+        rngs = chain_rngs(3)
+        initials = chain_starts(problem, rngs)
+        sparse = MultiChainSearch(
+            SwapMovement(), n_candidates=5, max_phases=8, engine="sparse"
+        ).run(problem, initials, rngs)
+        assert_identical(dense, sparse)
+
+    def test_exotic_move_type_falls_back(self, problem):
+        class WrappedRelocate(Move):
+            def __init__(self, inner):
+                self.inner = inner
+
+            def apply(self, placement):
+                return self.inner.apply(placement)
+
+            def describe(self):
+                return f"wrapped({self.inner.describe()})"
+
+        class WrappingMovement(MovementType):
+            name = "wrapping"
+
+            def __init__(self):
+                self._random = RandomMovement()
+
+            def propose(self, current, problem, rng):
+                move = self._random.propose(current, problem, rng)
+                return None if move is None else WrappedRelocate(move)
+
+        serial = run_serial(
+            problem, WrappingMovement, 3, n_candidates=4, max_phases=6
+        )
+        lockstep = run_lockstep(
+            problem, WrappingMovement, 3, n_candidates=4, max_phases=6
+        )
+        assert_identical(serial, lockstep)
+
+
+class TestDeterminismAndWorkers:
+    def test_same_seeds_same_results(self, problem):
+        first = run_lockstep(
+            problem, SwapMovement, 4, n_candidates=5, max_phases=8
+        )
+        second = run_lockstep(
+            problem, SwapMovement, 4, n_candidates=5, max_phases=8
+        )
+        assert_identical(first, second)
+
+    def test_workers_match_serial_lockstep(self, problem):
+        single = run_lockstep(
+            problem, SwapMovement, 6, n_candidates=4, max_phases=6
+        )
+        sharded = run_lockstep(
+            problem, SwapMovement, 6, n_candidates=4, max_phases=6, workers=3
+        )
+        assert_identical(single, sharded)
+
+    def test_invalid_inputs(self, problem):
+        search = MultiChainSearch(RandomMovement())
+        rngs = chain_rngs(2)
+        initials = chain_starts(problem, rngs)
+        with pytest.raises(ValueError):
+            search.run(problem, [], [])
+        with pytest.raises(ValueError):
+            search.run(problem, initials, rngs[:1])
+        with pytest.raises(ValueError):
+            search.run(problem, initials, rngs, workers=0)
+        with pytest.raises(ValueError):
+            MultiChainSearch(RandomMovement(), n_candidates=0)
+        with pytest.raises(ValueError):
+            MultiChainSearch(RandomMovement(), max_phases=0)
+        with pytest.raises(ValueError):
+            MultiChainSearch(RandomMovement(), stall_phases=0)
+
+    def test_movement_factory_resolution(self, problem):
+        rngs = chain_rngs(2)
+        initials = chain_starts(problem, rngs)
+        with pytest.raises(TypeError):
+            MultiChainSearch(lambda: object()).run(problem, initials, rngs)
+
+
+class TestMultiStartSearch:
+    def test_best_of_restarts(self, problem):
+        search = MultiStartSearch(
+            SwapMovement, n_restarts=5, n_candidates=5, max_phases=8
+        )
+        outcome = search.run(problem, seed=77)
+        assert outcome.n_restarts == 5
+        fitnesses = [result.best.fitness for result in outcome.results]
+        assert outcome.best.best.fitness == max(fitnesses)
+        assert outcome.best_index == int(np.argmax(fitnesses))
+        assert isinstance(outcome.best_evaluation, Evaluation)
+        assert outcome.n_evaluations == sum(
+            result.n_evaluations for result in outcome.results
+        )
+
+    def test_deterministic_from_parent_seed(self, problem):
+        search = MultiStartSearch(
+            RandomMovement, n_restarts=3, n_candidates=4, max_phases=6
+        )
+        first = search.run(problem, seed=5)
+        second = search.run(problem, seed=5)
+        assert first.best_index == second.best_index
+        assert_identical(list(first.results), list(second.results))
+
+    def test_explicit_generators(self, problem):
+        search = MultiStartSearch(
+            RandomMovement, n_restarts=2, n_candidates=4, max_phases=4
+        )
+        outcome = search.run(problem, seed=chain_rngs(2, base=9))
+        assert outcome.n_restarts == 2
+        with pytest.raises(ValueError):
+            search.run(problem, seed=chain_rngs(3, base=9))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiStartSearch(RandomMovement, n_restarts=0)
+
+
+class TestReplicationContract:
+    """replicate_movements == the serial per-chain loop, per seed."""
+
+    def test_movement_replication_matches_serial_chains(self):
+        from repro.experiments.replication import (
+            _name_key,
+            replicate_movements,
+        )
+
+        spec = tiny_spec(seed=8)
+        problem = spec.generate()
+        results = replicate_movements(
+            spec, n_seeds=3, n_candidates=4, max_phases=5
+        )
+        for label, factory in (("Swap", SwapMovement), ("Random", RandomMovement)):
+            giants = []
+            coverages = []
+            for seed in range(3):
+                rng = np.random.default_rng((spec.seed, _name_key(label), seed))
+                initial = Placement.random(
+                    problem.grid, problem.n_routers, rng
+                )
+                outcome = NeighborhoodSearch(
+                    factory(), n_candidates=4, max_phases=5, stall_phases=None
+                ).run(Evaluator(problem), initial, rng)
+                giants.append(float(outcome.best.giant_size))
+                coverages.append(float(outcome.best.covered_clients))
+            assert results[label]["giant"].values == tuple(giants)
+            assert results[label]["coverage"].values == tuple(coverages)
+
+    def test_standalone_replication_matches_scalar_runs(self):
+        from repro.adhoc.registry import make_method
+        from repro.experiments.replication import (
+            _name_key,
+            replicate_standalone,
+        )
+
+        spec = tiny_spec(seed=6)
+        problem = spec.generate()
+        results = replicate_standalone(
+            spec, n_seeds=3, methods=("random", "hotspot")
+        )
+        for name in ("random", "hotspot"):
+            fitnesses = []
+            for seed in range(3):
+                rng = np.random.default_rng((spec.seed, _name_key(name), seed))
+                evaluation = Evaluator(problem).evaluate(
+                    make_method(name).place(problem, rng)
+                )
+                fitnesses.append(evaluation.fitness)
+            assert results[name]["fitness"].values == tuple(fitnesses)
