@@ -15,18 +15,50 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import time
 from pathlib import Path
 
 from repro.experiments.config import ExperimentScale, current_scale
 
 __all__ = [
+    "BENCH_SCHEMA_VERSION",
     "bench_scale",
+    "host_metadata",
     "run_once",
     "print_header",
     "add_json_argument",
     "write_bench_json",
 ]
+
+#: Version of the ``BENCH_<name>.json`` envelope.  Bump whenever an
+#: envelope key changes meaning, so trajectory tooling can tell records
+#: apart instead of silently comparing incompatible shapes.
+#:
+#: * 1 — (implicit) bench name, scale, timestamp, payload.
+#: * 2 — adds ``schema_version`` and the ``host`` metadata block;
+#:   wall-clock numbers are only comparable between records whose hosts
+#:   match.
+BENCH_SCHEMA_VERSION = 2
+
+
+def host_metadata() -> dict:
+    """The machine identity stamped into every benchmark record.
+
+    Committed ``BENCH_*.json`` records accumulate a perf trajectory
+    across PRs; timings from different machines must not be compared as
+    a regression signal, so every record says where it was measured.
+    """
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy.__version__,
+    }
 
 #: Default destination for benchmark records: the repository root, so
 #: every bench run leaves a committed-able ``BENCH_<name>.json`` behind
@@ -93,9 +125,11 @@ def write_bench_json(name: str, payload: dict, directory: "str | None") -> Path:
     target = Path(directory)
     target.mkdir(parents=True, exist_ok=True)
     record = {
+        "schema_version": BENCH_SCHEMA_VERSION,
         "bench": name,
         "scale": bench_scale().name,
         "timestamp": time.time(),
+        "host": host_metadata(),
         **payload,
     }
     path = target / f"BENCH_{name}.json"

@@ -42,7 +42,7 @@ from repro.core.solution import Placement
 from repro.instances.generator import InstanceSpec
 from repro.neighborhood import MultiChainSearch, NeighborhoodSearch
 from repro.neighborhood.registry import movement_factory
-from repro.experiments.replication import _name_key
+from repro.experiments.replication import label_key
 
 #: The 6-movement portfolio: the paper's two movements plus the natural
 #: swap variants and the combined mixture — every registry family.
@@ -75,7 +75,7 @@ def multichain_bench_spec(seed: int = 20090629) -> InstanceSpec:
 def chain_inputs(problem, label: str, seed_base: int, n_seeds: int):
     """Per-chain generators + initial placements under the RNG contract."""
     rngs = [
-        np.random.default_rng((seed_base, _name_key(label), seed))
+        np.random.default_rng((seed_base, label_key(label), seed))
         for seed in range(n_seeds)
     ]
     initials = [
@@ -88,7 +88,7 @@ def run_serial(problem, factory, label, seed_base, n_seeds, candidates, phases):
     """The serial per-chain loop (one fresh search + evaluator per seed)."""
     results = []
     for seed in range(n_seeds):
-        rng = np.random.default_rng((seed_base, _name_key(label), seed))
+        rng = np.random.default_rng((seed_base, label_key(label), seed))
         initial = Placement.random(problem.grid, problem.n_routers, rng)
         search = NeighborhoodSearch(
             factory(), n_candidates=candidates, max_phases=phases,

@@ -15,6 +15,13 @@ from __future__ import annotations
 
 import numpy as np
 
+import os
+
+#: ``REPRO_EXAMPLES_SMOKE=1`` (set by the CI examples job) shrinks the
+#: effort knobs so every example still exercises its whole pipeline but
+#: finishes in seconds.
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE") == "1"
+
 from repro import (
     Evaluator,
     InstanceSpec,
@@ -73,7 +80,10 @@ def main() -> None:
     # 2. Refine the survey winner with swap-movement neighborhood search.
     rng = np.random.default_rng(7)
     search = NeighborhoodSearch(
-        SwapMovement(), n_candidates=32, max_phases=40, stall_phases=None
+        SwapMovement(),
+        n_candidates=8 if SMOKE else 32,
+        max_phases=6 if SMOKE else 40,
+        stall_phases=None,
     )
     refined = search.run(evaluator, best_eval.placement, rng)
     print(f"after refinement: {refined.best.summary()}")

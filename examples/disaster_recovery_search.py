@@ -15,6 +15,13 @@ from __future__ import annotations
 
 import numpy as np
 
+import os
+
+#: ``REPRO_EXAMPLES_SMOKE=1`` (set by the CI examples job) shrinks the
+#: effort knobs so every example still exercises its whole pipeline but
+#: finishes in seconds.
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE") == "1"
+
 from repro import (
     Evaluator,
     HotSpotPlacement,
@@ -64,7 +71,10 @@ def main() -> None:
     evaluator = Evaluator(problem)
     initial = HotSpotPlacement().place(problem, rng)
     deployed = NeighborhoodSearch(
-        SwapMovement(), n_candidates=32, max_phases=30, stall_phases=None
+        SwapMovement(),
+        n_candidates=8 if SMOKE else 32,
+        max_phases=6 if SMOKE else 30,
+        stall_phases=None,
     ).run(evaluator, initial, rng)
     print(f"deployed network      : {deployed.best.summary()}")
 
@@ -79,7 +89,7 @@ def main() -> None:
 
     # 3. Re-plan the survivors: the paper's search vs its future-work
     #    extensions, equal budgets.
-    budget_phases, budget_moves = 30, 32
+    budget_phases, budget_moves = (6, 8) if SMOKE else (30, 32)
     contenders = {
         "swap neighborhood search": NeighborhoodSearch(
             SwapMovement(),

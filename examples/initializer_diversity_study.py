@@ -16,6 +16,13 @@ from __future__ import annotations
 
 import numpy as np
 
+import os
+
+#: ``REPRO_EXAMPLES_SMOKE=1`` (set by the CI examples job) shrinks the
+#: effort knobs so every example still exercises its whole pipeline but
+#: finishes in seconds.
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE") == "1"
+
 from repro import (
     AdHocInitializer,
     Evaluator,
@@ -37,7 +44,7 @@ def main() -> None:
         f"{'GA giant':>9s} {'GA coverage':>12s}"
     )
 
-    population_size = 16
+    population_size = 8 if SMOKE else 16
     for method in paper_methods():
         initializer = AdHocInitializer(method)
         rng = np.random.default_rng(23)
@@ -53,7 +60,10 @@ def main() -> None:
 
         # Short GA run from the same initializer.
         ga = GeneticAlgorithm(
-            GAConfig(population_size=population_size, n_generations=30)
+            GAConfig(
+                population_size=population_size,
+                n_generations=4 if SMOKE else 30,
+            )
         )
         result = ga.run(
             Evaluator(problem), initializer, np.random.default_rng(23)

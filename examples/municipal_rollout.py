@@ -15,6 +15,14 @@ from __future__ import annotations
 
 import numpy as np
 
+import os
+
+#: ``REPRO_EXAMPLES_SMOKE=1`` (set by the CI examples job) shrinks the
+#: effort knobs so every example still exercises its whole pipeline but
+#: finishes in seconds.
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE") == "1"
+
+from repro.experiments.replication import label_key
 from repro import (
     AdHocInitializer,
     Evaluator,
@@ -46,7 +54,7 @@ def district_spec(name: str, distribution: str, params: dict) -> InstanceSpec:
         distribution_params=params,
         min_radius=2.5,
         max_radius=9.0,
-        seed=hash(name) & 0xFFFF,
+        seed=label_key(name),
     )
 
 
@@ -55,10 +63,15 @@ def plan_district(name: str, distribution: str, params: dict) -> None:
     problem = spec.generate()
     print(f"--- {name} ({distribution} residents) ---")
 
-    ga = GeneticAlgorithm(GAConfig(population_size=24, n_generations=60))
+    ga = GeneticAlgorithm(
+        GAConfig(
+            population_size=8 if SMOKE else 24,
+            n_generations=5 if SMOKE else 60,
+        )
+    )
     outcomes = []
     for initializer_name in CANDIDATE_INITIALIZERS:
-        rng = np.random.default_rng((13, hash(initializer_name) & 0xFFFF))
+        rng = np.random.default_rng((13, label_key(initializer_name)))
         evaluator = Evaluator(problem)
         result = ga.run(
             evaluator,

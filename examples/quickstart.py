@@ -13,6 +13,13 @@ from __future__ import annotations
 
 import numpy as np
 
+import os
+
+#: ``REPRO_EXAMPLES_SMOKE=1`` (set by the CI examples job) shrinks the
+#: effort knobs so every example still exercises its whole pipeline but
+#: finishes in seconds.
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE") == "1"
+
 from repro import (
     Evaluator,
     HotSpotPlacement,
@@ -41,8 +48,8 @@ def main() -> None:
     # 3. Neighborhood search with the swap movement (Algorithms 1-3).
     search = NeighborhoodSearch(
         movement=SwapMovement(),
-        n_candidates=32,
-        max_phases=48,
+        n_candidates=8 if SMOKE else 32,
+        max_phases=6 if SMOKE else 48,
         stall_phases=None,
     )
     result = search.run(evaluator, initial, rng)

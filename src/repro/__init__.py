@@ -99,7 +99,26 @@ from repro.neighborhood import (
     SwapMovement,
     TabuSearch,
 )
-from repro.viz import render_evaluation, render_placement
+from repro.scenario import (
+    ClientChurn,
+    ClientDrift,
+    RadioDegradation,
+    RouterOutage,
+    Scenario,
+    ScenarioResult,
+    ScenarioRunner,
+)
+from repro.solvers import (
+    Solver,
+    SolveResult,
+    available_solvers,
+    make_solver,
+)
+from repro.viz import (
+    render_evaluation,
+    render_placement,
+    render_timeline,
+)
 
 __version__ = "1.0.0"
 
@@ -174,7 +193,21 @@ __all__ = [
     "SimulatedAnnealing",
     "SwapMovement",
     "TabuSearch",
+    # scenario
+    "ClientChurn",
+    "ClientDrift",
+    "RadioDegradation",
+    "RouterOutage",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioRunner",
+    # solvers
+    "Solver",
+    "SolveResult",
+    "available_solvers",
+    "make_solver",
     # viz
     "render_evaluation",
     "render_placement",
+    "render_timeline",
 ]

@@ -3,14 +3,25 @@
 ``wmn-placement`` exposes the library's main workflows:
 
 * ``generate`` — materialize a benchmark instance to JSON.
-* ``place`` — run one ad hoc method on an instance and report metrics.
-* ``search`` — run neighborhood search (swap or random movement).
-* ``ga`` — run the genetic algorithm with a chosen initializer.
+* ``solve`` — run ANY registered solver (``family:variant``) on an
+  instance; ``--list`` prints the registry.
+* ``place`` / ``search`` / ``ga`` — familiar shorthands for the
+  ``adhoc``, ``search`` and ``ga`` solver families (same registry
+  underneath).
+* ``scenario`` — unfold a dynamic scenario (client drift/churn, router
+  outages, radio decay) and re-optimize each step with warm starts.
 * ``reproduce`` — regenerate every table and figure of the paper.
 * ``replicate`` — multi-seed replication of the headline comparisons.
 * ``sweep`` — scaling sweeps around the paper's operating point.
 
-Every command accepts ``--seed`` and prints deterministic results.
+Every command accepts ``--seed`` and prints deterministic results, and
+every command that evaluates placements accepts
+``--engine {auto,dense,sparse}`` to pick the evaluation engine
+(``generate`` performs no evaluation, so it has no engine to pick).
+
+All optimization commands resolve their method through the single
+:mod:`repro.solvers` registry — there are no per-family code paths left
+in this module.
 """
 
 from __future__ import annotations
@@ -18,23 +29,42 @@ from __future__ import annotations
 import argparse
 import sys
 
-import numpy as np
-
-from repro.adhoc.registry import available_methods, make_method
-from repro.core.evaluation import Evaluator
+from repro.adhoc.registry import available_methods
 from repro.distributions.registry import available_distributions
 from repro.experiments.config import PAPER_SCALE, QUICK_SCALE
 from repro.experiments.runner import run_all
-from repro.genetic.engine import GAConfig, GeneticAlgorithm
-from repro.genetic.initializers import AdHocInitializer
 from repro.instances.generator import InstanceSpec
-from repro.instances.serializer import load_instance, save_instance, save_placement
-from repro.neighborhood.registry import available_movements, make_movement
-from repro.neighborhood.search import NeighborhoodSearch
+from repro.instances.serializer import (
+    load_instance,
+    load_placement,
+    save_instance,
+    save_placement,
+)
+from repro.neighborhood.registry import available_movements
+from repro.scenario import Scenario, ScenarioRunner
+from repro.solvers import available_solvers, make_solver, solver_families
 from repro.viz.ascii_chart import render_chart
 from repro.viz.ascii_map import render_evaluation
+from repro.viz.timeline import render_timeline
 
 __all__ = ["main", "build_parser"]
+
+#: The evaluation-engine choice shared by every evaluating subcommand.
+ENGINE_CHOICES = ("auto", "dense", "sparse")
+
+#: Scenario kinds the ``scenario`` subcommand can unfold.
+SCENARIO_KINDS = ("drift", "churn", "outage", "degrade")
+
+
+def _add_engine(parser: argparse.ArgumentParser) -> None:
+    """The uniform ``--engine`` option (auto/dense/sparse)."""
+    parser.add_argument(
+        "--engine",
+        default="auto",
+        choices=ENGINE_CHOICES,
+        help="evaluation engine: auto picks dense at paper scale and the "
+        "spatial-grid sparse path at city scale (default: auto)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -66,6 +96,44 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--max-radius", type=float, default=7.0)
     generate.add_argument("--seed", type=int, default=0)
 
+    solve = subparsers.add_parser(
+        "solve",
+        help="run any registered solver (family:variant) on an instance",
+    )
+    solve.add_argument(
+        "instance", nargs="?", help="instance JSON (from 'generate')"
+    )
+    solve.add_argument(
+        "--solver",
+        default="search:swap",
+        metavar="FAMILY[:VARIANT]",
+        help="registry spec, e.g. adhoc:hotspot, tabu:swap, ga:corners "
+        "(default: search:swap; see --list)",
+    )
+    solve.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="effort in the solver's native unit (phases / generations)",
+    )
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument(
+        "--warm-from",
+        metavar="PLACEMENT_JSON",
+        help="warm-start from a saved placement instead of the solver's "
+        "own initialization",
+    )
+    solve.add_argument("--output", help="write the best placement JSON here")
+    solve.add_argument(
+        "--render", action="store_true", help="print an ASCII map of the result"
+    )
+    solve.add_argument(
+        "--list",
+        action="store_true",
+        help="list every registered solver spec and exit",
+    )
+    _add_engine(solve)
+
     place = subparsers.add_parser(
         "place", help="run one ad hoc placement method on an instance"
     )
@@ -81,6 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
     place.add_argument(
         "--render", action="store_true", help="print an ASCII map of the result"
     )
+    _add_engine(place)
 
     search = subparsers.add_parser(
         "search", help="run neighborhood search on an instance"
@@ -108,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument(
         "--trace", action="store_true", help="print the phase-by-phase trace"
     )
+    _add_engine(search)
 
     ga = subparsers.add_parser(
         "ga", help="run the genetic algorithm on an instance"
@@ -126,6 +196,83 @@ def build_parser() -> argparse.ArgumentParser:
     ga.add_argument(
         "--render", action="store_true", help="print an ASCII map of the result"
     )
+    _add_engine(ga)
+
+    scenario = subparsers.add_parser(
+        "scenario",
+        help="unfold a dynamic scenario and re-optimize each step "
+        "(warm-started by default)",
+    )
+    scenario.add_argument("instance", help="instance JSON (from 'generate')")
+    scenario.add_argument(
+        "--kind",
+        default="drift",
+        choices=SCENARIO_KINDS,
+        help="what changes per step (default: drift)",
+    )
+    scenario.add_argument(
+        "--steps", type=int, default=10, help="number of perturbation steps"
+    )
+    scenario.add_argument(
+        "--solver",
+        default="search:swap",
+        metavar="FAMILY[:VARIANT]",
+        help="registry spec re-optimizing each step (default: search:swap)",
+    )
+    scenario.add_argument(
+        "--budget", type=int, default=None, help="per-step solver budget"
+    )
+    scenario.add_argument(
+        "--candidates",
+        type=int,
+        default=16,
+        help="per-phase effort of the step solver (candidates, or moves "
+        "per phase for annealing; default 16)",
+    )
+    scenario.add_argument(
+        "--stall",
+        type=int,
+        default=8,
+        help="stop a search/multistart step after this many non-improving "
+        "phases — what lets warm-started steps finish early (default 8; "
+        "0 disables)",
+    )
+    scenario.add_argument(
+        "--sigma", type=float, default=2.0, help="drift step size (kind=drift)"
+    )
+    scenario.add_argument(
+        "--fraction",
+        type=float,
+        default=0.1,
+        help="churning client fraction (kind=churn)",
+    )
+    scenario.add_argument(
+        "--distribution",
+        default="uniform",
+        choices=available_distributions(),
+        help="arrival distribution for churn (default: uniform)",
+    )
+    scenario.add_argument(
+        "--count", type=int, default=1, help="routers lost per step (kind=outage)"
+    )
+    scenario.add_argument(
+        "--factor",
+        type=float,
+        default=0.9,
+        help="radio decay factor per step (kind=degrade)",
+    )
+    scenario.add_argument("--seed", type=int, default=0)
+    scenario.add_argument(
+        "--cold",
+        action="store_true",
+        help="re-solve every step from scratch instead of warm-starting",
+    )
+    scenario.add_argument(
+        "--chart",
+        action="store_true",
+        help="also draw the fitness-vs-step curve",
+    )
+    _add_engine(scenario)
 
     reproduce = subparsers.add_parser(
         "reproduce", help="regenerate every table and figure of the paper"
@@ -145,6 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument(
         "--csv-dir", help="also write one CSV per table/figure into this directory"
     )
+    _add_engine(reproduce)
 
     replicate = subparsers.add_parser(
         "replicate",
@@ -161,6 +309,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan seed shards out over a process pool (identical results; "
         "chains still run in lockstep within each process)",
     )
+    _add_engine(replicate)
 
     sweep = subparsers.add_parser(
         "sweep", help="scaling sweeps around the paper's operating point"
@@ -184,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="best-of-R restart portfolio per movement at every sweep "
         "point (lockstep multi-start; default 1)",
     )
+    _add_engine(sweep)
     return parser
 
 
@@ -193,9 +343,11 @@ def main(argv: "list[str] | None" = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "generate": _cmd_generate,
+        "solve": _cmd_solve,
         "place": _cmd_place,
         "search": _cmd_search,
         "ga": _cmd_ga,
+        "scenario": _cmd_scenario,
         "reproduce": _cmd_reproduce,
         "replicate": _cmd_replicate,
         "sweep": _cmd_sweep,
@@ -229,34 +381,72 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_solve(result, problem, args, unit: str = "phases") -> None:
+    """Shared output of the solver-backed shim commands."""
+    if args.render:
+        print(render_evaluation(problem, result.best))
+    else:
+        print(result.best.summary())
+    print(f"({result.n_phases} {unit}, {result.n_evaluations} evaluations)")
+    if args.output:
+        save_placement(result.best.placement, args.output)
+        print(f"wrote {args.output}")
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    if args.list:
+        print("solver families:")
+        for family, description in solver_families().items():
+            print(f"  {family:12s} {description}")
+        print("specs:")
+        for spec in available_solvers():
+            print(f"  {spec}")
+        return 0
+    if not args.instance:
+        raise ValueError("an instance JSON is required (or use --list)")
+    problem = load_instance(args.instance)
+    solver = make_solver(args.solver)
+    warm_start = load_placement(args.warm_from) if args.warm_from else None
+    result = solver.solve(
+        problem,
+        seed=args.seed,
+        budget=args.budget,
+        warm_start=warm_start,
+        engine=args.engine,
+    )
+    print(result.summary())
+    if args.render:
+        print(render_evaluation(problem, result.best))
+    if args.output:
+        save_placement(result.best.placement, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_place(args: argparse.Namespace) -> int:
     problem = load_instance(args.instance)
-    method = make_method(args.method)
-    rng = np.random.default_rng(args.seed)
-    placement = method.place(problem, rng)
-    evaluation = Evaluator(problem).evaluate(placement)
+    solver = make_solver(f"adhoc:{args.method}")
+    result = solver.solve(problem, seed=args.seed, engine=args.engine)
     if args.render:
-        print(render_evaluation(problem, evaluation))
+        print(render_evaluation(problem, result.best))
     else:
-        print(evaluation.summary())
+        print(result.best.summary())
     if args.output:
-        save_placement(placement, args.output)
+        save_placement(result.best.placement, args.output)
         print(f"wrote {args.output}")
     return 0
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
     problem = load_instance(args.instance)
-    rng = np.random.default_rng(args.seed)
-    initial = make_method(args.init).place(problem, rng)
-    evaluator = Evaluator(problem)
-    search = NeighborhoodSearch(
-        movement=make_movement(args.movement),
+    solver = make_solver(
+        f"search:{args.movement}",
+        init=args.init,
         n_candidates=args.candidates,
-        max_phases=args.phases,
-        stall_phases=None,
     )
-    result = search.run(evaluator, initial, rng)
+    result = solver.solve(
+        problem, seed=args.seed, budget=args.phases, engine=args.engine
+    )
     if args.trace:
         for record in result.trace:
             marker = "*" if record.improved else " "
@@ -265,41 +455,92 @@ def _cmd_search(args: argparse.Namespace) -> int:
                 f"coverage={record.covered_clients:4d} "
                 f"fitness={record.fitness:.4f}"
             )
-    if args.render:
-        print(render_evaluation(problem, result.best))
-    else:
-        print(result.best.summary())
-    print(f"({result.n_phases} phases, {result.n_evaluations} evaluations)")
-    if args.output:
-        save_placement(result.best.placement, args.output)
-        print(f"wrote {args.output}")
+    _report_solve(result, problem, args)
     return 0
 
 
 def _cmd_ga(args: argparse.Namespace) -> int:
     problem = load_instance(args.instance)
-    rng = np.random.default_rng(args.seed)
-    evaluator = Evaluator(problem)
-    ga = GeneticAlgorithm(
-        GAConfig(
-            population_size=args.population, n_generations=args.generations
-        )
+    solver = make_solver(f"ga:{args.init}", population_size=args.population)
+    result = solver.solve(
+        problem, seed=args.seed, budget=args.generations, engine=args.engine
     )
-    result = ga.run(evaluator, AdHocInitializer(make_method(args.init)), rng)
-    if args.render:
-        print(render_evaluation(problem, result.best))
+    _report_solve(result, problem, args, unit="generations")
+    return 0
+
+
+def _scenario_solver_kwargs(spec: str, candidates: int, stall: int) -> dict:
+    """Map the scenario effort flags onto the family's native knobs.
+
+    Stall-based early stopping only exists in the best-neighbor families
+    (``search``/``multistart``); SA and tabu always run their full phase
+    budget, so their warm steps save time via ``--budget`` instead.
+    """
+    family = spec.partition(":")[0]
+    if family in ("search", "multistart"):
+        return {
+            "n_candidates": candidates,
+            "stall_phases": stall if stall > 0 else None,
+        }
+    if family == "tabu":
+        return {"n_candidates": candidates}
+    if family == "annealing":
+        return {"moves_per_phase": candidates}
+    print(
+        f"note: --candidates/--stall do not apply to {family} solvers; "
+        "using the family's own defaults",
+        file=sys.stderr,
+    )
+    return {}
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    if args.steps <= 0:
+        raise ValueError(f"--steps must be positive, got {args.steps}")
+    problem = load_instance(args.instance)
+    if args.kind == "drift":
+        scenario = Scenario.client_drift(problem, args.steps, sigma=args.sigma)
+    elif args.kind == "churn":
+        scenario = Scenario.client_churn(
+            problem,
+            args.steps,
+            fraction=args.fraction,
+            distribution=args.distribution,
+        )
+    elif args.kind == "outage":
+        scenario = Scenario.router_outages(problem, args.steps, count=args.count)
     else:
-        print(result.best.summary())
-    print(f"({result.n_generations} generations, {result.n_evaluations} evaluations)")
-    if args.output:
-        save_placement(result.best.placement, args.output)
-        print(f"wrote {args.output}")
+        scenario = Scenario.radio_degradation(
+            problem, args.steps, factor=args.factor
+        )
+    runner = ScenarioRunner(
+        args.solver,
+        budget=args.budget,
+        warm=not args.cold,
+        engine=args.engine,
+        **_scenario_solver_kwargs(args.solver, args.candidates, args.stall),
+    )
+    outcome = runner.run(scenario, seed=args.seed)
+    print(render_timeline(outcome))
+    if args.chart:
+        print(
+            render_chart(
+                {
+                    outcome.solver_name: [
+                        (row["step"], row["fitness"])
+                        for row in outcome.timeline()
+                    ]
+                },
+                x_label="step",
+                y_label="fitness",
+            )
+        )
     return 0
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     scale = PAPER_SCALE if args.scale == "paper" else QUICK_SCALE
-    report = run_all(scale=scale, seed=args.seed)
+    report = run_all(scale=scale, seed=args.seed, engine=args.engine)
     print(report.render_text())
     if args.charts:
         for figure in report.figures:
@@ -328,12 +569,11 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
         replicate_movements,
         replicate_standalone,
     )
-    from repro.instances.serializer import load_instance as _load
 
     # Replication needs a generation recipe; rebuild one matching the
     # instance's frame (the radio interval is taken from the actual
     # fleet, the client law defaults to Normal).
-    problem = _load(args.instance)
+    problem = load_instance(args.instance)
     radii = problem.fleet.radii
     spec = InstanceSpec(
         name="cli-replication",
@@ -347,7 +587,7 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
         coverage_rule=problem.coverage_rule,
     )
     standalone = replicate_standalone(
-        spec, n_seeds=args.seeds, workers=args.workers
+        spec, n_seeds=args.seeds, workers=args.workers, engine=args.engine
     )
     print(format_replication(standalone, "stand-alone ad hoc methods"))
     movements = replicate_movements(
@@ -356,6 +596,7 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
         n_candidates=args.candidates,
         max_phases=args.phases,
         workers=args.workers,
+        engine=args.engine,
     )
     print(format_replication(movements, "neighborhood search movements"))
     return 0
@@ -377,7 +618,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             else (16, 32, 64)
         )
         result = sweep_router_count(
-            base, counts=values, seed=args.seed, n_restarts=args.restarts
+            base,
+            counts=values,
+            seed=args.seed,
+            n_restarts=args.restarts,
+            engine=args.engine,
         )
     else:
         values = (
@@ -386,7 +631,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             else (4.0, 7.0, 12.0)
         )
         result = sweep_radio_range(
-            base, max_radii=values, seed=args.seed, n_restarts=args.restarts
+            base,
+            max_radii=values,
+            seed=args.seed,
+            n_restarts=args.restarts,
+            engine=args.engine,
         )
     print(format_sweep(result))
     return 0

@@ -1,0 +1,100 @@
+"""Incumbent-cache handoff between optimization runs.
+
+Dynamic scenarios re-solve a *perturbed* instance starting from the
+previous step's best placement (see :mod:`repro.scenario`).  A cold
+:meth:`~repro.core.engine.delta.DeltaEvaluator.reset` then rebuilds the
+full adjacency and coverage state of a placement the previous run
+already measured — wasted work whenever the perturbation left part of
+that state valid.  Client drift, for example, moves only clients: the
+router-to-router adjacency of the warm-start placement is *identical*
+across the step boundary.
+
+:class:`IncumbentCache` is the neutral, engine-agnostic snapshot that
+crosses run boundaries: the incumbent's positions plus the dense
+matrices or sparse arrays the delta engine keeps, together with the
+ingredients they were derived from (radii, link rule, client positions)
+so the receiving engine can check validity piece by piece.  A cache is
+*advisory* — any stale piece is simply rebuilt, so reuse never changes
+results, only cost.
+
+Produced by :meth:`DeltaEvaluator.export_cache`, consumed by
+:meth:`DeltaEvaluator.reset`; the search layers thread it through
+:class:`~repro.neighborhood.search.SearchResult` and the solver layer
+through :class:`~repro.solvers.base.SolveResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.radio import LinkRule
+
+__all__ = ["IncumbentCache"]
+
+
+@dataclass(frozen=True)
+class IncumbentCache:
+    """One run's final incumbent state, packaged for the next run.
+
+    ``layout`` names the cache shape (``"dense"`` matrices or
+    ``"sparse"`` edge/hit arrays); the derivation inputs (``positions``,
+    ``radii``, ``link_rule``, ``client_positions``) travel along so the
+    consumer can decide which pieces still hold on *its* problem.
+    """
+
+    layout: str
+    positions: np.ndarray
+    radii: np.ndarray
+    link_rule: LinkRule
+    client_positions: np.ndarray
+    # Dense payload.
+    adjacency: "np.ndarray | None" = None
+    coverage: "np.ndarray | None" = None
+    # Sparse payload.
+    edge_rows: "np.ndarray | None" = None
+    edge_cols: "np.ndarray | None" = None
+    cov_router: "np.ndarray | None" = None
+    cov_client: "np.ndarray | None" = None
+
+    def __post_init__(self) -> None:
+        if self.layout not in ("dense", "sparse"):
+            raise ValueError(f"unknown cache layout {self.layout!r}")
+
+    # ------------------------------------------------------------------
+    # Validity predicates (the consumer's problem may differ)
+    # ------------------------------------------------------------------
+
+    def network_valid_for(
+        self,
+        positions: np.ndarray,
+        radii: np.ndarray,
+        link_rule: LinkRule,
+    ) -> bool:
+        """Whether the cached adjacency/edges describe this network.
+
+        The router graph depends only on positions, radii and the link
+        predicate — client churn or drift cannot invalidate it.
+        """
+        return (
+            self.link_rule is link_rule
+            and self.positions.shape == positions.shape
+            and np.array_equal(self.positions, positions)
+            and np.array_equal(self.radii, radii)
+        )
+
+    def coverage_valid_for(
+        self,
+        positions: np.ndarray,
+        radii: np.ndarray,
+        client_positions: np.ndarray,
+    ) -> bool:
+        """Whether the cached coverage state describes these clients."""
+        return (
+            self.positions.shape == positions.shape
+            and np.array_equal(self.positions, positions)
+            and np.array_equal(self.radii, radii)
+            and self.client_positions.shape == client_positions.shape
+            and np.array_equal(self.client_positions, client_positions)
+        )

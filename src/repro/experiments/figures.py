@@ -17,6 +17,7 @@ import numpy as np
 from repro.adhoc.registry import PAPER_METHOD_ORDER, make_method
 from repro.core.evaluation import Evaluator
 from repro.core.fitness import FitnessFunction
+from repro.experiments.replication import label_key
 from repro.experiments.config import ExperimentScale, current_scale
 from repro.experiments.study import DistributionStudy, run_distribution_study
 from repro.instances.catalog import paper_normal
@@ -132,6 +133,7 @@ def run_ga_figure(
     spec: InstanceSpec | None = None,
     fitness: FitnessFunction | None = None,
     methods: tuple[str, ...] = PAPER_METHOD_ORDER,
+    engine: str = "auto",
 ) -> FigureResult:
     """Regenerate Figure 1, 2 or 3 (GA evolution per initializer)."""
     study = run_distribution_study(
@@ -141,6 +143,7 @@ def run_ga_figure(
         spec=spec,
         fitness=fitness,
         methods=methods,
+        engine=engine,
     )
     return figure_from_study(study)
 
@@ -151,6 +154,7 @@ def run_ns_figure(
     spec: InstanceSpec | None = None,
     fitness: FitnessFunction | None = None,
     movements: "dict[str, MovementType] | None" = None,
+    engine: str = "auto",
 ) -> FigureResult:
     """Regenerate Figure 4 (neighborhood search, Swap vs Random).
 
@@ -173,8 +177,10 @@ def run_ns_figure(
 
     all_series: list[Series] = []
     for label, movement in movements.items():
-        rng = np.random.default_rng((seed, hash(label) & 0xFFFF, 5))
-        evaluator = Evaluator(problem, fitness)
+        # Stable CRC32 key (the salted builtin ``hash`` made Figure 4
+        # irreproducible across interpreter runs).
+        rng = np.random.default_rng((seed, label_key(label), 5))
+        evaluator = Evaluator(problem, fitness, engine=engine)
         search = NeighborhoodSearch(
             movement=movement,
             n_candidates=scale.ns_candidates,

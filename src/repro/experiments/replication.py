@@ -18,7 +18,7 @@ Per-chain RNG contract
 
 Every (method/movement, seed) run owns one ``numpy`` Generator seeded in
 the parent from the stable key ``(spec.seed, crc32(label), seed)``
-(:func:`_name_key`; CRC32 because the builtin ``hash`` is salted per
+(:func:`label_key`; CRC32 because the builtin ``hash`` is salted per
 process).  A movement chain consumes its generator in a fixed order —
 the initial random placement first, then the per-phase candidate
 proposals — and **only** that chain touches it, so the per-seed values
@@ -51,6 +51,7 @@ from repro.neighborhood.multichain import MultiChainSearch, _shard_slices
 
 __all__ = [
     "ReplicatedMetric",
+    "label_key",
     "replicate_standalone",
     "replicate_movements",
     "format_replication",
@@ -72,14 +73,20 @@ def _cached_problem(spec: InstanceSpec):
     return problem
 
 
-def _name_key(name: str) -> int:
+def label_key(name: str) -> int:
     """Stable 16-bit key from a method/movement label.
 
     Earlier revisions used the built-in ``hash``, whose per-process salt
     made replication results differ between interpreter runs; CRC32 is
     deterministic everywhere, so fixed seeds now mean fixed statistics.
+    Shared by replication, sweeps, the study/figure harnesses and the
+    benchmarks — one key rule, so labels mean the same stream everywhere.
     """
     return zlib.crc32(name.encode("utf-8")) & 0xFFFF
+
+
+#: Backward-compatible alias (pre-PR-4 name).
+_name_key = label_key
 
 
 def _seed_shards(n_seeds: int, workers: "int | None") -> list[range]:
@@ -104,13 +111,13 @@ def _standalone_run(task) -> list[tuple[float, float, float]]:
     values to per-seed scalar evaluation (engine parity), one stacked
     pass instead of ``len(shard)``.
     """
-    spec, method_name, fitness, rng_keys = task
+    spec, method_name, fitness, engine, rng_keys = task
     problem = _cached_problem(spec)
     placements = []
     for key in rng_keys:
         rng = np.random.default_rng(key)
         placements.append(make_method(method_name).place(problem, rng))
-    evaluator = Evaluator(problem, fitness)
+    evaluator = Evaluator(problem, fitness, engine=engine)
     evaluations = evaluator.evaluate_many(placements)
     return [
         (float(e.giant_size), float(e.covered_clients), e.fitness)
@@ -128,7 +135,7 @@ def _movement_run(task) -> list[tuple[float, float]]:
     """
     from repro.core.solution import Placement
 
-    spec, factory, n_candidates, max_phases, fitness, rng_keys = task
+    spec, factory, n_candidates, max_phases, fitness, engine, rng_keys = task
     problem = _cached_problem(spec)
     rngs = [np.random.default_rng(key) for key in rng_keys]
     initials = [
@@ -139,6 +146,7 @@ def _movement_run(task) -> list[tuple[float, float]]:
         n_candidates=n_candidates,
         max_phases=max_phases,
         stall_phases=None,
+        engine=engine,
     )
     outcomes = search.run(problem, initials, rngs, fitness=fitness)
     return [
@@ -206,6 +214,7 @@ def replicate_standalone(
     methods: tuple[str, ...] = PAPER_METHOD_ORDER,
     fitness: FitnessFunction | None = None,
     workers: int | None = None,
+    engine: str = "auto",
 ) -> dict[str, dict[str, ReplicatedMetric]]:
     """Stand-alone ad hoc results across seeds.
 
@@ -225,7 +234,8 @@ def replicate_standalone(
             spec,
             name,
             fitness,
-            [(spec.seed, _name_key(name), seed) for seed in shard],
+            engine,
+            [(spec.seed, label_key(name), seed) for seed in shard],
         )
         for name in methods
         for shard in shards
@@ -250,6 +260,7 @@ def replicate_movements(
     max_phases: int = 30,
     fitness: FitnessFunction | None = None,
     workers: int | None = None,
+    engine: str = "auto",
 ) -> dict[str, dict[str, ReplicatedMetric]]:
     """Final neighborhood-search giants across seeds, per movement.
 
@@ -279,7 +290,8 @@ def replicate_movements(
             n_candidates,
             max_phases,
             fitness,
-            [(spec.seed, _name_key(label), seed) for seed in shard],
+            engine,
+            [(spec.seed, label_key(label), seed) for seed in shard],
         )
         for label in labels
         for shard in shards

@@ -88,6 +88,7 @@ def run_all(
     seed: int = 1,
     distributions: tuple[str, ...] = ("normal", "exponential", "weibull"),
     specs: dict | None = None,
+    engine: str = "auto",
 ) -> ReproductionReport:
     """Regenerate Tables 1-3 and Figures 1-4.
 
@@ -107,12 +108,18 @@ def run_all(
         if distribution not in PAPER_TABLE_NUMBERS:
             continue
         study = run_distribution_study(
-            distribution, scale=scale, seed=seed, spec=specs.get(distribution)
+            distribution,
+            scale=scale,
+            seed=seed,
+            spec=specs.get(distribution),
+            engine=engine,
         )
         tables.append(table_from_study(study))
         if distribution in PAPER_GA_FIGURE_NUMBERS:
             ga_figures.append(figure_from_study(study))
-    ns_figure = run_ns_figure(scale=scale, seed=seed, spec=specs.get("normal"))
+    ns_figure = run_ns_figure(
+        scale=scale, seed=seed, spec=specs.get("normal"), engine=engine
+    )
     return ReproductionReport(
         tables=tuple(tables),
         figures=tuple(ga_figures) + (ns_figure,),

@@ -27,7 +27,7 @@ import numpy as np
 from repro.adhoc.registry import make_method
 from repro.core.evaluation import Evaluator
 from repro.experiments.config import ExperimentScale, current_scale
-from repro.experiments.replication import _name_key
+from repro.experiments.replication import label_key
 from repro.instances.generator import InstanceSpec
 from repro.neighborhood.movements import RandomMovement, SwapMovement
 from repro.neighborhood.multichain import MultiStartSearch
@@ -77,12 +77,13 @@ def _measure_point(
     scale: ExperimentScale,
     seed: int,
     n_restarts: int,
+    engine: str = "auto",
 ) -> SweepPoint:
     """Stand-alone + best-of-restarts Swap/Random searches on one instance."""
     problem = spec.generate()
     parameter_key = int(parameter * 1000) & 0xFFFF
     rng = np.random.default_rng((seed, parameter_key))
-    standalone = Evaluator(problem).evaluate(
+    standalone = Evaluator(problem, engine=engine).evaluate(
         make_method("random").place(problem, rng)
     )
     outcomes = {}
@@ -96,9 +97,10 @@ def _measure_point(
             n_candidates=scale.ns_candidates,
             max_phases=scale.ns_phases,
             stall_phases=None,
+            engine=engine,
         )
         outcome = search.run(
-            problem, seed=(seed, _name_key(label), parameter_key)
+            problem, seed=(seed, label_key(label), parameter_key)
         )
         outcomes[label] = outcome.best_evaluation
     return SweepPoint(
@@ -116,6 +118,7 @@ def sweep_router_count(
     scale: ExperimentScale | None = None,
     seed: int = 1,
     n_restarts: int = 1,
+    engine: str = "auto",
 ) -> SweepResult:
     """How fleet size changes the picture (paper fixes N = 64).
 
@@ -134,7 +137,9 @@ def sweep_router_count(
         if count <= 0:
             raise ValueError(f"router counts must be positive, got {count}")
         spec = replace(base_spec, n_routers=int(count))
-        points.append(_measure_point(spec, float(count), scale, seed, n_restarts))
+        points.append(
+            _measure_point(spec, float(count), scale, seed, n_restarts, engine)
+        )
     return SweepResult(
         parameter_name="n_routers",
         points=tuple(points),
@@ -150,6 +155,7 @@ def sweep_radio_range(
     scale: ExperimentScale | None = None,
     seed: int = 1,
     n_restarts: int = 1,
+    engine: str = "auto",
 ) -> SweepResult:
     """How radio strength changes the picture (the oscillation ceiling)."""
     if scale is None:
@@ -167,7 +173,7 @@ def sweep_radio_range(
             )
         spec = replace(base_spec, max_radius=float(max_radius))
         points.append(
-            _measure_point(spec, float(max_radius), scale, seed, n_restarts)
+            _measure_point(spec, float(max_radius), scale, seed, n_restarts, engine)
         )
     return SweepResult(
         parameter_name="max_radius",

@@ -104,12 +104,28 @@ class SimulatedAnnealing:
         evaluator: Evaluator,
         initial: Placement,
         rng: np.random.Generator,
+        engine_cache=None,
+        track_cache: bool = False,
     ) -> SearchResult:
-        """Anneal from ``initial``; returns the best solution and trace."""
+        """Anneal from ``initial``; returns the best solution and trace.
+
+        ``engine_cache`` is an optional
+        :class:`~repro.core.engine.handoff.IncumbentCache` from a prior
+        run; still-valid pieces seed the delta engine's reset instead of
+        a full rebuild (results are unchanged — only the reset cost).
+        With ``track_cache`` the engine state is snapshotted every time
+        the global best improves, so ``SearchResult.engine_cache``
+        describes the *best* placement — exactly what a follow-up run
+        warm-starts from.  Off by default: callers that never hand off
+        (plain replication loops) pay no copies.
+        """
         evaluations_before = evaluator.n_evaluations
-        engine = DeltaEvaluator(evaluator)
-        current = engine.reset(initial)
+        # The delta engine follows the evaluator's resolved engine, so a
+        # forced dense/sparse choice applies to the whole run.
+        engine = DeltaEvaluator(evaluator, engine=evaluator.engine)
+        current = engine.reset(initial, cache=engine_cache)
         best = current
+        best_cache = engine.export_cache() if track_cache else None
         trace = SearchTrace()
         trace.record_phase(
             phase=0,
@@ -135,6 +151,11 @@ class SimulatedAnnealing:
                     if current.fitness > best.fitness:
                         best = current
                         improved_this_phase = True
+                        if track_cache:
+                            # The incumbent IS the new best right now, so
+                            # this snapshot is keyed to the placement the
+                            # next run will warm-start from.
+                            best_cache = engine.export_cache()
             trace.record_phase(
                 phase=phase,
                 evaluation=current,
@@ -146,6 +167,7 @@ class SimulatedAnnealing:
             trace=trace,
             n_phases=self.max_phases,
             n_evaluations=evaluator.n_evaluations - evaluations_before,
+            engine_cache=best_cache,
         )
 
     def __repr__(self) -> str:

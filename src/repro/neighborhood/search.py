@@ -19,7 +19,8 @@ an optional fitness target.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -29,17 +30,30 @@ from repro.neighborhood.best_neighbor import best_neighbor
 from repro.neighborhood.movements import MovementType
 from repro.neighborhood.trace import SearchTrace
 
+if TYPE_CHECKING:
+    from repro.core.engine.handoff import IncumbentCache
+
 __all__ = ["SearchResult", "NeighborhoodSearch"]
 
 
 @dataclass(frozen=True)
 class SearchResult:
-    """Outcome of one local search run."""
+    """Outcome of one local search run.
+
+    ``engine_cache`` is the engine state of the *best* placement found
+    by cache-tracking runs on the incremental delta engine (simulated
+    annealing and tabu search with ``track_cache=True``), exported for
+    warm-start handoff into a follow-up run (see
+    :mod:`repro.core.engine.handoff`); ``None`` otherwise.
+    """
 
     best: Evaluation
     trace: SearchTrace
     n_phases: int
     n_evaluations: int
+    engine_cache: "IncumbentCache | None" = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def giant_size(self) -> int:

@@ -1,0 +1,247 @@
+"""Re-optimizing a deployment as its scenario unfolds.
+
+:class:`ScenarioRunner` walks the instance sequence of a
+:class:`~repro.scenario.scenario.Scenario` and solves every step through
+one :class:`~repro.solvers.base.Solver`.  Step 0 is a cold solve; each
+later step is *re-optimized* rather than re-solved:
+
+* the previous step's best placement — carried across fleet changes by
+  :meth:`~repro.scenario.perturbations.StepChange.carry_placement` —
+  becomes the solver's ``warm_start``, and
+* the previous run's exported
+  :class:`~repro.core.engine.handoff.IncumbentCache` seeds the delta
+  engine's reset, so state the perturbation left valid (e.g. the whole
+  router adjacency under client drift) is reused, not rebuilt.
+
+Warm-started searches converge in a fraction of a cold solve's phases
+(``benchmarks/bench_scenario.py`` pins the speedup), and on an
+*unchanged* instance they reproduce the cold run bit-for-bit (the
+warm-start parity tests), so the runner trades no quality for the
+speed.  ``warm=False`` switches to cold re-solves of the identical
+instance sequence — the controlled baseline of that benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.scenario.scenario import Scenario, ScenarioStep
+from repro.solvers.base import SolveResult, Solver
+
+__all__ = ["ScenarioStepResult", "ScenarioResult", "ScenarioRunner"]
+
+
+@dataclass(frozen=True)
+class ScenarioStepResult:
+    """One step's re-optimization outcome."""
+
+    step: ScenarioStep
+    result: SolveResult
+    seconds: float
+
+    @property
+    def index(self) -> int:
+        """The step's position in the scenario timeline."""
+        return self.step.index
+
+    @property
+    def event(self) -> str:
+        """What changed going into this step."""
+        return self.step.event
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """A full scenario run: one solved step per instance."""
+
+    scenario_name: str
+    solver_name: str
+    warm: bool
+    steps: tuple[ScenarioStepResult, ...]
+    seed: "int | None" = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("a scenario result needs at least one step")
+
+    @property
+    def n_steps(self) -> int:
+        """Number of solved steps (including the initial deployment)."""
+        return len(self.steps)
+
+    @property
+    def total_evaluations(self) -> int:
+        """Evaluations spent across all steps."""
+        return sum(step.result.n_evaluations for step in self.steps)
+
+    @property
+    def final(self) -> SolveResult:
+        """The last step's solve outcome."""
+        return self.steps[-1].result
+
+    def reopt_seconds(self) -> float:
+        """Wall-clock spent on steps 1..n (the re-optimizations).
+
+        Step 0 is excluded: both warm and cold runs solve it cold, so
+        per-step speedup claims compare only the re-optimized steps.
+        """
+        return sum(step.seconds for step in self.steps[1:])
+
+    def reopt_evaluations(self) -> int:
+        """Evaluations spent on steps 1..n (the re-optimizations)."""
+        return sum(step.result.n_evaluations for step in self.steps[1:])
+
+    def mean_fitness(self) -> float:
+        """Mean best fitness across all steps (solution quality held)."""
+        return float(
+            np.mean([step.result.best.fitness for step in self.steps])
+        )
+
+    def timeline(self) -> list[dict]:
+        """Per-step records for reporting and rendering."""
+        return [
+            {
+                "step": step.index,
+                "event": step.event,
+                "giant": step.result.best.giant_size,
+                "n_routers": step.result.best.metrics.n_routers,
+                "coverage": step.result.best.covered_clients,
+                "n_clients": step.result.best.metrics.n_clients,
+                "fitness": step.result.best.fitness,
+                "phases": step.result.n_phases,
+                "evaluations": step.result.n_evaluations,
+                "seconds": step.seconds,
+                "warm": step.result.warm_started,
+            }
+            for step in self.steps
+        ]
+
+    def summary(self) -> str:
+        """One-line account of the whole run."""
+        start = "warm" if self.warm else "cold"
+        return (
+            f"[{self.scenario_name} / {self.solver_name} / {start}] "
+            f"{self.n_steps} steps, {self.total_evaluations} evaluations, "
+            f"{sum(s.seconds for s in self.steps):.2f}s, "
+            f"mean fitness {self.mean_fitness():.4f}"
+        )
+
+
+class ScenarioRunner:
+    """Drives one solver through a scenario, warm-starting each step.
+
+    Parameters
+    ----------
+    solver:
+        A :class:`~repro.solvers.base.Solver` or a registry spec such as
+        ``"tabu:swap"`` (resolved via
+        :func:`~repro.solvers.registry.make_solver`).
+    budget:
+        Per-step effort in the solver's native unit (``None`` keeps the
+        solver's default).
+    warm_budget:
+        Effort for the warm-started steps 1..n; defaults to ``budget``.
+        Stall-based solvers stop early on their own once the warm start
+        is near-converged, so most runs leave this alone.
+    warm:
+        ``False`` re-solves every step cold (the benchmark baseline).
+    reuse_cache:
+        Whether to hand the delta engine's incumbent cache across steps
+        (only ever a performance hint — results are unaffected).
+    engine / fitness:
+        Threaded into every solve, as on :meth:`Solver.solve`.
+    """
+
+    def __init__(
+        self,
+        solver: "Solver | str",
+        *,
+        budget: "int | None" = None,
+        warm_budget: "int | None" = None,
+        warm: bool = True,
+        reuse_cache: bool = True,
+        engine: str = "auto",
+        fitness=None,
+        **solver_kwargs,
+    ) -> None:
+        if isinstance(solver, str):
+            from repro.solvers.registry import make_solver
+
+            solver = make_solver(solver, **solver_kwargs)
+        elif solver_kwargs:
+            raise ValueError(
+                "solver keyword arguments require a registry spec, "
+                "not a Solver instance"
+            )
+        if reuse_cache and hasattr(solver, "track_cache"):
+            # The handoff consumer: have cache-capable solvers snapshot
+            # their best so each step can seed the next one's reset.
+            solver.track_cache = True
+        self.solver = solver
+        self.budget = budget
+        self.warm_budget = warm_budget if warm_budget is not None else budget
+        self.warm = warm
+        self.reuse_cache = reuse_cache
+        self.engine = engine
+        self.fitness = fitness
+
+    def run(
+        self,
+        scenario: Scenario,
+        *,
+        seed: "int | np.random.SeedSequence" = 0,
+    ) -> ScenarioResult:
+        """Unfold ``scenario`` and (re-)optimize every step.
+
+        One root seed reproduces everything: its first child drives the
+        scenario's perturbations, the second spawns one solve stream per
+        step — so warm and cold runs of the same seed see the *same*
+        instance sequence and the same per-step solver streams.
+        """
+        root = (
+            seed
+            if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
+        )
+        unfold_seq, solve_seq = root.spawn(2)
+        steps = scenario.unfold(unfold_seq)
+        step_seeds = solve_seq.spawn(len(steps))
+        warm_capable = self.warm and self.solver.supports_warm_start
+
+        results: list[ScenarioStepResult] = []
+        previous: "SolveResult | None" = None
+        for step, step_seed in zip(steps, step_seeds):
+            warm_start = None
+            engine_cache = None
+            if warm_capable and previous is not None:
+                warm_start = step.change.carry_placement(
+                    previous.best.placement
+                )
+                if self.reuse_cache:
+                    engine_cache = previous.engine_cache
+            budget = self.budget if warm_start is None else self.warm_budget
+            began = time.perf_counter()
+            result = self.solver.solve(
+                step.problem,
+                seed=step_seed,
+                budget=budget,
+                warm_start=warm_start,
+                engine=self.engine,
+                fitness=self.fitness,
+                engine_cache=engine_cache,
+            )
+            elapsed = time.perf_counter() - began
+            results.append(
+                ScenarioStepResult(step=step, result=result, seconds=elapsed)
+            )
+            previous = result
+        return ScenarioResult(
+            scenario_name=scenario.name,
+            solver_name=self.solver.name,
+            warm=warm_capable,
+            steps=tuple(results),
+            seed=seed if isinstance(seed, int) else None,
+        )

@@ -1,0 +1,497 @@
+"""Solver adapters: every method family behind the uniform contract.
+
+Each adapter owns one family's configuration (movement, candidates,
+phases, schedule, ...) and translates :meth:`~repro.solvers.base.Solver.solve`
+into the family's native run call.  The shared conventions:
+
+* **Streams** — :func:`~repro.solvers.base.solver_streams` splits the
+  seed into an *init* stream (initial placement / population) and a
+  *run* stream (the optimization itself).  A warm start skips the init
+  stream entirely, so warm-vs-cold parity is exact when the warm
+  placement equals what the cold run would have drawn
+  (:meth:`initial_placement` exposes exactly that placement).
+* **Budget** — overrides the family's native effort knob: phases for
+  the neighborhood family, generations for the GA; ignored (with
+  ``supports_warm_start`` analogously ``False``) for ad hoc
+  constructors.
+* **Engine** — threaded into the family's evaluator(s); the delta and
+  stacked engines follow it too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dataclass_replace
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.adhoc.registry import make_method
+from repro.core.evaluation import Evaluator
+from repro.core.problem import ProblemInstance
+from repro.core.solution import Placement
+from repro.genetic.engine import GAConfig, GeneticAlgorithm
+from repro.genetic.initializers import AdHocInitializer, PopulationInitializer
+from repro.neighborhood.annealing import AnnealingSchedule, SimulatedAnnealing
+from repro.neighborhood.multichain import MultiChainSearch, chain_generators
+from repro.neighborhood.registry import make_movement
+from repro.neighborhood.search import NeighborhoodSearch
+from repro.neighborhood.tabu import TabuSearch
+from repro.solvers.base import SolveResult, Solver, solver_streams
+
+if TYPE_CHECKING:
+    from repro.core.engine.handoff import IncumbentCache
+    from repro.core.fitness import FitnessFunction
+
+__all__ = [
+    "AdHocSolver",
+    "NeighborhoodSolver",
+    "AnnealingSolver",
+    "TabuSolver",
+    "MultiStartSolver",
+    "GeneticSolver",
+    "WarmStartInitializer",
+]
+
+
+def _check_budget(budget: "int | None") -> None:
+    if budget is not None and budget <= 0:
+        raise ValueError(f"budget must be positive or None, got {budget}")
+
+
+class AdHocSolver(Solver):
+    """A constructive ad hoc method as a one-shot solver.
+
+    No budget, no warm start: the method builds its placement from
+    scratch (that is its job as a scenario *baseline* and initializer
+    source).  ``solve`` costs exactly one evaluation; passing a warm
+    start is an error — silently discarding the caller's placement
+    would be worse than refusing it.
+    """
+
+    supports_warm_start = False
+
+    def __init__(self, method: str = "hotspot", **method_params) -> None:
+        self._method_name = method
+        self._method = make_method(method, **method_params)
+
+    @property
+    def name(self) -> str:
+        return f"adhoc:{self._method_name}"
+
+    def solve(
+        self,
+        problem: ProblemInstance,
+        *,
+        seed=0,
+        budget=None,
+        warm_start=None,
+        engine: str = "auto",
+        fitness=None,
+        engine_cache=None,
+    ) -> SolveResult:
+        _check_budget(budget)
+        if warm_start is not None:
+            raise ValueError(
+                f"{self.name} is a constructive method and does not accept "
+                "a warm start (it always builds from scratch)"
+            )
+        rng_init, _ = solver_streams(seed)
+        placement = self._method.place(problem, rng_init)
+        evaluator = Evaluator(problem, fitness, engine=engine)
+        evaluation = evaluator.evaluate(placement)
+        return SolveResult(
+            solver=self.name,
+            best=evaluation,
+            n_evaluations=1,
+            n_phases=0,
+            warm_started=False,
+        )
+
+
+class _InitializedSolver(Solver):
+    """Shared init-stream handling of the warm-startable families."""
+
+    def __init__(self, init: str = "random") -> None:
+        self._init_name = init
+        self._init_method = make_method(init)
+
+    def initial_placement(
+        self, problem: ProblemInstance, seed
+    ) -> Placement:
+        """The placement a cold :meth:`solve` with this seed starts from.
+
+        Drawn from the dedicated init stream, so passing it back as
+        ``warm_start`` with the same seed reproduces the cold run
+        bit-for-bit — the contract the warm-start parity tests pin.
+        """
+        rng_init, _ = solver_streams(seed)
+        return self._init_method.place(problem, rng_init)
+
+    def _resolve_start(
+        self,
+        problem: ProblemInstance,
+        seed,
+        warm_start: "Placement | None",
+    ) -> tuple[Placement, np.random.Generator, bool]:
+        """(initial placement, run stream, warm?) under the stream contract."""
+        self.check_warm_start(problem, warm_start)
+        rng_init, rng_run = solver_streams(seed)
+        if warm_start is not None:
+            return warm_start, rng_run, True
+        return self._init_method.place(problem, rng_init), rng_run, False
+
+
+class NeighborhoodSolver(_InitializedSolver):
+    """The paper's best-improvement neighborhood search (Algorithm 1).
+
+    Runs on the batched engine (whole candidate sets per phase), which
+    keeps no incumbent cache — ``engine_cache`` is accepted for contract
+    uniformity but has nothing to seed, and results never carry one.
+    This family's warm-start saving comes from ``stall_phases``: a
+    near-converged start stops after a handful of phases.
+    """
+
+    def __init__(
+        self,
+        movement: str = "swap",
+        init: str = "random",
+        n_candidates: int = 16,
+        max_phases: int = 64,
+        stall_phases: "int | None" = None,
+        accept_equal: bool = False,
+        **movement_params,
+    ) -> None:
+        super().__init__(init)
+        self._movement_name = movement
+        self._movement = make_movement(movement, **movement_params)
+        self.n_candidates = n_candidates
+        self.max_phases = max_phases
+        self.stall_phases = stall_phases
+        self.accept_equal = accept_equal
+
+    @property
+    def name(self) -> str:
+        return f"search:{self._movement_name}"
+
+    def solve(
+        self,
+        problem: ProblemInstance,
+        *,
+        seed=0,
+        budget=None,
+        warm_start=None,
+        engine: str = "auto",
+        fitness=None,
+        engine_cache=None,
+    ) -> SolveResult:
+        _check_budget(budget)
+        initial, rng_run, warm = self._resolve_start(problem, seed, warm_start)
+        evaluator = Evaluator(problem, fitness, engine=engine)
+        search = NeighborhoodSearch(
+            movement=self._movement,
+            n_candidates=self.n_candidates,
+            max_phases=budget if budget is not None else self.max_phases,
+            stall_phases=self.stall_phases,
+            accept_equal=self.accept_equal,
+        )
+        result = search.run(evaluator, initial, rng_run)
+        return SolveResult(
+            solver=self.name,
+            best=result.best,
+            n_evaluations=result.n_evaluations,
+            n_phases=result.n_phases,
+            warm_started=warm,
+            trace=result.trace,
+            engine_cache=result.engine_cache,
+        )
+
+
+class AnnealingSolver(_InitializedSolver):
+    """Simulated annealing (the authors' WMN-SA follow-up line)."""
+
+    def __init__(
+        self,
+        movement: str = "swap",
+        init: str = "random",
+        schedule: "AnnealingSchedule | None" = None,
+        max_phases: int = 64,
+        moves_per_phase: int = 16,
+        track_cache: bool = False,
+        **movement_params,
+    ) -> None:
+        super().__init__(init)
+        self._movement_name = movement
+        self._movement = make_movement(movement, **movement_params)
+        self.schedule = schedule
+        self.max_phases = max_phases
+        self.moves_per_phase = moves_per_phase
+        #: Snapshot the delta engine at every new global best so
+        #: ``SolveResult.engine_cache`` can seed the next run.  Off by
+        #: default — solves that never hand off pay no copies; the
+        #: scenario runner switches it on.
+        self.track_cache = track_cache
+
+    @property
+    def name(self) -> str:
+        return f"annealing:{self._movement_name}"
+
+    def solve(
+        self,
+        problem: ProblemInstance,
+        *,
+        seed=0,
+        budget=None,
+        warm_start=None,
+        engine: str = "auto",
+        fitness=None,
+        engine_cache=None,
+    ) -> SolveResult:
+        _check_budget(budget)
+        initial, rng_run, warm = self._resolve_start(problem, seed, warm_start)
+        evaluator = Evaluator(problem, fitness, engine=engine)
+        annealing = SimulatedAnnealing(
+            movement=self._movement,
+            schedule=self.schedule,
+            max_phases=budget if budget is not None else self.max_phases,
+            moves_per_phase=self.moves_per_phase,
+        )
+        result = annealing.run(
+            evaluator,
+            initial,
+            rng_run,
+            engine_cache=engine_cache,
+            track_cache=self.track_cache,
+        )
+        return SolveResult(
+            solver=self.name,
+            best=result.best,
+            n_evaluations=result.n_evaluations,
+            n_phases=result.n_phases,
+            warm_started=warm,
+            trace=result.trace,
+            engine_cache=result.engine_cache,
+        )
+
+
+class TabuSolver(_InitializedSolver):
+    """Tabu search (the authors' WMN-TS follow-up line)."""
+
+    def __init__(
+        self,
+        movement: str = "swap",
+        init: str = "random",
+        tenure: int = 8,
+        n_candidates: int = 16,
+        max_phases: int = 64,
+        track_cache: bool = False,
+        **movement_params,
+    ) -> None:
+        super().__init__(init)
+        self._movement_name = movement
+        self._movement = make_movement(movement, **movement_params)
+        self.tenure = tenure
+        self.n_candidates = n_candidates
+        self.max_phases = max_phases
+        #: See :attr:`AnnealingSolver.track_cache`.
+        self.track_cache = track_cache
+
+    @property
+    def name(self) -> str:
+        return f"tabu:{self._movement_name}"
+
+    def solve(
+        self,
+        problem: ProblemInstance,
+        *,
+        seed=0,
+        budget=None,
+        warm_start=None,
+        engine: str = "auto",
+        fitness=None,
+        engine_cache=None,
+    ) -> SolveResult:
+        _check_budget(budget)
+        initial, rng_run, warm = self._resolve_start(problem, seed, warm_start)
+        evaluator = Evaluator(problem, fitness, engine=engine)
+        tabu = TabuSearch(
+            movement=self._movement,
+            tenure=self.tenure,
+            n_candidates=self.n_candidates,
+            max_phases=budget if budget is not None else self.max_phases,
+        )
+        result = tabu.run(
+            evaluator,
+            initial,
+            rng_run,
+            engine_cache=engine_cache,
+            track_cache=self.track_cache,
+        )
+        return SolveResult(
+            solver=self.name,
+            best=result.best,
+            n_evaluations=result.n_evaluations,
+            n_phases=result.n_phases,
+            warm_started=warm,
+            trace=result.trace,
+            engine_cache=result.engine_cache,
+        )
+
+
+class MultiStartSolver(Solver):
+    """Best-of-``R`` restarts on the lockstep multi-chain engine.
+
+    Chain ``r`` draws its initial placement from its own spawned
+    generator (the :func:`~repro.neighborhood.multichain.chain_generators`
+    contract).  A warm start replaces chain 0's initial *after* the draw
+    — the draw is still consumed, so every chain's proposal stream is
+    identical to the cold run's and only the start of chain 0 differs.
+    """
+
+    def __init__(
+        self,
+        movement: str = "swap",
+        n_restarts: int = 8,
+        n_candidates: int = 16,
+        max_phases: int = 64,
+        stall_phases: "int | None" = None,
+        accept_equal: bool = False,
+        **movement_params,
+    ) -> None:
+        if n_restarts <= 0:
+            raise ValueError(f"n_restarts must be positive, got {n_restarts}")
+        self._movement_name = movement
+        self._movement = make_movement(movement, **movement_params)
+        self.n_restarts = n_restarts
+        self.n_candidates = n_candidates
+        self.max_phases = max_phases
+        self.stall_phases = stall_phases
+        self.accept_equal = accept_equal
+
+    @property
+    def name(self) -> str:
+        return f"multistart:{self._movement_name}"
+
+    def solve(
+        self,
+        problem: ProblemInstance,
+        *,
+        seed=0,
+        budget=None,
+        warm_start=None,
+        engine: str = "auto",
+        fitness=None,
+        engine_cache=None,
+    ) -> SolveResult:
+        _check_budget(budget)
+        self.check_warm_start(problem, warm_start)
+        rngs = chain_generators(seed, self.n_restarts)
+        initials = [
+            Placement.random(problem.grid, problem.n_routers, rng)
+            for rng in rngs
+        ]
+        warm = warm_start is not None
+        if warm:
+            initials[0] = warm_start
+        search = MultiChainSearch(
+            self._movement,
+            n_candidates=self.n_candidates,
+            max_phases=budget if budget is not None else self.max_phases,
+            stall_phases=self.stall_phases,
+            accept_equal=self.accept_equal,
+            engine=engine,
+        )
+        results = search.run(problem, initials, rngs, fitness=fitness)
+        fitnesses = np.array([result.best.fitness for result in results])
+        winner = results[int(np.argmax(fitnesses))]
+        return SolveResult(
+            solver=self.name,
+            best=winner.best,
+            n_evaluations=sum(result.n_evaluations for result in results),
+            n_phases=winner.n_phases,
+            warm_started=warm,
+            trace=winner.trace,
+        )
+
+
+class WarmStartInitializer(PopulationInitializer):
+    """Inject a warm-start individual into another initializer's output.
+
+    The inner initializer generates the *full* population first (its
+    stream consumption is unchanged), then individual 0 is replaced by
+    the warm placement — cold and warm GA runs therefore share every
+    random draw and differ only in that one chromosome.
+    """
+
+    def __init__(
+        self, inner: PopulationInitializer, warm_start: Placement
+    ) -> None:
+        self.inner = inner
+        self.warm_start = warm_start
+
+    def generate(
+        self, problem: ProblemInstance, size: int, rng: np.random.Generator
+    ) -> list[Placement]:
+        placements = self.inner.generate(problem, size, rng)
+        placements[0] = self.warm_start
+        return placements
+
+    def __repr__(self) -> str:
+        return f"WarmStartInitializer(inner={self.inner!r})"
+
+
+class GeneticSolver(Solver):
+    """The generational GA, initialized by an ad hoc method."""
+
+    def __init__(
+        self,
+        init: str = "hotspot",
+        population_size: int = 64,
+        n_generations: int = 200,
+        config: "GAConfig | None" = None,
+    ) -> None:
+        self._init_name = init
+        self._initializer = AdHocInitializer(make_method(init))
+        if config is None:
+            config = GAConfig(
+                population_size=population_size, n_generations=n_generations
+            )
+        self.config = config
+
+    @property
+    def name(self) -> str:
+        return f"ga:{self._init_name}"
+
+    def solve(
+        self,
+        problem: ProblemInstance,
+        *,
+        seed=0,
+        budget=None,
+        warm_start=None,
+        engine: str = "auto",
+        fitness=None,
+        engine_cache=None,
+    ) -> SolveResult:
+        _check_budget(budget)
+        self.check_warm_start(problem, warm_start)
+        # The GA draws its population inside the run stream (its single
+        # generator covers init + evolution); the warm individual is
+        # substituted after generation, keeping the streams aligned.
+        _, rng_run = solver_streams(seed)
+        config = self.config
+        if budget is not None:
+            config = dataclass_replace(config, n_generations=budget)
+        initializer: PopulationInitializer = self._initializer
+        warm = warm_start is not None
+        if warm:
+            initializer = WarmStartInitializer(initializer, warm_start)
+        evaluator = Evaluator(problem, fitness, engine=engine)
+        result = GeneticAlgorithm(config).run(evaluator, initializer, rng_run)
+        return SolveResult(
+            solver=self.name,
+            best=result.best,
+            n_evaluations=result.n_evaluations,
+            n_phases=result.n_generations,
+            warm_started=warm,
+            trace=result.trace,
+        )

@@ -1,0 +1,162 @@
+"""The unified solver contract.
+
+Before this layer existed the repository had three divergent run-entry
+idioms: ad hoc constructors (``method.place(problem, rng)`` plus a
+manual evaluation), the neighborhood family
+(``search.run(evaluator, initial, rng)``) and the GA
+(``ga.run(evaluator, initializer, rng)``).  Callers — the CLI, sweeps,
+replication, benches — each re-implemented the glue, and nothing could
+treat "an optimizer" as a value.
+
+:class:`Solver` is the single contract every method family now speaks::
+
+    result = solver.solve(problem, seed=7, budget=64, warm_start=None)
+
+* ``seed`` — one integer (or entropy sequence) reproducing the whole
+  run.  Adapters split it into independent *init* and *run* streams via
+  ``SeedSequence.spawn``, so supplying ``warm_start`` skips the init
+  stream without disturbing the search stream: a warm-started run whose
+  start equals what the cold run would have drawn is **bit-identical**
+  to the cold run (the warm-start parity tests assert this for
+  best-neighbor search, simulated annealing and tabu search).
+* ``budget`` — the family's effort knob in its native unit (search/SA/
+  tabu phases, GA generations); ``None`` keeps the adapter's configured
+  default.  Constructive methods have no budget and ignore it.
+* ``warm_start`` — a placement to start from instead of the adapter's
+  own initialization.  Dynamic scenarios seed it from the previous
+  step's best placement (see :mod:`repro.scenario`).
+* ``engine`` — the evaluation-engine choice (``auto``/``dense``/
+  ``sparse``), threaded into every engine the family uses.
+* ``engine_cache`` — an optional
+  :class:`~repro.core.engine.handoff.IncumbentCache` from a previous
+  run; delta-engine families reuse its still-valid pieces at reset.
+
+The returned :class:`SolveResult` is uniform across families: the best
+evaluation, the family's trace, the evaluation count (the
+machine-independent cost unit every experiment reports) and the
+exported engine cache for the next warm start.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.evaluation import Evaluation
+from repro.core.problem import ProblemInstance
+from repro.core.solution import Placement
+
+if TYPE_CHECKING:
+    from repro.core.engine.handoff import IncumbentCache
+    from repro.core.fitness import FitnessFunction
+
+__all__ = ["SolveResult", "Solver", "solver_streams"]
+
+
+def solver_streams(
+    seed: "int | tuple | np.random.SeedSequence",
+) -> tuple[np.random.Generator, np.random.Generator]:
+    """The two independent per-solve streams: ``(init, run)``.
+
+    One parent ``SeedSequence`` spawns exactly two children: stream 0
+    drives initialization (the initial placement / population draw),
+    stream 1 drives the optimization itself.  Warm starts consume only
+    stream 1, which is what makes warm-vs-cold parity exact.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        sequence = seed
+    else:
+        sequence = np.random.SeedSequence(seed)
+    init_child, run_child = sequence.spawn(2)
+    return np.random.default_rng(init_child), np.random.default_rng(run_child)
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """The uniform outcome of one :meth:`Solver.solve` call.
+
+    ``n_phases`` counts the family's native effort unit actually spent
+    (phases or generations; 0 for constructive methods).  ``trace`` is
+    the family's own record type (``SearchTrace``, ``GATrace`` or
+    ``None``) — uniform access to the best solution never requires it.
+    """
+
+    solver: str
+    best: Evaluation
+    n_evaluations: int
+    n_phases: int
+    warm_started: bool
+    trace: object = field(default=None, compare=False, repr=False)
+    engine_cache: "IncumbentCache | None" = field(
+        default=None, compare=False, repr=False
+    )
+
+    @property
+    def giant_size(self) -> int:
+        """Giant component size of the best solution found."""
+        return self.best.giant_size
+
+    @property
+    def covered_clients(self) -> int:
+        """Covered clients of the best solution found."""
+        return self.best.covered_clients
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        start = "warm" if self.warm_started else "cold"
+        return (
+            f"[{self.solver}] {self.best.summary()} "
+            f"({self.n_phases} phases, {self.n_evaluations} evaluations, "
+            f"{start} start)"
+        )
+
+
+class Solver(abc.ABC):
+    """One optimization method behind the uniform solve contract."""
+
+    #: Whether ``warm_start`` changes this solver's behavior
+    #: (constructive methods build from scratch regardless).
+    supports_warm_start: bool = True
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """The registry spec of this solver (e.g. ``"search:swap"``)."""
+
+    @abc.abstractmethod
+    def solve(
+        self,
+        problem: ProblemInstance,
+        *,
+        seed: "int | tuple | np.random.SeedSequence" = 0,
+        budget: "int | None" = None,
+        warm_start: "Placement | None" = None,
+        engine: str = "auto",
+        fitness: "FitnessFunction | None" = None,
+        engine_cache: "IncumbentCache | None" = None,
+    ) -> SolveResult:
+        """Optimize ``problem``; see the module docstring for the contract."""
+
+    def check_warm_start(
+        self, problem: ProblemInstance, warm_start: "Placement | None"
+    ) -> None:
+        """Validate a warm-start placement against the problem frame."""
+        if warm_start is None:
+            return
+        if len(warm_start) != problem.n_routers:
+            raise ValueError(
+                f"warm start places {len(warm_start)} routers but the fleet "
+                f"has {problem.n_routers}"
+            )
+        for cell in warm_start.cells:
+            if not problem.grid.contains(cell):
+                raise ValueError(
+                    f"warm start cell {tuple(cell)} lies outside the "
+                    f"{problem.grid.width}x{problem.grid.height} grid"
+                )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,169 @@
+"""Name-based lookup of solvers — the one registry every layer resolves.
+
+A solver spec is ``"family"`` or ``"family:variant"``:
+
+* ``adhoc:<method>`` — the seven constructive methods (Section 3).
+* ``search:<movement>`` — the paper's neighborhood search (Algorithm 1).
+* ``annealing:<movement>`` — simulated annealing (WMN-SA line).
+* ``tabu:<movement>`` — tabu search (WMN-TS line).
+* ``multistart:<movement>`` — best-of-R restarts on the lockstep engine.
+* ``ga:<method>`` — the genetic algorithm, initialized by an ad hoc
+  method (Section 5's initializer study).
+
+A bare family name uses its default variant (``adhoc`` → ``hotspot``,
+the movement families → ``swap``, ``ga`` → ``hotspot``).  Extra keyword
+arguments pass straight into the adapter's constructor::
+
+    solver = make_solver("search:swap", n_candidates=32, stall_phases=8)
+    result = solver.solve(problem, seed=7, budget=64)
+
+:func:`available_solvers` enumerates every concrete spec — the CLI's
+``solve``/``scenario`` choices and the README's registry table come
+from here, so the three lists cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.adhoc.registry import available_methods
+from repro.neighborhood.registry import available_movements
+from repro.solvers.adapters import (
+    AdHocSolver,
+    AnnealingSolver,
+    GeneticSolver,
+    MultiStartSolver,
+    NeighborhoodSolver,
+    TabuSolver,
+)
+from repro.solvers.base import Solver
+
+__all__ = [
+    "available_solvers",
+    "make_solver",
+    "register_solver_family",
+    "solver_families",
+]
+
+
+class _Family:
+    """One solver family: factory + variant enumeration."""
+
+    def __init__(
+        self,
+        name: str,
+        factory: Callable[..., Solver],
+        variants: Callable[[], list[str]],
+        default_variant: str,
+        description: str,
+    ) -> None:
+        self.name = name
+        self.factory = factory
+        self.variants = variants
+        self.default_variant = default_variant
+        self.description = description
+
+
+_FAMILIES: dict[str, _Family] = {}
+
+
+def register_solver_family(
+    name: str,
+    factory: Callable[..., Solver],
+    variants: Callable[[], list[str]],
+    default_variant: str,
+    description: str,
+) -> None:
+    """Register a solver family under ``name``.
+
+    ``factory(variant, **kwargs)`` must build a
+    :class:`~repro.solvers.base.Solver`; ``variants()`` enumerates the
+    accepted variant names (the registry validates specs against it).
+    """
+    if name in _FAMILIES:
+        raise ValueError(f"solver family {name!r} is already registered")
+    _FAMILIES[name] = _Family(name, factory, variants, default_variant, description)
+
+
+def solver_families() -> dict[str, str]:
+    """``{family: description}`` of every registered family."""
+    return {name: family.description for name, family in sorted(_FAMILIES.items())}
+
+
+def available_solvers() -> list[str]:
+    """Every concrete ``family:variant`` spec, sorted."""
+    specs: list[str] = []
+    for name, family in _FAMILIES.items():
+        specs.extend(f"{name}:{variant}" for variant in family.variants())
+    return sorted(specs)
+
+
+def make_solver(spec: str, **kwargs) -> Solver:
+    """Instantiate the solver the spec names.
+
+    ``spec`` is ``"family"`` (default variant) or ``"family:variant"``;
+    ``kwargs`` go to the family's adapter constructor.
+    """
+    family_name, _, variant = spec.partition(":")
+    try:
+        family = _FAMILIES[family_name]
+    except KeyError:
+        known = ", ".join(sorted(_FAMILIES))
+        raise ValueError(
+            f"unknown solver family {family_name!r}; known: {known}"
+        ) from None
+    variant = variant or family.default_variant
+    if variant not in family.variants():
+        known = ", ".join(family.variants())
+        raise ValueError(
+            f"unknown {family_name} variant {variant!r}; known: {known}"
+        )
+    return family.factory(variant, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Built-in families
+# ----------------------------------------------------------------------
+
+register_solver_family(
+    "adhoc",
+    lambda variant, **kwargs: AdHocSolver(method=variant, **kwargs),
+    available_methods,
+    default_variant="hotspot",
+    description="constructive ad hoc placement (one-shot, no budget)",
+)
+register_solver_family(
+    "search",
+    lambda variant, **kwargs: NeighborhoodSolver(movement=variant, **kwargs),
+    available_movements,
+    default_variant="swap",
+    description="best-improvement neighborhood search (paper Algorithm 1)",
+)
+register_solver_family(
+    "annealing",
+    lambda variant, **kwargs: AnnealingSolver(movement=variant, **kwargs),
+    available_movements,
+    default_variant="swap",
+    description="simulated annealing over placement movements",
+)
+register_solver_family(
+    "tabu",
+    lambda variant, **kwargs: TabuSolver(movement=variant, **kwargs),
+    available_movements,
+    default_variant="swap",
+    description="tabu search with router-attribute memory",
+)
+register_solver_family(
+    "multistart",
+    lambda variant, **kwargs: MultiStartSolver(movement=variant, **kwargs),
+    available_movements,
+    default_variant="swap",
+    description="best-of-R restarts on the lockstep multi-chain engine",
+)
+register_solver_family(
+    "ga",
+    lambda variant, **kwargs: GeneticSolver(init=variant, **kwargs),
+    available_methods,
+    default_variant="hotspot",
+    description="generational GA initialized by an ad hoc method",
+)

@@ -1,0 +1,73 @@
+"""Terminal rendering of dynamic-scenario runs.
+
+A scenario run is a *timeline*: per step, what changed, what the
+re-optimizer found and what it cost.  :func:`render_timeline` draws one
+aligned row per step with an inline fitness bar, so degradation events
+(outages, radio decay) and the re-optimizer's recovery are visible at a
+glance; :func:`render_fitness_chart` plots the warm/cold fitness curves
+of one or more runs through the shared ASCII chart.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.viz.ascii_chart import render_chart
+
+__all__ = ["render_timeline", "render_fitness_chart"]
+
+#: Width of the inline fitness bar, in characters.
+_BAR_WIDTH = 20
+
+
+def _bar(fitness: float) -> str:
+    filled = max(0, min(_BAR_WIDTH, int(round(fitness * _BAR_WIDTH))))
+    return "#" * filled + "." * (_BAR_WIDTH - filled)
+
+
+def render_timeline(result) -> str:
+    """One aligned text row per scenario step.
+
+    ``result`` is a :class:`~repro.scenario.runner.ScenarioResult` (or
+    anything exposing its ``timeline()`` records).  Columns: step, the
+    start mode, giant/coverage against their step-local totals, fitness
+    with a bar, the effort spent, and the event that led into the step.
+    """
+    rows = result.timeline()
+    header = (
+        f"{'step':>4s}  {'start':5s} {'giant':>9s} {'coverage':>9s} "
+        f"{'fitness':>8s} {'':{_BAR_WIDTH}s} {'phases':>6s} {'evals':>7s}  event"
+    )
+    lines = [result.summary(), header, "-" * len(header)]
+    for row in rows:
+        start = "warm" if row["warm"] else "cold"
+        lines.append(
+            f"{row['step']:4d}  {start:5s} "
+            f"{row['giant']:4d}/{row['n_routers']:<4d} "
+            f"{row['coverage']:4d}/{row['n_clients']:<4d} "
+            f"{row['fitness']:8.4f} {_bar(row['fitness'])} "
+            f"{row['phases']:6d} {row['evaluations']:7d}  {row['event']}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_fitness_chart(results: Iterable, **chart_kwargs) -> str:
+    """Fitness-vs-step curves of several scenario runs, one chart.
+
+    Labels each curve ``"<solver> (warm|cold)"`` — overlaying a warm and
+    a cold run of the same scenario shows whether re-optimization held
+    the quality while cutting the cost.
+    """
+    series = {}
+    for result in results:
+        start = "warm" if result.warm else "cold"
+        label = f"{result.solver_name} ({start})"
+        series[label] = [
+            (row["step"], row["fitness"]) for row in result.timeline()
+        ]
+    return render_chart(
+        series,
+        x_label=chart_kwargs.pop("x_label", "step"),
+        y_label=chart_kwargs.pop("y_label", "fitness"),
+        **chart_kwargs,
+    )

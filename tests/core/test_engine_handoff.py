@@ -1,0 +1,165 @@
+"""Incumbent-cache handoff: reuse never changes results, only cost."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.engine.delta import DeltaEvaluator
+from repro.core.engine.handoff import IncumbentCache
+from repro.core.evaluation import Evaluator
+from repro.core.solution import Placement
+from repro.scenario import ClientDrift, RadioDegradation
+
+
+def _assert_same_evaluation(a, b):
+    assert a.fitness == b.fitness
+    assert a.metrics == b.metrics
+    assert np.array_equal(a.giant_mask, b.giant_mask)
+
+
+@pytest.fixture
+def placement(tiny_problem, rng):
+    return Placement.random(tiny_problem.grid, tiny_problem.n_routers, rng)
+
+
+@pytest.mark.parametrize("engine", ["dense", "sparse"])
+class TestExportReset:
+    def test_roundtrip_identical(self, tiny_problem, placement, engine):
+        donor = DeltaEvaluator(Evaluator(tiny_problem, engine=engine), engine=engine)
+        baseline = donor.reset(placement)
+        cache = donor.export_cache()
+        assert cache.layout == engine
+        receiver = DeltaEvaluator(
+            Evaluator(tiny_problem, engine=engine), engine=engine
+        )
+        seeded = receiver.reset(placement, cache=cache)
+        _assert_same_evaluation(baseline, seeded)
+
+    def test_cache_survives_donor_moves(self, tiny_problem, placement, engine, rng):
+        """Exported arrays are copies; the donor moving on cannot corrupt them."""
+        from repro.neighborhood.moves import RelocateMove
+
+        donor = DeltaEvaluator(Evaluator(tiny_problem, engine=engine), engine=engine)
+        baseline = donor.reset(placement)
+        cache = donor.export_cache()
+        # Advance the donor incumbent a few times.
+        incumbent = placement
+        for _ in range(4):
+            free = tiny_problem.grid.random_free_cell(incumbent.occupied, rng)
+            move = RelocateMove(router_id=0, target=free)
+            donor.commit(donor.propose(move))
+            incumbent = move.apply(incumbent)
+        receiver = DeltaEvaluator(
+            Evaluator(tiny_problem, engine=engine), engine=engine
+        )
+        _assert_same_evaluation(baseline, receiver.reset(placement, cache=cache))
+
+    def test_drifted_clients_reuse_network_only(
+        self, tiny_problem, placement, engine
+    ):
+        """Client drift keeps the cached adjacency valid; results identical."""
+        donor = DeltaEvaluator(Evaluator(tiny_problem, engine=engine), engine=engine)
+        donor.reset(placement)
+        cache = donor.export_cache()
+        drifted = ClientDrift(sigma=3.0).apply(
+            tiny_problem, np.random.default_rng(7)
+        ).problem
+        cold = DeltaEvaluator(
+            Evaluator(drifted, engine=engine), engine=engine
+        ).reset(placement)
+        seeded = DeltaEvaluator(
+            Evaluator(drifted, engine=engine), engine=engine
+        ).reset(placement, cache=cache)
+        _assert_same_evaluation(cold, seeded)
+
+    def test_degraded_radii_invalidate_cache(self, tiny_problem, placement, engine):
+        """Radio decay invalidates both pieces — the rebuild must happen."""
+        donor = DeltaEvaluator(Evaluator(tiny_problem, engine=engine), engine=engine)
+        donor.reset(placement)
+        cache = donor.export_cache()
+        degraded = RadioDegradation(factor=0.6).apply(
+            tiny_problem, np.random.default_rng(7)
+        ).problem
+        cold = DeltaEvaluator(
+            Evaluator(degraded, engine=engine), engine=engine
+        ).reset(placement)
+        seeded = DeltaEvaluator(
+            Evaluator(degraded, engine=engine), engine=engine
+        ).reset(placement, cache=cache)
+        _assert_same_evaluation(cold, seeded)
+
+    def test_different_placement_ignores_cache(
+        self, tiny_problem, placement, engine
+    ):
+        donor = DeltaEvaluator(Evaluator(tiny_problem, engine=engine), engine=engine)
+        donor.reset(placement)
+        cache = donor.export_cache()
+        other = Placement.random(
+            tiny_problem.grid, tiny_problem.n_routers, np.random.default_rng(99)
+        )
+        cold = DeltaEvaluator(
+            Evaluator(tiny_problem, engine=engine), engine=engine
+        ).reset(other)
+        seeded = DeltaEvaluator(
+            Evaluator(tiny_problem, engine=engine), engine=engine
+        ).reset(other, cache=cache)
+        _assert_same_evaluation(cold, seeded)
+
+    def test_cross_layout_cache_ignored(self, tiny_problem, placement, engine):
+        """A dense cache offered to a sparse reset (and vice versa) is inert."""
+        other_engine = "sparse" if engine == "dense" else "dense"
+        donor = DeltaEvaluator(
+            Evaluator(tiny_problem, engine=other_engine), engine=other_engine
+        )
+        donor.reset(placement)
+        cache = donor.export_cache()
+        cold = DeltaEvaluator(
+            Evaluator(tiny_problem, engine=engine), engine=engine
+        ).reset(placement)
+        seeded = DeltaEvaluator(
+            Evaluator(tiny_problem, engine=engine), engine=engine
+        ).reset(placement, cache=cache)
+        _assert_same_evaluation(cold, seeded)
+
+
+class TestValidity:
+    def test_export_requires_incumbent(self, tiny_problem):
+        engine = DeltaEvaluator(Evaluator(tiny_problem))
+        with pytest.raises(ValueError, match="no incumbent"):
+            engine.export_cache()
+
+    def test_unknown_layout_rejected(self, tiny_problem, placement):
+        donor = DeltaEvaluator(Evaluator(tiny_problem))
+        donor.reset(placement)
+        cache = donor.export_cache()
+        with pytest.raises(ValueError, match="unknown cache layout"):
+            replace(cache, layout="hologram")
+
+    def test_network_validity_tracks_link_rule(self, tiny_problem, placement):
+        donor = DeltaEvaluator(Evaluator(tiny_problem))
+        donor.reset(placement)
+        cache = donor.export_cache()
+        positions = placement.positions_array()
+        radii = tiny_problem.fleet.radii
+        assert cache.network_valid_for(positions, radii, tiny_problem.link_rule)
+        from repro.core.radio import LinkRule
+
+        other_rule = (
+            LinkRule.UNIDIRECTIONAL
+            if tiny_problem.link_rule is not LinkRule.UNIDIRECTIONAL
+            else LinkRule.BIDIRECTIONAL
+        )
+        assert not cache.network_valid_for(positions, radii, other_rule)
+
+    def test_coverage_validity_tracks_clients(self, tiny_problem, placement):
+        donor = DeltaEvaluator(Evaluator(tiny_problem))
+        donor.reset(placement)
+        cache = donor.export_cache()
+        positions = placement.positions_array()
+        radii = tiny_problem.fleet.radii
+        clients = tiny_problem.clients.positions
+        assert cache.coverage_valid_for(positions, radii, clients)
+        assert not cache.coverage_valid_for(positions, radii, clients + 1.0)

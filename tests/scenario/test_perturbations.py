@@ -1,0 +1,142 @@
+"""Perturbation semantics: determinism, frame invariants, carry rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.solution import Placement
+from repro.scenario import (
+    ClientChurn,
+    ClientDrift,
+    RadioDegradation,
+    RouterOutage,
+)
+
+ALL_PERTURBATIONS = (
+    ClientDrift(sigma=2.0),
+    ClientDrift(sigma=1.0, fraction=0.25),
+    ClientChurn(fraction=0.2),
+    ClientChurn(fraction=0.1, distribution="normal"),
+    RouterOutage(count=2),
+    RadioDegradation(factor=0.8),
+)
+
+
+class TestShared:
+    @pytest.mark.parametrize("perturbation", ALL_PERTURBATIONS)
+    def test_deterministic_given_rng(self, tiny_problem, perturbation):
+        a = perturbation.apply(tiny_problem, np.random.default_rng(5))
+        b = perturbation.apply(tiny_problem, np.random.default_rng(5))
+        assert np.array_equal(
+            a.problem.clients.positions, b.problem.clients.positions
+        )
+        assert np.array_equal(a.problem.fleet.radii, b.problem.fleet.radii)
+        assert a.event == b.event
+
+    @pytest.mark.parametrize("perturbation", ALL_PERTURBATIONS)
+    def test_grid_never_changes(self, tiny_problem, perturbation):
+        change = perturbation.apply(tiny_problem, np.random.default_rng(1))
+        assert change.problem.grid == tiny_problem.grid
+
+    @pytest.mark.parametrize("perturbation", ALL_PERTURBATIONS)
+    def test_original_problem_untouched(self, tiny_problem, perturbation):
+        before = tiny_problem.clients.positions.copy()
+        radii = tiny_problem.fleet.radii.copy()
+        perturbation.apply(tiny_problem, np.random.default_rng(2))
+        assert np.array_equal(tiny_problem.clients.positions, before)
+        assert np.array_equal(tiny_problem.fleet.radii, radii)
+
+
+class TestClientDrift:
+    def test_moves_clients_within_grid(self, tiny_problem):
+        change = ClientDrift(sigma=5.0).apply(
+            tiny_problem, np.random.default_rng(3)
+        )
+        positions = change.problem.clients.positions
+        assert positions.shape == tiny_problem.clients.positions.shape
+        assert not np.array_equal(positions, tiny_problem.clients.positions)
+        assert positions.min() >= 0
+        assert positions[:, 0].max() < tiny_problem.grid.width
+        assert positions[:, 1].max() < tiny_problem.grid.height
+
+    def test_fraction_bounds_movers(self, tiny_problem):
+        change = ClientDrift(sigma=4.0, fraction=0.25).apply(
+            tiny_problem, np.random.default_rng(3)
+        )
+        moved = np.any(
+            change.problem.clients.positions
+            != tiny_problem.clients.positions,
+            axis=1,
+        )
+        assert 0 < moved.sum() <= round(0.25 * tiny_problem.n_clients)
+
+    def test_placement_carries_unchanged(self, tiny_problem, rng):
+        placement = Placement.random(
+            tiny_problem.grid, tiny_problem.n_routers, rng
+        )
+        change = ClientDrift().apply(tiny_problem, np.random.default_rng(0))
+        assert change.carry_placement(placement) is placement
+        assert change.carry_placement(None) is None
+
+    @pytest.mark.parametrize("bad", [{"sigma": 0.0}, {"fraction": 0.0}, {"fraction": 1.5}])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            ClientDrift(**bad)
+
+
+class TestClientChurn:
+    def test_population_size_preserved(self, tiny_problem):
+        change = ClientChurn(fraction=0.3).apply(
+            tiny_problem, np.random.default_rng(4)
+        )
+        assert change.problem.n_clients == tiny_problem.n_clients
+
+    def test_some_clients_replaced(self, tiny_problem):
+        change = ClientChurn(fraction=0.5).apply(
+            tiny_problem, np.random.default_rng(4)
+        )
+        assert not np.array_equal(
+            change.problem.clients.positions, tiny_problem.clients.positions
+        )
+
+
+class TestRouterOutage:
+    def test_fleet_shrinks_and_placement_follows(self, tiny_problem, rng):
+        placement = Placement.random(
+            tiny_problem.grid, tiny_problem.n_routers, rng
+        )
+        change = RouterOutage(count=3).apply(
+            tiny_problem, np.random.default_rng(6)
+        )
+        assert change.problem.n_routers == tiny_problem.n_routers - 3
+        carried = change.carry_placement(placement)
+        assert len(carried) == change.problem.n_routers
+        # Survivors keep their cells, in fleet order.
+        for new_id, old_id in enumerate(change.kept_routers):
+            assert carried.cells[new_id] == placement.cells[int(old_id)]
+            assert (
+                change.problem.fleet.radii[new_id]
+                == tiny_problem.fleet.radii[int(old_id)]
+            )
+
+    def test_cannot_exhaust_fleet(self, tiny_problem):
+        with pytest.raises(ValueError, match="at least one must survive"):
+            RouterOutage(count=tiny_problem.n_routers).apply(
+                tiny_problem, np.random.default_rng(0)
+            )
+
+
+class TestRadioDegradation:
+    def test_radii_decay_with_floor(self, tiny_problem):
+        change = RadioDegradation(factor=0.5, floor=1.0).apply(
+            tiny_problem, np.random.default_rng(0)
+        )
+        expected = np.maximum(tiny_problem.fleet.radii * 0.5, 1.0)
+        assert np.allclose(change.problem.fleet.radii, expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RadioDegradation(factor=1.0)
+        with pytest.raises(ValueError):
+            RadioDegradation(floor=0.0)

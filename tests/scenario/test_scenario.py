@@ -1,0 +1,85 @@
+"""Scenario unfolding: reproducibility and builder semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scenario import (
+    ClientDrift,
+    RadioDegradation,
+    RouterOutage,
+    Scenario,
+)
+
+
+class TestUnfold:
+    def test_step_zero_is_base(self, tiny_problem):
+        scenario = Scenario.client_drift(tiny_problem, 3)
+        steps = scenario.unfold(seed=1)
+        assert steps[0].problem is tiny_problem
+        assert steps[0].change is None
+        assert steps[0].event == "initial deployment"
+
+    def test_length_and_indices(self, tiny_problem):
+        scenario = Scenario.client_drift(tiny_problem, 4)
+        steps = scenario.unfold(seed=1)
+        assert scenario.n_steps == 5
+        assert [step.index for step in steps] == [0, 1, 2, 3, 4]
+
+    def test_same_seed_same_sequence(self, tiny_problem):
+        scenario = Scenario.client_drift(tiny_problem, 4, sigma=3.0)
+        a = scenario.unfold(seed=9)
+        b = scenario.unfold(seed=9)
+        for step_a, step_b in zip(a, b):
+            assert np.array_equal(
+                step_a.problem.clients.positions,
+                step_b.problem.clients.positions,
+            )
+
+    def test_different_seeds_diverge(self, tiny_problem):
+        scenario = Scenario.client_drift(tiny_problem, 2, sigma=3.0)
+        a = scenario.unfold(seed=1)
+        b = scenario.unfold(seed=2)
+        assert not np.array_equal(
+            a[1].problem.clients.positions, b[1].problem.clients.positions
+        )
+
+    def test_steps_chain(self, tiny_problem):
+        scenario = Scenario.router_outages(tiny_problem, 3, count=1)
+        steps = scenario.unfold(seed=4)
+        sizes = [step.problem.n_routers for step in steps]
+        assert sizes == [16, 15, 14, 13]
+
+
+class TestBuilders:
+    def test_composite_mixes_kinds(self, tiny_problem):
+        scenario = Scenario.composite(
+            "mixed",
+            tiny_problem,
+            [ClientDrift(1.0), RouterOutage(1), RadioDegradation(0.9)],
+        )
+        steps = scenario.unfold(seed=2)
+        assert steps[2].problem.n_routers == tiny_problem.n_routers - 1
+        assert "decay" in steps[3].event
+
+    def test_outage_budget_checked(self, tiny_problem):
+        with pytest.raises(ValueError, match="exhaust"):
+            Scenario.router_outages(tiny_problem, 8, count=2)
+
+    def test_empty_scenario_rejected(self, tiny_problem):
+        with pytest.raises(ValueError, match="at least one perturbation"):
+            Scenario(name="empty", base=tiny_problem, perturbations=())
+
+    @pytest.mark.parametrize(
+        "builder, kwargs",
+        [
+            ("client_drift", {"sigma": 1.5}),
+            ("client_churn", {"fraction": 0.2}),
+            ("router_outages", {"count": 1}),
+            ("radio_degradation", {"factor": 0.8}),
+        ],
+    )
+    def test_builders_unfold(self, tiny_problem, builder, kwargs):
+        scenario = getattr(Scenario, builder)(tiny_problem, 2, **kwargs)
+        assert len(scenario.unfold(seed=0)) == 3

@@ -35,6 +35,21 @@ def instance_path(tmp_path):
     return path
 
 
+#: Every subcommand that evaluates placements (all but ``generate``,
+#: which only writes an instance) and the positional arguments its
+#: parser needs.
+EVALUATING_COMMANDS = {
+    "solve": ["x.json"],
+    "place": ["x.json"],
+    "search": ["x.json"],
+    "ga": ["x.json"],
+    "scenario": ["x.json"],
+    "reproduce": [],
+    "replicate": ["x.json"],
+    "sweep": [],
+}
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -42,11 +57,31 @@ class TestParser:
 
     def test_known_subcommands(self):
         parser = build_parser()
-        for command in ("generate", "place", "search", "ga", "reproduce"):
+        for command in (
+            "generate", "solve", "place", "search", "ga", "scenario",
+            "reproduce",
+        ):
             args = parser.parse_args(
-                [command] + ([] if command == "reproduce" else ["x.json"])
+                [command]
+                + ([] if command in ("reproduce", "solve") else ["x.json"])
             )
             assert args.command == command
+
+    @pytest.mark.parametrize("command", sorted(EVALUATING_COMMANDS))
+    @pytest.mark.parametrize("engine", ["auto", "dense", "sparse"])
+    def test_engine_option_uniform(self, command, engine):
+        """Every evaluating subcommand accepts --engine {auto,dense,sparse}."""
+        args = build_parser().parse_args(
+            [command, *EVALUATING_COMMANDS[command], "--engine", engine]
+        )
+        assert args.engine == engine
+
+    @pytest.mark.parametrize("command", sorted(EVALUATING_COMMANDS))
+    def test_engine_rejects_unknown(self, command):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                [command, *EVALUATING_COMMANDS[command], "--engine", "quantum"]
+            )
 
 
 class TestGenerate:
@@ -156,6 +191,139 @@ class TestReplicate:
         assert "stand-alone ad hoc methods" in out
         assert "neighborhood search movements" in out
         assert "+/-" in out
+
+
+class TestSolve:
+    def test_list_solvers(self, capsys):
+        code = main(["solve", "--list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for family in ("adhoc", "search", "annealing", "tabu", "multistart", "ga"):
+            assert family in out
+        assert "tabu:swap" in out
+
+    def test_missing_instance_is_an_error(self, capsys):
+        code = main(["solve"])
+        assert code == 2
+        assert "instance JSON" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "spec", ["adhoc:hotspot", "search:swap", "annealing:swap", "tabu:swap",
+                 "multistart:swap", "ga:hotspot"]
+    )
+    def test_every_family_runs(self, instance_path, capsys, spec):
+        code = main(
+            ["solve", str(instance_path), "--solver", spec, "--budget", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"[{spec}]" in out
+        assert "evaluations" in out
+
+    def test_unknown_solver_exit_code(self, instance_path, capsys):
+        code = main(["solve", str(instance_path), "--solver", "quantum:x"])
+        assert code == 2
+        assert "unknown solver family" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("engine", ["dense", "sparse"])
+    def test_engine_forced(self, instance_path, capsys, engine):
+        code = main(
+            [
+                "solve", str(instance_path), "--solver", "search:swap",
+                "--budget", "2", "--engine", engine,
+            ]
+        )
+        assert code == 0
+        assert "giant=" in capsys.readouterr().out
+
+    def test_warm_from_placement(self, instance_path, tmp_path, capsys):
+        best = tmp_path / "best.json"
+        assert main(
+            [
+                "solve", str(instance_path), "--solver", "search:swap",
+                "--budget", "2", "--output", str(best),
+            ]
+        ) == 0
+        code = main(
+            [
+                "solve", str(instance_path), "--solver", "tabu:swap",
+                "--budget", "2", "--warm-from", str(best),
+            ]
+        )
+        assert code == 0
+        assert "warm start" in capsys.readouterr().out
+
+
+class TestScenario:
+    @pytest.mark.parametrize("kind", ["drift", "churn", "outage", "degrade"])
+    def test_kinds_run_and_render_timeline(self, instance_path, capsys, kind):
+        code = main(
+            [
+                "scenario", str(instance_path), "--kind", kind,
+                "--steps", "2", "--budget", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "initial deployment" in out
+        assert "warm" in out
+
+    def test_cold_flag(self, instance_path, capsys):
+        code = main(
+            [
+                "scenario", str(instance_path), "--steps", "2",
+                "--budget", "2", "--cold",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "/ cold]" in out
+
+    def test_chart_flag(self, instance_path, capsys):
+        code = main(
+            [
+                "scenario", str(instance_path), "--steps", "2",
+                "--budget", "2", "--chart",
+            ]
+        )
+        assert code == 0
+        assert "fitness" in capsys.readouterr().out
+
+    def test_invalid_steps(self, instance_path, capsys):
+        code = main(
+            ["scenario", str(instance_path), "--steps", "0", "--budget", "2"]
+        )
+        assert code == 2
+
+
+class TestEngineEndToEnd:
+    def test_place_engine_sparse(self, instance_path, capsys):
+        code = main(["place", str(instance_path), "--engine", "sparse"])
+        assert code == 0
+        assert "giant=" in capsys.readouterr().out
+
+    def test_search_engines_agree(self, instance_path, capsys):
+        outputs = []
+        for engine in ("dense", "sparse"):
+            code = main(
+                [
+                    "search", str(instance_path), "--phases", "3",
+                    "--candidates", "4", "--engine", engine,
+                ]
+            )
+            assert code == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_replicate_engine_flag(self, instance_path, capsys):
+        code = main(
+            [
+                "replicate", str(instance_path), "--seeds", "2",
+                "--phases", "2", "--candidates", "2", "--engine", "dense",
+            ]
+        )
+        assert code == 0
+        assert "stand-alone ad hoc methods" in capsys.readouterr().out
 
 
 class TestGa:

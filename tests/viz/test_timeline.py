@@ -1,0 +1,49 @@
+"""Scenario timeline rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenario import Scenario, ScenarioRunner
+from repro.viz import render_fitness_chart, render_timeline
+
+
+@pytest.fixture
+def outcome(tiny_problem):
+    scenario = Scenario.router_outages(tiny_problem, 2, count=1)
+    return ScenarioRunner("search:swap", budget=3, n_candidates=4).run(
+        scenario, seed=5
+    )
+
+
+class TestRenderTimeline:
+    def test_one_row_per_step(self, outcome):
+        text = render_timeline(outcome)
+        lines = text.strip().splitlines()
+        # summary + header + rule + one row per step
+        assert len(lines) == 3 + outcome.n_steps
+
+    def test_rows_show_events_and_start_mode(self, outcome):
+        text = render_timeline(outcome)
+        assert "initial deployment" in text
+        assert "outage of router(s)" in text
+        assert "cold" in text and "warm" in text
+
+    def test_fitness_bar_present(self, outcome):
+        text = render_timeline(outcome)
+        assert "#" in text  # at least one non-empty bar
+
+
+class TestRenderFitnessChart:
+    def test_overlays_warm_and_cold(self, tiny_problem):
+        scenario = Scenario.client_drift(tiny_problem, 2)
+        warm = ScenarioRunner("search:swap", budget=2, n_candidates=4).run(
+            scenario, seed=1
+        )
+        cold = ScenarioRunner(
+            "search:swap", budget=2, warm=False, n_candidates=4
+        ).run(scenario, seed=1)
+        chart = render_fitness_chart([warm, cold], height=8)
+        assert "search:swap (warm)" in chart
+        assert "search:swap (cold)" in chart
+        assert "step" in chart
