@@ -102,9 +102,11 @@ from repro.neighborhood import (
 from repro.scenario import (
     ClientChurn,
     ClientDrift,
+    FleetReport,
     RadioDegradation,
     RouterOutage,
     Scenario,
+    ScenarioFleet,
     ScenarioResult,
     ScenarioRunner,
 )
@@ -116,6 +118,7 @@ from repro.solvers import (
 )
 from repro.viz import (
     render_evaluation,
+    render_fleet_report,
     render_placement,
     render_timeline,
 )
@@ -196,9 +199,11 @@ __all__ = [
     # scenario
     "ClientChurn",
     "ClientDrift",
+    "FleetReport",
     "RadioDegradation",
     "RouterOutage",
     "Scenario",
+    "ScenarioFleet",
     "ScenarioResult",
     "ScenarioRunner",
     # solvers
@@ -208,6 +213,7 @@ __all__ = [
     "make_solver",
     # viz
     "render_evaluation",
+    "render_fleet_report",
     "render_placement",
     "render_timeline",
 ]

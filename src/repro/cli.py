@@ -10,6 +10,8 @@
   underneath).
 * ``scenario`` — unfold a dynamic scenario (client drift/churn, router
   outages, radio decay) and re-optimize each step with warm starts.
+* ``scenario-fleet`` — run a whole (scenario x solver x seed) portfolio
+  in lockstep and print the aggregated report.
 * ``reproduce`` — regenerate every table and figure of the paper.
 * ``replicate`` — multi-seed replication of the headline comparisons.
 * ``sweep`` — scaling sweeps around the paper's operating point.
@@ -41,11 +43,11 @@ from repro.instances.serializer import (
     save_placement,
 )
 from repro.neighborhood.registry import available_movements
-from repro.scenario import Scenario, ScenarioRunner
+from repro.scenario import Scenario, ScenarioFleet, ScenarioRunner
 from repro.solvers import available_solvers, make_solver, solver_families
 from repro.viz.ascii_chart import render_chart
 from repro.viz.ascii_map import render_evaluation
-from repro.viz.timeline import render_timeline
+from repro.viz.timeline import render_fleet_report, render_timeline
 
 __all__ = ["main", "build_parser"]
 
@@ -64,6 +66,56 @@ def _add_engine(parser: argparse.ArgumentParser) -> None:
         choices=ENGINE_CHOICES,
         help="evaluation engine: auto picks dense at paper scale and the "
         "spatial-grid sparse path at city scale (default: auto)",
+    )
+
+
+def _add_scenario_shape(parser: argparse.ArgumentParser) -> None:
+    """The per-kind perturbation knobs, shared by scenario commands."""
+    parser.add_argument(
+        "--sigma", type=float, default=2.0, help="drift step size (kind=drift)"
+    )
+    parser.add_argument(
+        "--fraction",
+        type=float,
+        default=0.1,
+        help="churning client fraction (kind=churn)",
+    )
+    parser.add_argument(
+        "--distribution",
+        default="uniform",
+        choices=available_distributions(),
+        help="arrival distribution for churn (default: uniform)",
+    )
+    parser.add_argument(
+        "--count", type=int, default=1, help="routers lost per step (kind=outage)"
+    )
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=0.9,
+        help="radio decay factor per step (kind=degrade)",
+    )
+
+
+def _build_scenario(kind: str, problem, args: argparse.Namespace) -> Scenario:
+    """One scenario of the given kind from the shared shape knobs."""
+    if kind == "drift":
+        return Scenario.client_drift(problem, args.steps, sigma=args.sigma)
+    if kind == "churn":
+        return Scenario.client_churn(
+            problem,
+            args.steps,
+            fraction=args.fraction,
+            distribution=args.distribution,
+        )
+    if kind == "outage":
+        return Scenario.router_outages(problem, args.steps, count=args.count)
+    if kind == "degrade":
+        return Scenario.radio_degradation(
+            problem, args.steps, factor=args.factor
+        )
+    raise ValueError(
+        f"unknown scenario kind {kind!r}; known: {', '.join(SCENARIO_KINDS)}"
     )
 
 
@@ -237,30 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
         "phases — what lets warm-started steps finish early (default 8; "
         "0 disables)",
     )
-    scenario.add_argument(
-        "--sigma", type=float, default=2.0, help="drift step size (kind=drift)"
-    )
-    scenario.add_argument(
-        "--fraction",
-        type=float,
-        default=0.1,
-        help="churning client fraction (kind=churn)",
-    )
-    scenario.add_argument(
-        "--distribution",
-        default="uniform",
-        choices=available_distributions(),
-        help="arrival distribution for churn (default: uniform)",
-    )
-    scenario.add_argument(
-        "--count", type=int, default=1, help="routers lost per step (kind=outage)"
-    )
-    scenario.add_argument(
-        "--factor",
-        type=float,
-        default=0.9,
-        help="radio decay factor per step (kind=degrade)",
-    )
+    _add_scenario_shape(scenario)
     scenario.add_argument("--seed", type=int, default=0)
     scenario.add_argument(
         "--cold",
@@ -273,6 +302,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="also draw the fitness-vs-step curve",
     )
     _add_engine(scenario)
+
+    fleet = subparsers.add_parser(
+        "scenario-fleet",
+        help="run a (scenario x solver x seed) portfolio in lockstep and "
+        "print mean/std tables, regret and recovery curves",
+    )
+    fleet.add_argument("instance", help="instance JSON (from 'generate')")
+    fleet.add_argument(
+        "--kinds",
+        default="drift,outage",
+        help="comma-separated scenario kinds to put on the grid "
+        f"(subset of {','.join(SCENARIO_KINDS)}; default: drift,outage)",
+    )
+    fleet.add_argument(
+        "--steps", type=int, default=6, help="perturbation steps per scenario"
+    )
+    fleet.add_argument(
+        "--solvers",
+        default="search:swap",
+        metavar="SPEC[,SPEC...]",
+        help="comma-separated registry specs forming the solver axis "
+        "(default: search:swap)",
+    )
+    fleet.add_argument(
+        "--seeds", type=int, default=8, help="replicates per grid cell"
+    )
+    fleet.add_argument(
+        "--budget", type=int, default=None, help="per-step solver budget"
+    )
+    fleet.add_argument(
+        "--warm-budget",
+        type=int,
+        default=None,
+        help="budget for warm-started steps 1..n (defaults to --budget)",
+    )
+    fleet.add_argument(
+        "--arms",
+        default="warm",
+        choices=["warm", "cold", "both"],
+        help="re-optimization arms; 'both' runs warm and cold on identical "
+        "seeds and adds the regret table (default: warm)",
+    )
+    fleet.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan replicate shards out over a process pool "
+        "(identical results at any count)",
+    )
+    fleet.add_argument(
+        "--candidates",
+        type=int,
+        default=16,
+        help="per-phase effort of the step solvers (default 16)",
+    )
+    fleet.add_argument(
+        "--stall",
+        type=int,
+        default=8,
+        help="stop a search/multistart step after this many non-improving "
+        "phases (default 8; 0 disables)",
+    )
+    _add_scenario_shape(fleet)
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--chart",
+        action="store_true",
+        help="also draw the mean recovery curves per scenario",
+    )
+    _add_engine(fleet)
 
     reproduce = subparsers.add_parser(
         "reproduce", help="regenerate every table and figure of the paper"
@@ -348,6 +447,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "search": _cmd_search,
         "ga": _cmd_ga,
         "scenario": _cmd_scenario,
+        "scenario-fleet": _cmd_scenario_fleet,
         "reproduce": _cmd_reproduce,
         "replicate": _cmd_replicate,
         "sweep": _cmd_sweep,
@@ -498,21 +598,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     if args.steps <= 0:
         raise ValueError(f"--steps must be positive, got {args.steps}")
     problem = load_instance(args.instance)
-    if args.kind == "drift":
-        scenario = Scenario.client_drift(problem, args.steps, sigma=args.sigma)
-    elif args.kind == "churn":
-        scenario = Scenario.client_churn(
-            problem,
-            args.steps,
-            fraction=args.fraction,
-            distribution=args.distribution,
-        )
-    elif args.kind == "outage":
-        scenario = Scenario.router_outages(problem, args.steps, count=args.count)
-    else:
-        scenario = Scenario.radio_degradation(
-            problem, args.steps, factor=args.factor
-        )
+    scenario = _build_scenario(args.kind, problem, args)
     runner = ScenarioRunner(
         args.solver,
         budget=args.budget,
@@ -535,6 +621,36 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
                 y_label="fitness",
             )
         )
+    return 0
+
+
+def _cmd_scenario_fleet(args: argparse.Namespace) -> int:
+    if args.steps <= 0:
+        raise ValueError(f"--steps must be positive, got {args.steps}")
+    kinds = [kind.strip() for kind in args.kinds.split(",") if kind.strip()]
+    if not kinds:
+        raise ValueError("--kinds needs at least one scenario kind")
+    specs = [spec.strip() for spec in args.solvers.split(",") if spec.strip()]
+    if not specs:
+        raise ValueError("--solvers needs at least one registry spec")
+    problem = load_instance(args.instance)
+    scenarios = [_build_scenario(kind, problem, args) for kind in kinds]
+    solvers = [
+        (spec, _scenario_solver_kwargs(spec, args.candidates, args.stall))
+        for spec in specs
+    ]
+    fleet = ScenarioFleet(
+        scenarios,
+        solvers,
+        n_seeds=args.seeds,
+        budget=args.budget,
+        warm_budget=args.warm_budget,
+        warm=args.arms,
+        engine=args.engine,
+        workers=args.workers,
+    )
+    report = fleet.run(seed=args.seed)
+    print(render_fleet_report(report, chart=args.chart))
     return 0
 
 

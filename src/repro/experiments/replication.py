@@ -37,7 +37,6 @@ built-in registries and movements all are).
 from __future__ import annotations
 
 import zlib
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -47,7 +46,8 @@ from repro.core.evaluation import Evaluator
 from repro.core.fitness import FitnessFunction
 from repro.instances.generator import InstanceSpec
 from repro.neighborhood.movements import MovementType
-from repro.neighborhood.multichain import MultiChainSearch, _shard_slices
+from repro.neighborhood.multichain import MultiChainSearch
+from repro.parallel import run_tasks, seed_shards
 
 __all__ = [
     "ReplicatedMetric",
@@ -89,18 +89,10 @@ def label_key(name: str) -> int:
 _name_key = label_key
 
 
-def _seed_shards(n_seeds: int, workers: "int | None") -> list[range]:
-    """Contiguous seed ranges: one per worker slot (one total when serial).
-
-    Same split as the multi-chain engine's own worker sharding (one
-    shared implementation, so the two ``workers=`` layers cannot drift).
-    """
-    if workers is None or workers <= 1 or n_seeds <= 1:
-        return [range(n_seeds)]
-    return [
-        range(part.start, part.stop)
-        for part in _shard_slices(n_seeds, workers)
-    ]
+#: Backward-compatible aliases: the sharding and pool plumbing moved to
+#: :mod:`repro.parallel`, shared with the multi-chain engine and the
+#: scenario fleet so the three ``workers=`` layers cannot drift.
+_seed_shards = seed_shards
 
 
 def _standalone_run(task) -> list[tuple[float, float, float]]:
@@ -155,16 +147,7 @@ def _movement_run(task) -> list[tuple[float, float]]:
     ]
 
 
-def _run_tasks(runner, tasks: list, workers: int | None) -> list:
-    """Run shard tasks serially or over a process pool, flattening in order."""
-    if workers is not None and workers < 1:
-        raise ValueError(f"workers must be a positive int or None, got {workers}")
-    if workers is None or workers == 1:
-        shards = [runner(task) for task in tasks]
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            shards = list(pool.map(runner, tasks))
-    return [row for shard in shards for row in shard]
+_run_tasks = run_tasks
 
 
 @dataclass(frozen=True)

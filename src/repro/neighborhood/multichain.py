@@ -73,6 +73,7 @@ from repro.neighborhood.moves import RelocateMove, SwapMove
 from repro.neighborhood.movements import MovementType
 from repro.neighborhood.search import SearchResult
 from repro.neighborhood.trace import SearchTrace
+from repro.parallel import shard_slices
 
 __all__ = [
     "chain_generators",
@@ -160,15 +161,9 @@ def _classify_move(move, incumbent: Placement, occupied, n_routers: int, grid):
     return _EXOTIC, None
 
 
-def _shard_slices(count: int, shards: int) -> list[slice]:
-    """Contiguous, order-preserving split of ``count`` chains."""
-    shards = min(shards, count)
-    bounds = np.linspace(0, count, shards + 1).astype(int)
-    return [
-        slice(int(bounds[i]), int(bounds[i + 1]))
-        for i in range(shards)
-        if bounds[i] < bounds[i + 1]
-    ]
+#: Backward-compatible alias (the split now lives in :mod:`repro.parallel`,
+#: shared with the replication and scenario-fleet harnesses).
+_shard_slices = shard_slices
 
 
 def _run_shard(task) -> list[SearchResult]:

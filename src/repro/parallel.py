@@ -1,0 +1,61 @@
+"""Process fan-out shared by every ``workers=`` harness.
+
+Three layers run portfolios over a ``ProcessPoolExecutor``: the lockstep
+multi-chain engine (:mod:`repro.neighborhood.multichain`), the
+replication harness (:mod:`repro.experiments.replication`) and the
+scenario fleet (:mod:`repro.scenario.fleet`).  They all shard the same
+way — contiguous, order-preserving splits, executed serially when
+``workers`` is ``None``/1 and flattened back in submission order — so
+the split and the pool plumbing live here once.  One implementation also
+means one determinism argument: a shard boundary can never change which
+seed owns which stream, only which process advances it.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["shard_slices", "seed_shards", "run_tasks"]
+
+
+def shard_slices(count: int, shards: int) -> list[slice]:
+    """Contiguous, order-preserving split of ``count`` items."""
+    shards = min(shards, count)
+    bounds = np.linspace(0, count, shards + 1).astype(int)
+    return [
+        slice(int(bounds[i]), int(bounds[i + 1]))
+        for i in range(shards)
+        if bounds[i] < bounds[i + 1]
+    ]
+
+
+def seed_shards(n_seeds: int, workers: "int | None") -> list[range]:
+    """Contiguous seed ranges: one per worker slot (one total when serial)."""
+    if workers is None or workers <= 1 or n_seeds <= 1:
+        return [range(n_seeds)]
+    return [
+        range(part.start, part.stop) for part in shard_slices(n_seeds, workers)
+    ]
+
+
+def run_tasks(
+    runner: Callable[[object], Sequence], tasks: list, workers: "int | None"
+) -> list:
+    """Run shard tasks serially or over a process pool, flattening in order.
+
+    ``runner`` must be a top-level function and every task picklable when
+    ``workers > 1``.  Results come back in task-submission order whatever
+    the pool's scheduling, so callers can slice the flat list by shard
+    arithmetic alone.
+    """
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be a positive int or None, got {workers}")
+    if workers is None or workers == 1:
+        shards = [runner(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            shards = list(pool.map(runner, tasks))
+    return [row for shard in shards for row in shard]

@@ -13,8 +13,20 @@ previous step's best placement and the delta engine's incumbent cache::
     runner = ScenarioRunner("search:swap", budget=64)
     outcome = runner.run(scenario, seed=7)
     print(outcome.summary())
+
+:class:`ScenarioFleet` scales the same loop to a whole
+(scenario x solver x seed) grid — lockstep replicates, deterministic
+``SeedSequence`` sharding, optional process fan-out — and aggregates it
+into a :class:`FleetReport` (mean/std tables, warm-vs-cold regret,
+recovery curves).
 """
 
+from repro.scenario.fleet import (
+    FleetReport,
+    FleetRun,
+    ScenarioFleet,
+    fleet_seed_grid,
+)
 from repro.scenario.perturbations import (
     ClientChurn,
     ClientDrift,
@@ -33,13 +45,17 @@ from repro.scenario.scenario import Scenario, ScenarioStep
 __all__ = [
     "ClientChurn",
     "ClientDrift",
+    "FleetReport",
+    "FleetRun",
     "Perturbation",
     "RadioDegradation",
     "RouterOutage",
     "Scenario",
+    "ScenarioFleet",
     "ScenarioResult",
     "ScenarioRunner",
     "ScenarioStep",
     "ScenarioStepResult",
     "StepChange",
+    "fleet_seed_grid",
 ]

@@ -24,14 +24,62 @@ instance sequence — the controlled baseline of that benchmark.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
-from repro.scenario.scenario import Scenario, ScenarioStep
+from repro.scenario.scenario import Scenario, ScenarioStep, _root_sequence
 from repro.solvers.base import SolveResult, Solver
 
 __all__ = ["ScenarioStepResult", "ScenarioResult", "ScenarioRunner"]
+
+
+
+
+def _validate_budgets(
+    budget: "int | None", warm_budget: "int | None", warm_enabled: bool
+) -> None:
+    """The runner/fleet budget rules — one implementation, one message set."""
+    if budget is not None and budget <= 0:
+        raise ValueError(
+            f"budget must be a positive int or None, got {budget}"
+        )
+    if warm_budget is not None:
+        if warm_budget <= 0:
+            raise ValueError(
+                "warm_budget must be a positive int or None, "
+                f"got {warm_budget}"
+            )
+        if not warm_enabled:
+            raise ValueError(
+                "warm_budget only applies to warm-started steps; "
+                "with warm=False it would be silently ignored — drop "
+                "it or enable warm starts"
+            )
+
+
+@contextmanager
+def _cache_tracking(solver: Solver, enabled: bool):
+    """Temporarily switch on a solver's best-snapshot cache tracking.
+
+    Cache-capable solvers expose ``track_cache``; scenario runs need it
+    on so each step's exported engine cache can seed the next step's
+    reset.  The prior value is restored on exit **whatever happens** —
+    the runner must not leave a lasting side effect on a caller-owned
+    solver (an earlier revision did, changing the snapshot behavior of
+    later unrelated ``solve()`` calls).
+    """
+    if not (enabled and hasattr(solver, "track_cache")):
+        yield
+        return
+    prior = solver.track_cache
+    solver.track_cache = True
+    try:
+        yield
+    finally:
+        solver.track_cache = prior
 
 
 @dataclass(frozen=True)
@@ -55,13 +103,19 @@ class ScenarioStepResult:
 
 @dataclass(frozen=True)
 class ScenarioResult:
-    """A full scenario run: one solved step per instance."""
+    """A full scenario run: one solved step per instance.
+
+    ``seed`` is the run's reproducibility provenance: the root
+    ``SeedSequence.entropy``, recorded uniformly whether the caller
+    passed an int or a ``SeedSequence`` (spawned children inherit their
+    root's entropy, so fleet replicates all report the fleet seed).
+    """
 
     scenario_name: str
     solver_name: str
     warm: bool
     steps: tuple[ScenarioStepResult, ...]
-    seed: "int | None" = field(default=None, compare=False)
+    seed: "int | tuple | None" = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if not self.steps:
@@ -105,6 +159,7 @@ class ScenarioResult:
         return [
             {
                 "step": step.index,
+                "seed": self.seed,
                 "event": step.event,
                 "giant": step.result.best.giant_size,
                 "n_routers": step.result.best.metrics.n_routers,
@@ -122,8 +177,10 @@ class ScenarioResult:
     def summary(self) -> str:
         """One-line account of the whole run."""
         start = "warm" if self.warm else "cold"
+        provenance = "" if self.seed is None else f" seed={self.seed},"
         return (
-            f"[{self.scenario_name} / {self.solver_name} / {start}] "
+            f"[{self.scenario_name} / {self.solver_name} / {start}]"
+            f"{provenance} "
             f"{self.n_steps} steps, {self.total_evaluations} evaluations, "
             f"{sum(s.seconds for s in self.steps):.2f}s, "
             f"mean fitness {self.mean_fitness():.4f}"
@@ -176,10 +233,7 @@ class ScenarioRunner:
                 "solver keyword arguments require a registry spec, "
                 "not a Solver instance"
             )
-        if reuse_cache and hasattr(solver, "track_cache"):
-            # The handoff consumer: have cache-capable solvers snapshot
-            # their best so each step can seed the next one's reset.
-            solver.track_cache = True
+        _validate_budgets(budget, warm_budget, warm)
         self.solver = solver
         self.budget = budget
         self.warm_budget = warm_budget if warm_budget is not None else budget
@@ -201,47 +255,70 @@ class ScenarioRunner:
         step — so warm and cold runs of the same seed see the *same*
         instance sequence and the same per-step solver streams.
         """
-        root = (
-            seed
-            if isinstance(seed, np.random.SeedSequence)
-            else np.random.SeedSequence(seed)
-        )
+        root = _root_sequence(seed)
         unfold_seq, solve_seq = root.spawn(2)
         steps = scenario.unfold(unfold_seq)
+        return self.run_steps(
+            steps, seed=solve_seq, scenario_name=scenario.name
+        )
+
+    def run_steps(
+        self,
+        steps: Sequence[ScenarioStep],
+        *,
+        seed: "int | np.random.SeedSequence" = 0,
+        scenario_name: str = "steps",
+    ) -> ScenarioResult:
+        """(Re-)optimize an already-unfolded step sequence.
+
+        The solve half of :meth:`run`, split out so several runs can
+        share one unfold: the scenario fleet replays the *same* instance
+        sequence under many replication seeds (and both warm and cold),
+        which is what makes its portfolios controlled comparisons.
+        ``seed`` spawns one solve stream per step; the recorded
+        provenance is its root entropy, exactly as :meth:`run` records
+        the scenario seed.
+        """
+        solve_seq = _root_sequence(seed)
         step_seeds = solve_seq.spawn(len(steps))
         warm_capable = self.warm and self.solver.supports_warm_start
 
         results: list[ScenarioStepResult] = []
         previous: "SolveResult | None" = None
-        for step, step_seed in zip(steps, step_seeds):
-            warm_start = None
-            engine_cache = None
-            if warm_capable and previous is not None:
-                warm_start = step.change.carry_placement(
-                    previous.best.placement
+        with _cache_tracking(self.solver, self.reuse_cache):
+            for step, step_seed in zip(steps, step_seeds):
+                warm_start = None
+                engine_cache = None
+                if warm_capable and previous is not None:
+                    warm_start = step.change.carry_placement(
+                        previous.best.placement
+                    )
+                    if self.reuse_cache:
+                        engine_cache = previous.engine_cache
+                budget = (
+                    self.budget if warm_start is None else self.warm_budget
                 )
-                if self.reuse_cache:
-                    engine_cache = previous.engine_cache
-            budget = self.budget if warm_start is None else self.warm_budget
-            began = time.perf_counter()
-            result = self.solver.solve(
-                step.problem,
-                seed=step_seed,
-                budget=budget,
-                warm_start=warm_start,
-                engine=self.engine,
-                fitness=self.fitness,
-                engine_cache=engine_cache,
-            )
-            elapsed = time.perf_counter() - began
-            results.append(
-                ScenarioStepResult(step=step, result=result, seconds=elapsed)
-            )
-            previous = result
+                began = time.perf_counter()
+                result = self.solver.solve(
+                    step.problem,
+                    seed=step_seed,
+                    budget=budget,
+                    warm_start=warm_start,
+                    engine=self.engine,
+                    fitness=self.fitness,
+                    engine_cache=engine_cache,
+                )
+                elapsed = time.perf_counter() - began
+                results.append(
+                    ScenarioStepResult(
+                        step=step, result=result, seconds=elapsed
+                    )
+                )
+                previous = result
         return ScenarioResult(
-            scenario_name=scenario.name,
+            scenario_name=scenario_name,
             solver_name=self.solver.name,
             warm=warm_capable,
             steps=tuple(results),
-            seed=seed if isinstance(seed, int) else None,
+            seed=solve_seq.entropy,
         )

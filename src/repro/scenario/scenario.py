@@ -34,6 +34,33 @@ from repro.scenario.perturbations import (
 __all__ = ["ScenarioStep", "Scenario"]
 
 
+def _fresh_sequence(seq: np.random.SeedSequence) -> np.random.SeedSequence:
+    """An unspawned copy of ``seq`` (same entropy and spawn key).
+
+    ``SeedSequence.spawn`` is stateful — every call advances the spawn
+    counter, so spawning from a sequence the caller (or an earlier run)
+    already spawned from would derive *different* children.  The
+    scenario machinery spawns from fresh copies instead: the children a
+    seed produces depend only on its identity, never on its history, so
+    repeated runs and arbitrary fleet shardings stay bit-identical.
+    """
+    return np.random.SeedSequence(
+        entropy=seq.entropy,
+        spawn_key=seq.spawn_key,
+        pool_size=seq.pool_size,
+    )
+
+
+def _root_sequence(
+    seed: "int | np.random.SeedSequence",
+) -> np.random.SeedSequence:
+    return (
+        _fresh_sequence(seed)
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+
+
 @dataclass(frozen=True)
 class ScenarioStep:
     """One time step of an unfolded scenario.
@@ -77,13 +104,13 @@ class Scenario:
 
         Each transition draws from its own child of the seed's
         ``SeedSequence`` (one spawn per step), so inserting or editing a
-        late perturbation never disturbs the earlier steps.
+        late perturbation never disturbs the earlier steps.  A passed
+        ``SeedSequence`` is copied before spawning: the instance
+        sequence depends only on the seed's identity (entropy and spawn
+        key), never on how often it was spawned from before — what lets
+        every fleet shard re-unfold the same steps independently.
         """
-        sequence = (
-            seed
-            if isinstance(seed, np.random.SeedSequence)
-            else np.random.SeedSequence(seed)
-        )
+        sequence = _root_sequence(seed)
         children = sequence.spawn(len(self.perturbations))
         steps = [ScenarioStep(index=0, problem=self.base)]
         problem = self.base

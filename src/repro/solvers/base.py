@@ -56,6 +56,25 @@ if TYPE_CHECKING:
 __all__ = ["SolveResult", "Solver", "solver_streams"]
 
 
+def _check_batch(seeds, warm_starts, engine_caches):
+    """Normalize / validate the per-seed lists of a ``solve_batch`` call."""
+    if not seeds:
+        raise ValueError("solve_batch needs at least one seed")
+    if warm_starts is None:
+        warm_starts = [None] * len(seeds)
+    if engine_caches is None:
+        engine_caches = [None] * len(seeds)
+    if len(warm_starts) != len(seeds):
+        raise ValueError(
+            f"{len(warm_starts)} warm starts for {len(seeds)} seeds"
+        )
+    if len(engine_caches) != len(seeds):
+        raise ValueError(
+            f"{len(engine_caches)} engine caches for {len(seeds)} seeds"
+        )
+    return warm_starts, engine_caches
+
+
 def solver_streams(
     seed: "int | tuple | np.random.SeedSequence",
 ) -> tuple[np.random.Generator, np.random.Generator]:
@@ -139,6 +158,46 @@ class Solver(abc.ABC):
         engine_cache: "IncumbentCache | None" = None,
     ) -> SolveResult:
         """Optimize ``problem``; see the module docstring for the contract."""
+
+    def solve_batch(
+        self,
+        problem: ProblemInstance,
+        seeds: "list[int | tuple | np.random.SeedSequence]",
+        *,
+        budget: "int | None" = None,
+        warm_starts: "list[Placement | None] | None" = None,
+        engine: str = "auto",
+        fitness: "FitnessFunction | None" = None,
+        engine_caches: "list[IncumbentCache | None] | None" = None,
+    ) -> list[SolveResult]:
+        """Solve one problem under many seeds; one result per seed, in order.
+
+        The portfolio primitive behind the scenario fleet: seed ``i``
+        runs with ``warm_starts[i]`` and ``engine_caches[i]`` (both lists
+        default to all-``None``) under the shared ``budget``/``engine``/
+        ``fitness``.  The base implementation is the literal serial loop
+        over :meth:`solve`; families with a lockstep engine override it
+        with a vectorized path whose per-seed results are **bit-identical**
+        to this loop (asserted by ``tests/solvers/test_adapters.py``), so
+        callers may treat the two as interchangeable.
+        """
+        warm_starts, engine_caches = _check_batch(
+            seeds, warm_starts, engine_caches
+        )
+        return [
+            self.solve(
+                problem,
+                seed=seed,
+                budget=budget,
+                warm_start=warm_start,
+                engine=engine,
+                fitness=fitness,
+                engine_cache=engine_cache,
+            )
+            for seed, warm_start, engine_cache in zip(
+                seeds, warm_starts, engine_caches
+            )
+        ]
 
     def check_warm_start(
         self, problem: ProblemInstance, warm_start: "Placement | None"

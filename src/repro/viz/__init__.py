@@ -2,12 +2,17 @@
 
 from repro.viz.ascii_chart import render_chart
 from repro.viz.ascii_map import render_evaluation, render_placement
-from repro.viz.timeline import render_fitness_chart, render_timeline
+from repro.viz.timeline import (
+    render_fitness_chart,
+    render_fleet_report,
+    render_timeline,
+)
 
 __all__ = [
     "render_chart",
     "render_evaluation",
     "render_fitness_chart",
+    "render_fleet_report",
     "render_placement",
     "render_timeline",
 ]

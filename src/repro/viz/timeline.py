@@ -5,7 +5,10 @@ re-optimizer found and what it cost.  :func:`render_timeline` draws one
 aligned row per step with an inline fitness bar, so degradation events
 (outages, radio decay) and the re-optimizer's recovery are visible at a
 glance; :func:`render_fitness_chart` plots the warm/cold fitness curves
-of one or more runs through the shared ASCII chart.
+of one or more runs through the shared ASCII chart; and
+:func:`render_fleet_report` prints a whole scenario-fleet portfolio —
+per-cell mean/std tables, warm-vs-cold regret, event impact, and the
+mean recovery curves of every (solver, arm) per scenario.
 """
 
 from __future__ import annotations
@@ -14,7 +17,7 @@ from typing import Iterable
 
 from repro.viz.ascii_chart import render_chart
 
-__all__ = ["render_timeline", "render_fitness_chart"]
+__all__ = ["render_timeline", "render_fitness_chart", "render_fleet_report"]
 
 #: Width of the inline fitness bar, in characters.
 _BAR_WIDTH = 20
@@ -71,3 +74,78 @@ def render_fitness_chart(results: Iterable, **chart_kwargs) -> str:
         y_label=chart_kwargs.pop("y_label", "fitness"),
         **chart_kwargs,
     )
+
+
+def _metric(metric, digits: int) -> str:
+    """``mean +/- std`` of a ReplicatedMetric at a chosen precision."""
+    return f"{metric.mean:.{digits}f} +/- {metric.std:.{digits}f}"
+
+
+def render_fleet_report(report, chart: bool = False, **chart_kwargs) -> str:
+    """The multi-run account of a fleet: tables, regret, event impact.
+
+    ``report`` is a :class:`~repro.scenario.fleet.FleetReport`.  Always
+    prints the per-(scenario, solver, arm) fitness table (run-mean and
+    final fitness, evaluations spent — mean +/- std across replicates);
+    the warm-vs-cold regret table and the per-event impact table follow
+    when the fleet ran both arms / recorded events.  With ``chart=True``
+    one ASCII chart per scenario overlays the mean recovery curves of
+    every (solver, arm).
+    """
+    lines = [report.summary(), ""]
+    header = (
+        f"{'scenario':20s} {'solver':18s} {'arm':5s}"
+        f"{'mean fitness':>20s}{'final fitness':>20s}{'evaluations':>20s}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for (scenario, solver, arm), metrics in report.fitness_table().items():
+        lines.append(
+            f"{scenario:20s} {solver:18s} {arm:5s}"
+            f"{_metric(metrics['fitness'], 4):>20s}"
+            f"{_metric(metrics['final'], 4):>20s}"
+            f"{_metric(metrics['evaluations'], 0):>20s}"
+        )
+
+    regret = report.regret()
+    if regret:
+        lines.append("")
+        lines.append("warm-vs-cold regret (cold - warm mean fitness; "
+                     "> 0 means warm tracking trails cold re-solves)")
+        header = f"{'scenario':20s} {'solver':18s}{'regret':>20s}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for (scenario, solver), metric in regret.items():
+            lines.append(
+                f"{scenario:20s} {solver:18s}{_metric(metric, 4):>20s}"
+            )
+
+    impact = report.event_impact()
+    if impact:
+        lines.append("")
+        lines.append("event impact (mean fitness change at the event step, "
+                     "net of that step's re-optimization)")
+        header = f"{'event':20s}{'impact':>10s}{'events':>8s}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for kind, values in impact.items():
+            lines.append(
+                f"{kind:20s}{values['impact']:>+10.4f}"
+                f"{values['n_events']:>8d}"
+            )
+
+    if chart:
+        x_label = chart_kwargs.pop("x_label", "step")
+        y_label = chart_kwargs.pop("y_label", "fitness")
+        for scenario in report.scenarios:
+            lines.append("")
+            lines.append(f"recovery curves — {scenario}")
+            lines.append(
+                render_chart(
+                    report.recovery_curves(scenario),
+                    x_label=x_label,
+                    y_label=y_label,
+                    **chart_kwargs,
+                )
+            )
+    return "\n".join(lines) + "\n"

@@ -118,6 +118,117 @@ class TestRun:
             )
 
 
+class TestNoStateLeak:
+    """The runner must not permanently mutate a caller-owned solver."""
+
+    def test_track_cache_restored_after_run(self, tiny_problem):
+        solver = make_solver("tabu:swap", n_candidates=4)
+        assert solver.track_cache is False
+        outcome = ScenarioRunner(solver, budget=3).run(
+            Scenario.client_drift(tiny_problem, 2), seed=1
+        )
+        # Tracking was on during the run (caches were exported)...
+        assert outcome.steps[0].result.engine_cache is not None
+        # ...but the caller's solver is exactly as it was handed over.
+        assert solver.track_cache is False
+
+    def test_enabled_tracking_survives_run(self, tiny_problem):
+        solver = make_solver("annealing:swap", track_cache=True, max_phases=2)
+        ScenarioRunner(solver, budget=2).run(
+            Scenario.client_drift(tiny_problem, 1), seed=1
+        )
+        assert solver.track_cache is True
+
+    def test_restored_even_when_a_step_raises(self, tiny_problem):
+        solver = make_solver("tabu:swap", n_candidates=4)
+        runner = ScenarioRunner(solver, budget=3)
+        broken = Scenario.client_drift(tiny_problem, 1)
+        steps = broken.unfold(0)
+        # Sabotage the second step so the solve inside the loop raises.
+        bad = [steps[0], steps[1]]
+        object.__setattr__(bad[1], "problem", None)
+        with pytest.raises(AttributeError):
+            runner.run_steps(bad, seed=1)
+        assert solver.track_cache is False
+
+    def test_later_unrelated_solve_keeps_no_snapshot(self, tiny_problem):
+        solver = make_solver("tabu:swap", n_candidates=4)
+        ScenarioRunner(solver, budget=3).run(
+            Scenario.client_drift(tiny_problem, 1), seed=1
+        )
+        later = solver.solve(tiny_problem, seed=9, budget=3)
+        assert later.engine_cache is None
+
+
+class TestSeedProvenance:
+    """The root entropy is recorded for int and SeedSequence seeds alike."""
+
+    def test_int_seed_recorded(self, tiny_problem):
+        outcome = ScenarioRunner("search:swap", budget=2, n_candidates=4).run(
+            Scenario.client_drift(tiny_problem, 1), seed=37
+        )
+        assert outcome.seed == 37
+
+    def test_seed_sequence_entropy_recorded(self, tiny_problem):
+        outcome = ScenarioRunner("search:swap", budget=2, n_candidates=4).run(
+            Scenario.client_drift(tiny_problem, 1),
+            seed=np.random.SeedSequence(37),
+        )
+        assert outcome.seed == 37
+
+    def test_spawned_child_reports_root_entropy(self, tiny_problem):
+        child = np.random.SeedSequence(37).spawn(3)[2]
+        outcome = ScenarioRunner("search:swap", budget=2, n_candidates=4).run(
+            Scenario.client_drift(tiny_problem, 1), seed=child
+        )
+        assert outcome.seed == 37
+
+    def test_threaded_into_timeline_and_summary(self, tiny_problem):
+        outcome = ScenarioRunner("search:swap", budget=2, n_candidates=4).run(
+            Scenario.client_drift(tiny_problem, 1), seed=37
+        )
+        assert all(row["seed"] == 37 for row in outcome.timeline())
+        assert "seed=37" in outcome.summary()
+
+
+class TestValidation:
+    def test_warm_budget_with_cold_runs_rejected(self):
+        with pytest.raises(ValueError, match="warm_budget"):
+            ScenarioRunner("search:swap", warm_budget=4, warm=False)
+
+    @pytest.mark.parametrize("budget", [0, -3])
+    def test_non_positive_budget_rejected(self, budget):
+        with pytest.raises(ValueError, match="budget must be a positive"):
+            ScenarioRunner("search:swap", budget=budget)
+
+    @pytest.mark.parametrize("warm_budget", [0, -1])
+    def test_non_positive_warm_budget_rejected(self, warm_budget):
+        with pytest.raises(ValueError, match="warm_budget must be a positive"):
+            ScenarioRunner("search:swap", budget=4, warm_budget=warm_budget)
+
+
+class TestRunSteps:
+    def test_run_steps_matches_run(self, tiny_problem):
+        scenario = Scenario.client_drift(tiny_problem, 2)
+        runner = ScenarioRunner("search:swap", budget=3, n_candidates=4)
+        whole = runner.run(scenario, seed=11)
+        root = np.random.SeedSequence(11)
+        unfold_seq, solve_seq = root.spawn(2)
+        split = runner.run_steps(
+            scenario.unfold(unfold_seq),
+            seed=solve_seq,
+            scenario_name=scenario.name,
+        )
+        assert [s.result.best.fitness for s in whole.steps] == [
+            s.result.best.fitness for s in split.steps
+        ]
+        assert [s.result.best.placement.cells for s in whole.steps] == [
+            s.result.best.placement.cells for s in split.steps
+        ]
+        assert whole.seed == split.seed == 11
+        assert split.scenario_name == scenario.name
+
+
 class TestResult:
     def test_accounting(self, tiny_problem):
         scenario = Scenario.client_drift(tiny_problem, 2)

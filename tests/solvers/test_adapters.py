@@ -164,3 +164,72 @@ class TestWarmStartSteering:
         assert warm.best.fitness == cold.best.fitness
         assert warm.best.placement.cells == cold.best.placement.cells
         assert warm.n_evaluations == cold.n_evaluations
+
+
+class TestSolveBatch:
+    """solve_batch: the serial loop and the lockstep override agree."""
+
+    BATCH_SPECS = (
+        ("search:swap", {"n_candidates": 4}),
+        ("search:random", {"n_candidates": 4}),
+        ("search:swap", {"n_candidates": 4, "stall_phases": 2}),
+        ("tabu:swap", {"n_candidates": 4}),
+        ("annealing:swap", {"moves_per_phase": 4}),
+        ("adhoc:hotspot", {}),
+    )
+
+    @pytest.mark.parametrize("spec,kwargs", BATCH_SPECS)
+    def test_batch_matches_serial_solves(self, tiny_problem, spec, kwargs):
+        solver = make_solver(spec, **kwargs)
+        seeds = [3, 4, 5]
+        serial = [
+            solver.solve(tiny_problem, seed=seed, budget=4) for seed in seeds
+        ]
+        batch = solver.solve_batch(tiny_problem, seeds, budget=4)
+        for a, b in zip(serial, batch):
+            assert a.best.fitness == b.best.fitness
+            assert a.best.placement.cells == b.best.placement.cells
+            assert a.n_evaluations == b.n_evaluations
+            assert a.n_phases == b.n_phases
+            assert a.warm_started == b.warm_started
+
+    def test_batch_traces_match_serial(self, tiny_problem):
+        solver = make_solver("search:swap", n_candidates=4)
+        seeds = [np.random.SeedSequence(s) for s in (1, 2)]
+        serial = [
+            solver.solve(
+                tiny_problem, seed=np.random.SeedSequence(s), budget=4
+            )
+            for s in (1, 2)
+        ]
+        batch = solver.solve_batch(tiny_problem, seeds, budget=4)
+        for a, b in zip(serial, batch):
+            assert [
+                (r.phase, r.fitness, r.improved) for r in a.trace
+            ] == [(r.phase, r.fitness, r.improved) for r in b.trace]
+
+    def test_batch_threads_per_seed_warm_starts(self, tiny_problem):
+        solver = make_solver("search:swap", n_candidates=4)
+        warm = solver.initial_placement(tiny_problem, 7)
+        warm_starts = [warm, None, warm]
+        seeds = [7, 8, 9]
+        serial = [
+            solver.solve(tiny_problem, seed=seed, budget=4, warm_start=start)
+            for seed, start in zip(seeds, warm_starts)
+        ]
+        batch = solver.solve_batch(
+            tiny_problem, seeds, budget=4, warm_starts=warm_starts
+        )
+        assert [r.warm_started for r in batch] == [True, False, True]
+        for a, b in zip(serial, batch):
+            assert a.best.fitness == b.best.fitness
+            assert a.n_evaluations == b.n_evaluations
+
+    def test_batch_validates_lengths(self, tiny_problem):
+        solver = make_solver("search:swap", n_candidates=4)
+        with pytest.raises(ValueError, match="at least one seed"):
+            solver.solve_batch(tiny_problem, [])
+        with pytest.raises(ValueError, match="warm starts"):
+            solver.solve_batch(tiny_problem, [1, 2], warm_starts=[None])
+        with pytest.raises(ValueError, match="engine caches"):
+            solver.solve_batch(tiny_problem, [1, 2], engine_caches=[None])

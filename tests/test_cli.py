@@ -44,6 +44,7 @@ EVALUATING_COMMANDS = {
     "search": ["x.json"],
     "ga": ["x.json"],
     "scenario": ["x.json"],
+    "scenario-fleet": ["x.json"],
     "reproduce": [],
     "replicate": ["x.json"],
     "sweep": [],
@@ -292,6 +293,85 @@ class TestScenario:
     def test_invalid_steps(self, instance_path, capsys):
         code = main(
             ["scenario", str(instance_path), "--steps", "0", "--budget", "2"]
+        )
+        assert code == 2
+
+
+class TestScenarioFleet:
+    def test_grid_runs_and_renders_tables(self, instance_path, capsys):
+        code = main(
+            [
+                "scenario-fleet", str(instance_path),
+                "--kinds", "drift,outage", "--steps", "2",
+                "--solvers", "search:swap,tabu:swap",
+                "--seeds", "2", "--budget", "2", "--candidates", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 scenarios x 2 solvers x 2 seeds" in out
+        assert "mean fitness" in out
+        assert "drift-2x2" in out and "outage-2x1" in out
+        assert "tabu:swap" in out
+        assert "event impact" in out
+
+    def test_both_arms_add_regret_table(self, instance_path, capsys):
+        code = main(
+            [
+                "scenario-fleet", str(instance_path),
+                "--kinds", "drift", "--steps", "2",
+                "--seeds", "2", "--budget", "2", "--candidates", "4",
+                "--arms", "both",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warm-vs-cold regret" in out
+        assert "warm" in out and "cold" in out
+
+    def test_chart_flag(self, instance_path, capsys):
+        code = main(
+            [
+                "scenario-fleet", str(instance_path),
+                "--kinds", "drift", "--steps", "2",
+                "--seeds", "2", "--budget", "2", "--candidates", "4",
+                "--chart",
+            ]
+        )
+        assert code == 0
+        assert "recovery curves" in capsys.readouterr().out
+
+    def test_workers_match_serial(self, instance_path, capsys):
+        outputs = []
+        for workers in ("1", "3"):
+            code = main(
+                [
+                    "scenario-fleet", str(instance_path),
+                    "--kinds", "drift", "--steps", "2",
+                    "--seeds", "3", "--budget", "2", "--candidates", "4",
+                    "--workers", workers,
+                ]
+            )
+            assert code == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_invalid_kind(self, instance_path, capsys):
+        code = main(
+            [
+                "scenario-fleet", str(instance_path),
+                "--kinds", "meteor", "--steps", "2", "--budget", "2",
+            ]
+        )
+        assert code == 2
+        assert "unknown scenario kind" in capsys.readouterr().err
+
+    def test_invalid_steps(self, instance_path, capsys):
+        code = main(
+            [
+                "scenario-fleet", str(instance_path),
+                "--steps", "0", "--budget", "2",
+            ]
         )
         assert code == 2
 

@@ -4,8 +4,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.scenario import Scenario, ScenarioRunner
-from repro.viz import render_fitness_chart, render_timeline
+from repro.scenario import Scenario, ScenarioFleet, ScenarioRunner
+from repro.viz import (
+    render_fitness_chart,
+    render_fleet_report,
+    render_timeline,
+)
 
 
 @pytest.fixture
@@ -47,3 +51,51 @@ class TestRenderFitnessChart:
         assert "search:swap (warm)" in chart
         assert "search:swap (cold)" in chart
         assert "step" in chart
+
+
+class TestRenderFleetReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.instances.catalog import tiny_spec
+
+        problem = tiny_spec().generate()
+        fleet = ScenarioFleet(
+            [Scenario.client_drift(problem, 2)],
+            [("search:swap", {"n_candidates": 4}), ("tabu:swap", {"n_candidates": 4})],
+            n_seeds=2,
+            budget=2,
+            warm="both",
+        )
+        return fleet.run(seed=3)
+
+    def test_fitness_table_rows(self, report):
+        text = render_fleet_report(report)
+        assert "mean fitness" in text
+        # one row per (scenario, solver, arm)
+        assert text.count("search:swap") >= 2
+        assert text.count("tabu:swap") >= 2
+        assert "warm" in text and "cold" in text
+
+    def test_regret_table_when_both_arms(self, report):
+        text = render_fleet_report(report)
+        assert "warm-vs-cold regret" in text
+
+    def test_event_impact_table(self, report):
+        text = render_fleet_report(report)
+        assert "event impact" in text
+        assert "drift" in text
+
+    def test_chart_appends_recovery_curves(self, report):
+        text = render_fleet_report(report, chart=True, height=8)
+        assert "recovery curves — drift-2x2" in text
+        assert "search:swap (warm)" in text
+
+    def test_single_arm_omits_regret(self, tiny_problem):
+        fleet = ScenarioFleet(
+            [Scenario.client_drift(tiny_problem, 1)],
+            [("search:swap", {"n_candidates": 4})],
+            n_seeds=2,
+            budget=2,
+        )
+        text = render_fleet_report(fleet.run(seed=3))
+        assert "regret" not in text
