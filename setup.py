@@ -1,10 +1,36 @@
-"""Setuptools shim.
+"""Packaging for the mesh-router placement reproduction.
 
-All metadata lives in ``pyproject.toml``; this file only enables legacy
-editable installs (``pip install -e . --no-use-pep517``) on environments
-whose setuptools predates PEP 660 wheel-less editable support.
+The ``compiled`` extra is an intent marker, not a dependency list: the
+compiled engine tier (``repro.core.engine.compiled``) builds its C
+kernels on demand from the bundled ``_kernels.c`` with the system
+toolchain (``cc``/``gcc``/``clang``), so ``pip install .[compiled]``
+installs no additional Python packages — the real requirement is a C
+compiler on ``$PATH``.  Without one, ``engine="auto"`` falls back to
+the numpy engines with identical results.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="wmn-placement",
+    version="0.6.0",
+    description=(
+        "Reproduction of mesh-router node placement via neighborhood "
+        "search (Xhafa et al., ICDCS Workshops 2009) with batched, "
+        "sparse, stacked and compiled evaluation engines"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    package_data={"repro.core.engine": ["_kernels.c"]},
+    python_requires=">=3.11",
+    install_requires=["numpy"],
+    extras_require={
+        # Marker extra: no packages — the compiled tier needs a C
+        # toolchain at runtime, and degrades to numpy without one.
+        "compiled": [],
+        "scipy": ["scipy"],
+    },
+    entry_points={
+        "console_scripts": ["wmn-placement = repro.cli:main"],
+    },
+)

@@ -18,7 +18,7 @@
 
 Every command accepts ``--seed`` and prints deterministic results, and
 every command that evaluates placements accepts
-``--engine {auto,dense,sparse}`` to pick the evaluation engine
+``--engine {auto,dense,sparse,compiled}`` to pick the evaluation engine
 (``generate`` performs no evaluation, so it has no engine to pick).
 
 All optimization commands resolve their method through the single
@@ -32,6 +32,7 @@ import argparse
 import sys
 
 from repro.adhoc.registry import available_methods
+from repro.core.engine.dispatch import ENGINE_TIERS
 from repro.distributions.registry import available_distributions
 from repro.experiments.config import PAPER_SCALE, QUICK_SCALE
 from repro.experiments.runner import run_all
@@ -51,21 +52,24 @@ from repro.viz.timeline import render_fleet_report, render_timeline
 
 __all__ = ["main", "build_parser"]
 
-#: The evaluation-engine choice shared by every evaluating subcommand.
-ENGINE_CHOICES = ("auto", "dense", "sparse")
+#: The evaluation-engine choice shared by every evaluating subcommand —
+#: derived from the dispatch layer's single tier tuple so the CLI can
+#: never drift from ``resolve_engine``'s contract.
+ENGINE_CHOICES = ENGINE_TIERS
 
 #: Scenario kinds the ``scenario`` subcommand can unfold.
 SCENARIO_KINDS = ("drift", "churn", "outage", "degrade")
 
 
 def _add_engine(parser: argparse.ArgumentParser) -> None:
-    """The uniform ``--engine`` option (auto/dense/sparse)."""
+    """The uniform ``--engine`` option (auto/dense/sparse/compiled)."""
     parser.add_argument(
         "--engine",
         default="auto",
         choices=ENGINE_CHOICES,
-        help="evaluation engine: auto picks dense at paper scale and the "
-        "spatial-grid sparse path at city scale (default: auto)",
+        help="evaluation engine: auto promotes to the compiled C kernels "
+        "when a toolchain built them, else picks dense at paper scale "
+        "and the spatial-grid sparse path at city scale (default: auto)",
     )
 
 

@@ -28,11 +28,19 @@ masks for the same placement:
   portfolio of searches advances in lockstep
   (:mod:`repro.neighborhood.multichain`) and only winning rows are ever
   materialized.
+* **Compiled** — :class:`CompiledEngine`
+  (:mod:`repro.core.engine.compiled`).  The hottest stacked and delta
+  paths as C kernels, built on demand with the system toolchain and
+  bound via ctypes.  Bit-identical to the numpy engines; purely a
+  performance tier.  ``engine="auto"`` promotes to it whenever
+  :func:`compiled_available` reports the kernels built, and falls back
+  silently otherwise, so the tier never becomes a dependency.
 
 The scalar, batch and delta evaluators all take an ``engine`` argument
 (``"auto"`` default): :func:`select_engine` picks dense at paper scale
 and sparse above a size/density threshold (see
-:mod:`repro.core.engine.dispatch`).  All paths count evaluations
+:mod:`repro.core.engine.dispatch`), and the compiled tier reuses the
+same heuristic to pick its kernel form.  All paths count evaluations
 identically, so the machine-independent search-cost accounting of the
 experiments is unaffected by which engine a search runs on.
 """
@@ -51,8 +59,10 @@ from repro.core.engine.components import (
     labels_from_edges,
     structure_from_labels,
 )
+from repro.core.engine.compiled import CompiledEngine
+from repro.core.engine.compiled import is_available as compiled_available
 from repro.core.engine.delta import DeltaEvaluator
-from repro.core.engine.dispatch import resolve_engine, select_engine
+from repro.core.engine.dispatch import ENGINE_TIERS, resolve_engine, select_engine
 from repro.core.engine.sparse import (
     SparseEngine,
     SpatialGridIndex,
@@ -63,7 +73,10 @@ from repro.core.engine.stacked import StackedEngine
 
 __all__ = [
     "BatchEvaluator",
+    "CompiledEngine",
     "DeltaEvaluator",
+    "ENGINE_TIERS",
+    "compiled_available",
     "SparseEngine",
     "SpatialGridIndex",
     "StackedEngine",

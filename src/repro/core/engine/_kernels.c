@@ -1,0 +1,689 @@
+/* Compiled kernels for the `engine="compiled"` evaluation tier.
+ *
+ * Built on demand by repro/core/engine/compiled.py with the system C
+ * toolchain (cc/gcc/clang) into a cached shared library, then bound via
+ * ctypes.  Every kernel reimplements one of the numpy engines' hottest
+ * stacked paths with the *same float64 arithmetic in the same order*
+ * (subtract, square, add, compare against a precomputed squared
+ * threshold), so the boolean predicates — and therefore every integer
+ * metric derived from them — are bit-identical to the dense/sparse
+ * numpy paths.  The build deliberately passes -ffp-contract=off: a
+ * fused multiply-add in `dx*dx + dy*dy` could round differently from
+ * numpy's two-instruction sequence and break that contract.
+ *
+ * Component labels are canonical smallest-member ids, produced directly
+ * by a union-find whose union keeps the smaller root: the root of every
+ * set is always its minimum member, so the final find() pass *is* the
+ * canonical labeling shared by the scalar, batch and sparse engines.
+ *
+ * Candidate-stack kernels parallelize over candidates with OpenMP when
+ * the toolchain supports it (each candidate writes disjoint output
+ * rows, so the results are deterministic regardless of thread count);
+ * without OpenMP they degrade to plain serial loops.
+ */
+
+#include <math.h>
+#include <stdint.h>
+#include <stdlib.h>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+typedef int64_t i64;
+typedef uint8_t u8;
+
+/* ------------------------------------------------------------------ */
+/* Runtime introspection                                               */
+/* ------------------------------------------------------------------ */
+
+i64 repro_has_openmp(void) {
+#ifdef _OPENMP
+    return 1;
+#else
+    return 0;
+#endif
+}
+
+void repro_set_threads(i64 n) {
+#ifdef _OPENMP
+    if (n > 0) {
+        omp_set_num_threads((int)n);
+    }
+#else
+    (void)n;
+#endif
+}
+
+i64 repro_get_max_threads(void) {
+#ifdef _OPENMP
+    return (i64)omp_get_max_threads();
+#else
+    return 1;
+#endif
+}
+
+/* ------------------------------------------------------------------ */
+/* Union-find with smallest-member roots                               */
+/* ------------------------------------------------------------------ */
+
+static i64 uf_find(i64 *parent, i64 x) {
+    i64 root = x;
+    while (parent[root] != root) {
+        root = parent[root];
+    }
+    while (parent[x] != root) {
+        i64 next = parent[x];
+        parent[x] = root;
+        x = next;
+    }
+    return root;
+}
+
+/* The smaller root wins, so every root is the minimum of its set and
+ * find() yields canonical smallest-member labels without a remap. */
+static void uf_union(i64 *parent, i64 a, i64 b) {
+    i64 ra = uf_find(parent, a);
+    i64 rb = uf_find(parent, b);
+    if (ra == rb) {
+        return;
+    }
+    if (ra < rb) {
+        parent[rb] = ra;
+    } else {
+        parent[ra] = rb;
+    }
+}
+
+/* Canonical component labels from parallel edge-endpoint arrays.  One
+ * kernel for every graph size, replacing the numpy engines'
+ * scipy-vs-propagation split in labels_from_edge_stack. */
+void repro_label_components(
+    i64 n_nodes, i64 n_edges, const i64 *rows, const i64 *cols, i64 *labels
+) {
+    for (i64 i = 0; i < n_nodes; i++) {
+        labels[i] = i;
+    }
+    for (i64 e = 0; e < n_edges; e++) {
+        uf_union(labels, rows[e], cols[e]);
+    }
+    for (i64 i = 0; i < n_nodes; i++) {
+        labels[i] = uf_find(labels, i);
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Shared per-candidate metric assembly                                */
+/* ------------------------------------------------------------------ */
+
+/* counts/giant/components/mask from a finished union-find; counts is
+ * caller scratch of size N.  Tie-break: first maximum over canonical
+ * label index == smallest canonical label among the largest components,
+ * the rule every numpy path shares. */
+static void finish_components(
+    i64 *parent, i64 *counts, i64 n,
+    i64 *giant_size, i64 *n_components, u8 *giant_mask
+) {
+    for (i64 i = 0; i < n; i++) {
+        counts[i] = 0;
+    }
+    for (i64 i = 0; i < n; i++) {
+        counts[uf_find(parent, i)]++;
+    }
+    i64 best = 0;
+    i64 giant = 0;
+    i64 comps = 0;
+    for (i64 i = 0; i < n; i++) {
+        if (counts[i] > 0) {
+            comps++;
+            if (counts[i] > best) {
+                best = counts[i];
+                giant = i;
+            }
+        }
+    }
+    for (i64 i = 0; i < n; i++) {
+        giant_mask[i] = (u8)(parent[i] == giant);
+    }
+    *giant_size = best;
+    *n_components = comps;
+}
+
+/* ------------------------------------------------------------------ */
+/* Dense-form stacked measurement                                      */
+/* ------------------------------------------------------------------ */
+
+/* Fused pairwise-distance + link-range test, component labeling and
+ * covered-client counting for a (K, N, 2) candidate stack.  No (K,N,N)
+ * adjacency or (K,M,N) coverage tensor is ever materialized; the
+ * coverage scan early-exits on the first covering router per client. */
+void repro_measure_stack_dense(
+    const double *positions,  /* K*N*2 */
+    i64 n_candidates, i64 n_routers,
+    const double *range2,     /* N*N squared link ranges */
+    const double *clients,    /* M*2 */
+    i64 n_clients,
+    const double *radii2,     /* N squared coverage radii */
+    i64 giant_only,
+    i64 *giant_sizes,         /* K */
+    i64 *covered,             /* K */
+    i64 *n_components,        /* K */
+    i64 *n_links,             /* K */
+    u8 *giant_masks           /* K*N */
+) {
+    const i64 n = n_routers;
+    const i64 m = n_clients;
+#ifdef _OPENMP
+#pragma omp parallel
+#endif
+    {
+        i64 *parent = (i64 *)malloc((size_t)(n > 0 ? n : 1) * sizeof(i64));
+        i64 *counts = (i64 *)malloc((size_t)(n > 0 ? n : 1) * sizeof(i64));
+#ifdef _OPENMP
+#pragma omp for schedule(dynamic)
+#endif
+        for (i64 k = 0; k < n_candidates; k++) {
+            const double *pos = positions + k * n * 2;
+            u8 *gmask = giant_masks + k * n;
+            for (i64 i = 0; i < n; i++) {
+                parent[i] = i;
+            }
+            i64 links = 0;
+            for (i64 i = 0; i < n; i++) {
+                const double xi = pos[2 * i];
+                const double yi = pos[2 * i + 1];
+                const double *row2 = range2 + i * n;
+                for (i64 j = i + 1; j < n; j++) {
+                    const double dx = xi - pos[2 * j];
+                    const double dy = yi - pos[2 * j + 1];
+                    if (dx * dx + dy * dy <= row2[j]) {
+                        links++;
+                        uf_union(parent, i, j);
+                    }
+                }
+            }
+            finish_components(
+                parent, counts, n,
+                &giant_sizes[k], &n_components[k], gmask
+            );
+            n_links[k] = links;
+            i64 cov = 0;
+            for (i64 c = 0; c < m; c++) {
+                const double cx = clients[2 * c];
+                const double cy = clients[2 * c + 1];
+                for (i64 j = 0; j < n; j++) {
+                    if (giant_only && !gmask[j]) {
+                        continue;
+                    }
+                    const double dx = cx - pos[2 * j];
+                    const double dy = cy - pos[2 * j + 1];
+                    if (dx * dx + dy * dy <= radii2[j]) {
+                        cov++;
+                        break;
+                    }
+                }
+            }
+            covered[k] = cov;
+        }
+        free(parent);
+        free(counts);
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Sparse-form (spatial grid) stacked measurement                      */
+/* ------------------------------------------------------------------ */
+
+/* Link range under the rule codes matching repro.core.radio.LinkRule:
+ * 0 = OVERLAP (a+b), 1 = BIDIRECTIONAL (min), 2 = UNIDIRECTIONAL (max).
+ * Identical float64 arithmetic to LinkRule.range_pairs. */
+static inline double link_reach(i64 rule, double ra, double rb) {
+    if (rule == 0) {
+        return ra + rb;
+    }
+    if (rule == 1) {
+        return ra < rb ? ra : rb;
+    }
+    return ra > rb ? ra : rb;
+}
+
+/* Counting-sort `count` points into (nbx, nby) bins of width `cell`.
+ * Coordinates are grid cells (non-negative), so the bin of a point is
+ * floor(coord / cell) exactly like the numpy SpatialGridIndex; points
+ * past the precomputed grid extent clamp to the last bin, which only
+ * widens the candidate set a prune is allowed to keep.  Fills bin_of
+ * (count), start (nbins+1 slice offsets) and order (count point ids
+ * grouped by bin, ascending within each bin). */
+static void bin_points(
+    const double *pts, i64 count, double cell, i64 nbx, i64 nby,
+    i64 *bin_of, i64 *start, i64 *cursor, i64 *order
+) {
+    const i64 nbins = nbx * nby;
+    for (i64 b = 0; b <= nbins; b++) {
+        start[b] = 0;
+    }
+    for (i64 i = 0; i < count; i++) {
+        i64 bx = (i64)floor(pts[2 * i] / cell);
+        i64 by = (i64)floor(pts[2 * i + 1] / cell);
+        if (bx >= nbx) bx = nbx - 1;
+        if (by >= nby) by = nby - 1;
+        if (bx < 0) bx = 0;
+        if (by < 0) by = 0;
+        const i64 b = bx * nby + by;
+        bin_of[i] = b;
+        start[b + 1]++;
+    }
+    for (i64 b = 0; b < nbins; b++) {
+        start[b + 1] += start[b];
+    }
+    for (i64 b = 0; b <= nbins; b++) {
+        cursor[b] = start[b];
+    }
+    for (i64 i = 0; i < count; i++) {
+        order[cursor[bin_of[i]]++] = i;
+    }
+}
+
+/* Grid-pruned fused measurement for city-scale stacks: per candidate,
+ * routers are binned twice (link-range cells for edges, coverage-radius
+ * cells for client queries) and only same-or-adjacent-bin pairs are
+ * tested with the exact predicates.  Binning is a conservative prune —
+ * bins two apart along an axis are separated by more than one cell
+ * width, which is at least the relevant reach — so the surviving edge
+ * set and coverage counts equal the dense form's bit for bit. */
+void repro_measure_stack_sparse(
+    const double *positions,  /* K*N*2 */
+    i64 n_candidates, i64 n_routers,
+    const double *radii,      /* N */
+    i64 link_rule,
+    double link_cell, i64 link_nbx, i64 link_nby,
+    const double *clients,    /* M*2 */
+    i64 n_clients,
+    const double *radii2,     /* N */
+    double cover_cell, i64 cov_nbx, i64 cov_nby,
+    i64 giant_only,
+    i64 *giant_sizes,
+    i64 *covered,
+    i64 *n_components,
+    i64 *n_links,
+    u8 *giant_masks
+) {
+    const i64 n = n_routers;
+    const i64 m = n_clients;
+    const i64 link_bins = link_nbx * link_nby;
+    const i64 cov_bins = cov_nbx * cov_nby;
+    const i64 scratch_bins = (link_bins > cov_bins ? link_bins : cov_bins) + 1;
+#ifdef _OPENMP
+#pragma omp parallel
+#endif
+    {
+        i64 *parent = (i64 *)malloc((size_t)(n > 0 ? n : 1) * sizeof(i64));
+        i64 *counts = (i64 *)malloc((size_t)(n > 0 ? n : 1) * sizeof(i64));
+        i64 *bin_of = (i64 *)malloc((size_t)(n > 0 ? n : 1) * sizeof(i64));
+        i64 *order = (i64 *)malloc((size_t)(n > 0 ? n : 1) * sizeof(i64));
+        i64 *start = (i64 *)malloc((size_t)(scratch_bins + 1) * sizeof(i64));
+        i64 *cursor = (i64 *)malloc((size_t)(scratch_bins + 1) * sizeof(i64));
+#ifdef _OPENMP
+#pragma omp for schedule(dynamic)
+#endif
+        for (i64 k = 0; k < n_candidates; k++) {
+            const double *pos = positions + k * n * 2;
+            u8 *gmask = giant_masks + k * n;
+            for (i64 i = 0; i < n; i++) {
+                parent[i] = i;
+            }
+            /* Edges from the link-cell grid. */
+            bin_points(pos, n, link_cell, link_nbx, link_nby,
+                        bin_of, start, cursor, order);
+            i64 links = 0;
+            for (i64 i = 0; i < n; i++) {
+                const double xi = pos[2 * i];
+                const double yi = pos[2 * i + 1];
+                const double ri = radii[i];
+                const i64 bx = bin_of[i] / link_nby;
+                const i64 by = bin_of[i] % link_nby;
+                for (i64 ox = -1; ox <= 1; ox++) {
+                    const i64 tx = bx + ox;
+                    if (tx < 0 || tx >= link_nbx) {
+                        continue;
+                    }
+                    for (i64 oy = -1; oy <= 1; oy++) {
+                        const i64 ty = by + oy;
+                        if (ty < 0 || ty >= link_nby) {
+                            continue;
+                        }
+                        const i64 b = tx * link_nby + ty;
+                        for (i64 s = start[b]; s < start[b + 1]; s++) {
+                            const i64 j = order[s];
+                            if (j <= i) {
+                                continue;
+                            }
+                            const double dx = xi - pos[2 * j];
+                            const double dy = yi - pos[2 * j + 1];
+                            const double reach =
+                                link_reach(link_rule, ri, radii[j]);
+                            if (dx * dx + dy * dy <= reach * reach) {
+                                links++;
+                                uf_union(parent, i, j);
+                            }
+                        }
+                    }
+                }
+            }
+            finish_components(
+                parent, counts, n,
+                &giant_sizes[k], &n_components[k], gmask
+            );
+            n_links[k] = links;
+            /* Coverage from the coverage-cell grid of the routers. */
+            i64 cov = 0;
+            if (m > 0 && n > 0) {
+                bin_points(pos, n, cover_cell, cov_nbx, cov_nby,
+                            bin_of, start, cursor, order);
+                for (i64 c = 0; c < m; c++) {
+                    const double cx = clients[2 * c];
+                    const double cy = clients[2 * c + 1];
+                    i64 cbx = (i64)floor(cx / cover_cell);
+                    i64 cby = (i64)floor(cy / cover_cell);
+                    if (cbx >= cov_nbx) cbx = cov_nbx - 1;
+                    if (cby >= cov_nby) cby = cov_nby - 1;
+                    int hit = 0;
+                    for (i64 ox = -1; ox <= 1 && !hit; ox++) {
+                        const i64 tx = cbx + ox;
+                        if (tx < 0 || tx >= cov_nbx) {
+                            continue;
+                        }
+                        for (i64 oy = -1; oy <= 1 && !hit; oy++) {
+                            const i64 ty = cby + oy;
+                            if (ty < 0 || ty >= cov_nby) {
+                                continue;
+                            }
+                            const i64 b = tx * cov_nby + ty;
+                            for (i64 s = start[b]; s < start[b + 1]; s++) {
+                                const i64 j = order[s];
+                                if (giant_only && !gmask[j]) {
+                                    continue;
+                                }
+                                const double dx = cx - pos[2 * j];
+                                const double dy = cy - pos[2 * j + 1];
+                                if (dx * dx + dy * dy <= radii2[j]) {
+                                    hit = 1;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    cov += hit;
+                }
+            }
+            covered[k] = cov;
+        }
+        free(parent);
+        free(counts);
+        free(bin_of);
+        free(order);
+        free(start);
+        free(cursor);
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Incremental (delta) kernels                                         */
+/* ------------------------------------------------------------------ */
+
+/* Metrics from an incumbent's dense boolean matrices — the
+ * DeltaEvaluator's per-propose measurement with the edge extraction,
+ * labeling and masked coverage count fused into one pass. */
+void repro_measure_dense_matrices(
+    const u8 *adjacency,  /* N*N, symmetric, zero diagonal */
+    const u8 *coverage,   /* M*N */
+    i64 n_routers, i64 n_clients, i64 giant_only,
+    i64 *giant_size, i64 *covered, i64 *n_components, i64 *n_links,
+    u8 *giant_mask        /* N */
+) {
+    const i64 n = n_routers;
+    const i64 m = n_clients;
+    i64 *parent = (i64 *)malloc((size_t)(n > 0 ? n : 1) * sizeof(i64));
+    i64 *counts = (i64 *)malloc((size_t)(n > 0 ? n : 1) * sizeof(i64));
+    for (i64 i = 0; i < n; i++) {
+        parent[i] = i;
+    }
+    i64 links = 0;
+    for (i64 i = 0; i < n; i++) {
+        const u8 *row = adjacency + i * n;
+        for (i64 j = i + 1; j < n; j++) {
+            if (row[j]) {
+                links++;
+                uf_union(parent, i, j);
+            }
+        }
+    }
+    finish_components(parent, counts, n, giant_size, n_components, giant_mask);
+    *n_links = links;
+    i64 cov = 0;
+    for (i64 c = 0; c < m; c++) {
+        const u8 *row = coverage + c * n;
+        for (i64 j = 0; j < n; j++) {
+            if (row[j] && (!giant_only || giant_mask[j])) {
+                cov++;
+                break;
+            }
+        }
+    }
+    *covered = cov;
+    free(parent);
+    free(counts);
+}
+
+/* Moved-router adjacency rows and coverage columns for a whole phase:
+ * P (candidate, mover) pairs, each tested against the incumbent
+ * positions and the client set — the StackedDeltaEngine's two hottest
+ * broadcasts fused into one parallel pass. */
+void repro_delta_rows_cols(
+    const double *new_xy,        /* P*2 */
+    const i64 *router_of_pair,   /* P */
+    i64 n_pairs,
+    const double *positions,     /* N*2 incumbent */
+    i64 n_routers,
+    const double *range2,        /* N*N */
+    const double *clients,       /* M*2 */
+    i64 n_clients,
+    const double *radii2,        /* N */
+    u8 *rows_new,                /* P*N */
+    u8 *cols_new                 /* P*M */
+) {
+    const i64 n = n_routers;
+    const i64 m = n_clients;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+    for (i64 p = 0; p < n_pairs; p++) {
+        const i64 r = router_of_pair[p];
+        const double nx = new_xy[2 * p];
+        const double ny = new_xy[2 * p + 1];
+        const double *row2 = range2 + r * n;
+        u8 *row = rows_new + p * n;
+        for (i64 j = 0; j < n; j++) {
+            const double dx = nx - positions[2 * j];
+            const double dy = ny - positions[2 * j + 1];
+            row[j] = (u8)(dx * dx + dy * dy <= row2[j]);
+        }
+        row[r] = 0;
+        u8 *col = cols_new + p * m;
+        const double rr2 = radii2[r];
+        for (i64 c = 0; c < m; c++) {
+            const double dx = nx - clients[2 * c];
+            const double dy = ny - clients[2 * c + 1];
+            col[c] = (u8)(dx * dx + dy * dy <= rr2);
+        }
+    }
+}
+
+/* Giant-only covered-client counts for one chain's candidate segment,
+ * replacing the float32 sgemm + per-mover corrections: per candidate,
+ * count each client's covering giant routers from the incumbent's
+ * client-major CSR hit lists, then exchange each giant mover's old
+ * coverage column for its new one.  All-integer, hence exact. */
+void repro_giant_covered(
+    const i64 *client_ptr,   /* M+1 CSR offsets */
+    const i64 *client_hit,   /* covering router ids, client-major */
+    i64 n_clients, i64 n_routers, i64 n_candidates,
+    const u8 *giant_masks,   /* C*N, segment-local */
+    const i64 *pair_cand,    /* P, segment-local candidate index */
+    const i64 *pair_router,  /* P */
+    i64 n_pairs,
+    const u8 *cols_new,      /* P*M new coverage columns */
+    const u8 *cov_old,       /* M*N incumbent coverage matrix */
+    i64 *covered             /* C */
+) {
+    const i64 n = n_routers;
+    const i64 m = n_clients;
+#ifdef _OPENMP
+#pragma omp parallel
+#endif
+    {
+        int32_t *cnt = (int32_t *)malloc(
+            (size_t)(m > 0 ? m : 1) * sizeof(int32_t)
+        );
+#ifdef _OPENMP
+#pragma omp for schedule(dynamic)
+#endif
+        for (i64 c = 0; c < n_candidates; c++) {
+            const u8 *g = giant_masks + c * n;
+            for (i64 i = 0; i < m; i++) {
+                int32_t hits = 0;
+                for (i64 s = client_ptr[i]; s < client_ptr[i + 1]; s++) {
+                    hits += (int32_t)g[client_hit[s]];
+                }
+                cnt[i] = hits;
+            }
+            for (i64 p = 0; p < n_pairs; p++) {
+                if (pair_cand[p] != c) {
+                    continue;
+                }
+                const i64 r = pair_router[p];
+                if (!g[r]) {
+                    continue;
+                }
+                const u8 *newcol = cols_new + p * m;
+                const u8 *oldcol = cov_old + r;
+                for (i64 i = 0; i < m; i++) {
+                    cnt[i] += (int32_t)newcol[i] - (int32_t)oldcol[i * n];
+                }
+            }
+            i64 cov = 0;
+            for (i64 i = 0; i < m; i++) {
+                cov += (cnt[i] > 0);
+            }
+            covered[c] = cov;
+        }
+        free(cnt);
+    }
+}
+
+/* Bin-pair candidate form of the fused link test: filter explicit
+ * candidate pairs with the exact predicate (the sparse delta path's
+ * link_hits).  Writes a keep mask instead of compacting so the caller's
+ * numpy-side indexing semantics stay unchanged. */
+void repro_filter_pairs(
+    const double *positions,  /* N*2 */
+    const i64 *rows, const i64 *cols, i64 n_pairs,
+    const double *radii, i64 link_rule,
+    u8 *keep
+) {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+    for (i64 p = 0; p < n_pairs; p++) {
+        const i64 i = rows[p];
+        const i64 j = cols[p];
+        const double dx = positions[2 * i] - positions[2 * j];
+        const double dy = positions[2 * i + 1] - positions[2 * j + 1];
+        const double reach = link_reach(link_rule, radii[i], radii[j]);
+        keep[p] = (u8)(dx * dx + dy * dy <= reach * reach);
+    }
+}
+
+/* Upper-triangle one-way edge extraction from a dense u8 adjacency
+ * matrix — the incumbent-commit refresh of a chain cache's edge
+ * arrays.  The caller sizes rows/cols from the matrix popcount (each
+ * undirected link appears twice), so the fill is a single serial
+ * byte scan in the same (row-major, i < j) order np.nonzero emits. */
+void repro_dense_edges(
+    const u8 *adjacency,  /* N*N */
+    i64 n_routers,
+    i64 *rows, i64 *cols  /* n_links each */
+) {
+    i64 w = 0;
+    for (i64 i = 0; i < n_routers; i++) {
+        const u8 *row = adjacency + i * n_routers;
+        for (i64 j = i + 1; j < n_routers; j++) {
+            if (row[j]) {
+                rows[w] = i;
+                cols[w] = j;
+                w++;
+            }
+        }
+    }
+}
+
+/* Incremental client-major CSR rewrite for one moved router: every
+ * occurrence of `router` is dropped and re-inserted (in ascending
+ * position) wherever newcol says the moved router now covers the
+ * client.  O(nnz) instead of the O(M*N) full-matrix rebuild, and the
+ * output is bit-identical to rebuilding from the patched matrix.  The
+ * caller sizes new_hit for the worst case (old nnz + one insert per
+ * client) and trims to new_ptr[M]. */
+void repro_csr_update_column(
+    const i64 *ptr, const i64 *hit,  /* M+1 / ptr[M] incumbent lists */
+    i64 n_clients,
+    i64 router,
+    const u8 *newcol,                /* M: does `router` now cover c? */
+    i64 *new_ptr, i64 *new_hit
+) {
+    i64 w = 0;
+    new_ptr[0] = 0;
+    for (i64 c = 0; c < n_clients; c++) {
+        const int want = (int)newcol[c];
+        int placed = 0;
+        for (i64 s = ptr[c]; s < ptr[c + 1]; s++) {
+            const i64 j = hit[s];
+            if (j == router) {
+                continue;
+            }
+            if (want && !placed && j > router) {
+                new_hit[w++] = router;
+                placed = 1;
+            }
+            new_hit[w++] = j;
+        }
+        if (want && !placed) {
+            new_hit[w++] = router;
+        }
+        new_ptr[c + 1] = w;
+    }
+}
+
+/* Client-major CSR fill from a dense u8 coverage matrix.  ptr already
+ * holds the exclusive row offsets (cumsum of per-client hit counts),
+ * so every client writes its own disjoint slice — ascending router
+ * order, matching np.nonzero's row-major emission bit for bit. */
+void repro_client_csr_fill(
+    const u8 *coverage,  /* M*N */
+    i64 n_clients, i64 n_routers,
+    const i64 *ptr,      /* M+1 */
+    i64 *hit             /* ptr[M] */
+) {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+    for (i64 c = 0; c < n_clients; c++) {
+        i64 w = ptr[c];
+        const u8 *row = coverage + c * n_routers;
+        for (i64 j = 0; j < n_routers; j++) {
+            if (row[j]) {
+                hit[w++] = j;
+            }
+        }
+    }
+}

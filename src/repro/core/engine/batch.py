@@ -415,10 +415,11 @@ class BatchEvaluator:
         self._n_evaluations = 0
         self._engine = resolve_engine(problem, engine)
         self._sparse = None
+        self._compiled = None
 
     @property
     def engine(self) -> str:
-        """The resolved evaluation path: ``"dense"`` or ``"sparse"``."""
+        """The resolved path: ``"dense"``, ``"sparse"`` or ``"compiled"``."""
         return self._engine
 
     @property
@@ -443,7 +444,18 @@ class BatchEvaluator:
     def evaluate_many(self, placements: Sequence[Placement]) -> list[Evaluation]:
         """Measure every placement; order-preserving, one slot each."""
         evaluations: list[Evaluation] = []
-        if self._engine == "sparse":
+        if self._engine == "compiled":
+            if self._compiled is None:
+                from repro.core.engine.compiled import CompiledEngine
+
+                self._compiled = CompiledEngine(self._problem, self._fitness)
+            for start in range(0, len(placements), self._max_chunk):
+                evaluations.extend(
+                    self._compiled.evaluate_batch(
+                        placements[start : start + self._max_chunk]
+                    )
+                )
+        elif self._engine == "sparse":
             if self._sparse is None:
                 from repro.core.engine.sparse import SparseEngine
 

@@ -1,0 +1,708 @@
+"""The compiled evaluation tier (``engine="compiled"``).
+
+The numpy engines spend their city-scale and multi-chain budgets in four
+hot paths: the fused pairwise-distance/range tests, the
+:class:`~repro.core.engine.stacked.StackedDeltaEngine`'s moved-router
+row/column recompute, edge-stack component labeling, and the giant-only
+covered-count reduction.  This module replaces them with C kernels
+(:mod:`_kernels.c <repro.core.engine>`), compiled on demand by the
+system toolchain into a content-hashed shared library and bound via
+:mod:`ctypes` — no third-party dependency, so tier-1 environments
+without a C compiler simply fall back to the numpy paths.
+
+Availability contract (mirrored by the dispatch layer):
+
+* :func:`is_available` is the quiet probe — ``False`` when the
+  ``REPRO_COMPILED`` environment variable disables the tier (``0``,
+  ``false``, ``off``, ``no``) or when the one-shot build fails (no
+  compiler, read-only filesystem, ...).  ``engine="auto"`` promotes to
+  the compiled tier exactly when this returns ``True``.
+* :func:`require` is the loud probe — returns the bound library or
+  raises a ``RuntimeError`` explaining why ``engine="compiled"`` cannot
+  run and how to fall back.
+
+Bit-identity: every kernel performs the same float64 subtract / square /
+add / compare sequence as the numpy reference formulas (the build passes
+``-ffp-contract=off`` so no fused multiply-add can round differently),
+component labels are canonical smallest-member ids from a
+smaller-root-wins union-find, and all counts are integer arithmetic.
+The compiled parity suite asserts equality against the dense and sparse
+numpy engines across rule combinations, scales and delta move chains.
+
+The build is cached under ``_build/`` next to this module (override with
+``REPRO_COMPILED_CACHE``; falls back to a per-user temp directory when
+the package tree is read-only), keyed by the source hash, so recompiles
+happen only when ``_kernels.c`` changes.  OpenMP is used when the
+toolchain supports it — kernels parallelize over candidates, which write
+disjoint output rows, so thread count never changes results.
+:func:`set_num_threads` pins the pool; :mod:`repro.parallel` workers pin
+it to one thread each to avoid oversubscription under ``workers=``.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.fitness import FitnessFunction, NetworkMetrics, WeightedSumFitness
+from repro.core.problem import ProblemInstance
+from repro.core.radio import CoverageRule, LinkRule
+from repro.core.solution import Placement
+
+__all__ = [
+    "is_available",
+    "require",
+    "has_openmp",
+    "set_num_threads",
+    "label_components",
+    "link_hits_compiled",
+    "CompiledEngine",
+]
+
+_SOURCE = Path(__file__).with_name("_kernels.c")
+
+#: Numeric codes matching ``link_reach`` in ``_kernels.c``.
+_RULE_CODES = {
+    LinkRule.OVERLAP: 0,
+    LinkRule.BIDIRECTIONAL: 1,
+    LinkRule.UNIDIRECTIONAL: 2,
+}
+
+_DISABLED_VALUES = frozenset({"0", "false", "off", "no"})
+
+_lock = threading.Lock()
+_lib: "ctypes.CDLL | None" = None
+_build_error: "str | None" = None
+
+_I64 = ctypes.c_int64
+_PD = ctypes.POINTER(ctypes.c_double)
+_PI = ctypes.POINTER(_I64)
+_PU8 = ctypes.POINTER(ctypes.c_uint8)
+
+
+def _env_enabled() -> bool:
+    """Live read of the ``REPRO_COMPILED`` gate (default: enabled)."""
+    value = os.environ.get("REPRO_COMPILED", "").strip().lower()
+    return value not in _DISABLED_VALUES
+
+
+def _cache_dirs() -> list[Path]:
+    override = os.environ.get("REPRO_COMPILED_CACHE")
+    if override:
+        return [Path(override)]
+    return [
+        Path(__file__).with_name("_build"),
+        Path(tempfile.gettempdir()) / f"repro-kernels-{os.getuid()}",
+    ]
+
+
+def _find_compiler() -> "str | None":
+    env_cc = os.environ.get("CC")
+    if env_cc and shutil.which(env_cc):
+        return env_cc
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+#: No ``-ffast-math``, and contraction off: ``dx*dx + dy*dy`` must round
+#: exactly like numpy's two-operation float64 sequence.
+_BASE_FLAGS = ("-O3", "-fPIC", "-shared", "-ffp-contract=off")
+
+
+def _compile_library() -> Path:
+    """Build (or reuse) the shared library; returns its path."""
+    compiler = _find_compiler()
+    if compiler is None:
+        raise RuntimeError("no C compiler found (tried $CC, cc, gcc, clang)")
+    source_bytes = _SOURCE.read_bytes()
+    tag = hashlib.sha256(
+        source_bytes + b"\0" + " ".join(_BASE_FLAGS).encode()
+    ).hexdigest()[:16]
+    lib_name = f"repro_kernels_{tag}.so"
+    errors: list[str] = []
+    for directory in _cache_dirs():
+        target = directory / lib_name
+        if target.exists():
+            return target
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            errors.append(f"{directory}: {exc}")
+            continue
+        tmp = directory / f".{lib_name}.{os.getpid()}.tmp"
+        built = False
+        for extra in (("-fopenmp",), ()):
+            command = [
+                compiler, str(_SOURCE),
+                *_BASE_FLAGS, *extra,
+                "-o", str(tmp), "-lm",
+            ]
+            result = subprocess.run(
+                command, capture_output=True, text=True, timeout=120
+            )
+            if result.returncode == 0:
+                built = True
+                break
+            errors.append(
+                f"{' '.join(command)}: {result.stderr.strip()[-400:]}"
+            )
+        if not built:
+            continue
+        try:
+            # Atomic publish: concurrent builders (pool workers) race
+            # benignly — last rename wins, every path stays valid.
+            os.replace(tmp, target)
+        except OSError as exc:
+            errors.append(f"{target}: {exc}")
+            continue
+        return target
+    raise RuntimeError("; ".join(errors) or "no writable build directory")
+
+
+def _bind(lib: ctypes.CDLL) -> ctypes.CDLL:
+    lib.repro_has_openmp.restype = _I64
+    lib.repro_has_openmp.argtypes = ()
+    lib.repro_get_max_threads.restype = _I64
+    lib.repro_get_max_threads.argtypes = ()
+    lib.repro_set_threads.restype = None
+    lib.repro_set_threads.argtypes = (_I64,)
+    lib.repro_label_components.restype = None
+    lib.repro_label_components.argtypes = (_I64, _I64, _PI, _PI, _PI)
+    lib.repro_measure_stack_dense.restype = None
+    lib.repro_measure_stack_dense.argtypes = (
+        _PD, _I64, _I64, _PD, _PD, _I64, _PD, _I64,
+        _PI, _PI, _PI, _PI, _PU8,
+    )
+    lib.repro_measure_stack_sparse.restype = None
+    lib.repro_measure_stack_sparse.argtypes = (
+        _PD, _I64, _I64, _PD, _I64,
+        ctypes.c_double, _I64, _I64,
+        _PD, _I64, _PD,
+        ctypes.c_double, _I64, _I64,
+        _I64, _PI, _PI, _PI, _PI, _PU8,
+    )
+    lib.repro_measure_dense_matrices.restype = None
+    lib.repro_measure_dense_matrices.argtypes = (
+        _PU8, _PU8, _I64, _I64, _I64,
+        _PI, _PI, _PI, _PI, _PU8,
+    )
+    lib.repro_delta_rows_cols.restype = None
+    lib.repro_delta_rows_cols.argtypes = (
+        _PD, _PI, _I64, _PD, _I64, _PD, _PD, _I64, _PD, _PU8, _PU8,
+    )
+    lib.repro_giant_covered.restype = None
+    lib.repro_giant_covered.argtypes = (
+        _PI, _PI, _I64, _I64, _I64, _PU8, _PI, _PI, _I64, _PU8, _PU8, _PI,
+    )
+    lib.repro_filter_pairs.restype = None
+    lib.repro_filter_pairs.argtypes = (_PD, _PI, _PI, _I64, _PD, _I64, _PU8)
+    lib.repro_dense_edges.restype = None
+    lib.repro_dense_edges.argtypes = (_PU8, _I64, _PI, _PI)
+    lib.repro_client_csr_fill.restype = None
+    lib.repro_client_csr_fill.argtypes = (_PU8, _I64, _I64, _PI, _PI)
+    lib.repro_csr_update_column.restype = None
+    lib.repro_csr_update_column.argtypes = (
+        _PI, _PI, _I64, _I64, _PU8, _PI, _PI,
+    )
+    return lib
+
+
+def _load() -> "ctypes.CDLL | None":
+    """Build+bind once per process; the outcome (either way) is cached."""
+    global _lib, _build_error
+    if _lib is not None or _build_error is not None:
+        return _lib
+    with _lock:
+        if _lib is not None or _build_error is not None:
+            return _lib
+        try:
+            _lib = _bind(ctypes.CDLL(str(_compile_library())))
+        except (OSError, RuntimeError, subprocess.SubprocessError) as exc:
+            _build_error = str(exc)
+    return _lib
+
+
+def is_available() -> bool:
+    """Whether the compiled tier can run (gate enabled + build succeeds)."""
+    return _env_enabled() and _load() is not None
+
+
+def require() -> ctypes.CDLL:
+    """The bound kernel library, or a clear error for ``engine="compiled"``."""
+    if not _env_enabled():
+        raise RuntimeError(
+            "engine='compiled' is disabled by REPRO_COMPILED="
+            f"{os.environ.get('REPRO_COMPILED')!r}; unset it, or use "
+            "engine='auto' to fall back to the numpy engines"
+        )
+    lib = _load()
+    if lib is None:
+        raise RuntimeError(
+            "engine='compiled' is unavailable: building the C kernels "
+            f"failed ({_build_error}). Install a C toolchain (cc/gcc/"
+            "clang), or use engine='auto' to fall back to the numpy "
+            "engines with identical results"
+        )
+    return lib
+
+
+def has_openmp() -> bool:
+    """Whether the built kernels parallelize over candidates."""
+    return bool(require().repro_has_openmp())
+
+
+def set_num_threads(n: int) -> None:
+    """Pin the kernel thread pool (no-op without OpenMP).
+
+    Thread count never changes results — candidates write disjoint
+    output rows — only wall-clock.  Worker processes pin to 1.
+    """
+    if n < 1:
+        raise ValueError(f"thread count must be positive, got {n}")
+    require().repro_set_threads(n)
+
+
+# ----------------------------------------------------------------------
+# ndarray plumbing
+# ----------------------------------------------------------------------
+
+
+def _f64(values: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(values, dtype=np.float64)
+
+
+def _i64a(values: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(values, dtype=np.int64)
+
+
+def _u8(values: np.ndarray) -> np.ndarray:
+    """Boolean arrays reinterpreted as uint8 without copying."""
+    contiguous = np.ascontiguousarray(values)
+    if contiguous.dtype == np.bool_:
+        return contiguous.view(np.uint8)
+    return contiguous.astype(np.uint8)
+
+
+def _pd(values: np.ndarray):
+    return values.ctypes.data_as(_PD)
+
+
+def _pi(values: np.ndarray):
+    return values.ctypes.data_as(_PI)
+
+
+def _pu8(values: np.ndarray):
+    return values.ctypes.data_as(_PU8)
+
+
+# ----------------------------------------------------------------------
+# Kernel wrappers
+# ----------------------------------------------------------------------
+
+
+def label_components(
+    n_nodes: int, rows: np.ndarray, cols: np.ndarray
+) -> np.ndarray:
+    """Canonical smallest-member component labels (one kernel, any size).
+
+    Drop-in for :func:`repro.core.engine.components.labels_from_edges`
+    and :func:`labels_from_edge_stack` — same validation, same labels —
+    replacing the scipy-vs-propagation split with one union-find pass.
+    """
+    if n_nodes < 0:
+        raise ValueError(f"node count must be non-negative, got {n_nodes}")
+    rows = _i64a(rows)
+    cols = _i64a(cols)
+    if rows.size and not (
+        0 <= int(min(rows.min(), cols.min()))
+        and int(max(rows.max(), cols.max())) < n_nodes
+    ):
+        raise ValueError(f"edge endpoints out of range for {n_nodes} nodes")
+    labels = np.empty(n_nodes, dtype=np.int64)
+    require().repro_label_components(
+        n_nodes, rows.size, _pi(rows), _pi(cols), _pi(labels)
+    )
+    return labels.astype(np.intp, copy=False)
+
+
+def link_hits_compiled(
+    positions: np.ndarray,
+    radii: np.ndarray,
+    link_rule: LinkRule,
+    rows: np.ndarray,
+    cols: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact-predicate filter of candidate router pairs (bin-pair form).
+
+    Compiled twin of :func:`repro.core.engine.sparse.link_hits`: same
+    float64 reach arithmetic per rule, a keep-mask then numpy indexing,
+    so the surviving pairs and their order are identical.
+    """
+    if rows.size == 0:
+        return rows, cols
+    rows64 = _i64a(rows)
+    cols64 = _i64a(cols)
+    keep = np.empty(rows64.size, dtype=np.uint8)
+    require().repro_filter_pairs(
+        _pd(_f64(positions)), _pi(rows64), _pi(cols64), rows64.size,
+        _pd(_f64(radii)), _RULE_CODES[link_rule], _pu8(keep),
+    )
+    mask = keep.view(bool)
+    return rows[mask], cols[mask]
+
+
+def measure_dense_matrices(
+    adjacency: np.ndarray, coverage: np.ndarray, giant_only: bool
+) -> tuple[int, int, int, int, np.ndarray]:
+    """Fused metrics from an incumbent's dense boolean matrices.
+
+    Returns ``(giant_size, covered, n_components, n_links, giant_mask)``
+    with the shared smallest-canonical-label giant tie-break — the
+    :class:`~repro.core.engine.delta.DeltaEvaluator`'s per-propose
+    ``_measure`` in one pass.
+    """
+    n = adjacency.shape[0]
+    m = coverage.shape[0]
+    out = np.zeros(4, dtype=np.int64)
+    giant_mask = np.empty(n, dtype=np.uint8)
+    require().repro_measure_dense_matrices(
+        _pu8(_u8(adjacency)), _pu8(_u8(coverage)), n, m, int(giant_only),
+        _pi(out[0:1]), _pi(out[1:2]), _pi(out[2:3]), _pi(out[3:4]),
+        _pu8(giant_mask),
+    )
+    return (
+        int(out[0]), int(out[1]), int(out[2]), int(out[3]),
+        giant_mask.view(bool),
+    )
+
+
+def delta_rows_cols(
+    new_xy: np.ndarray,
+    router_of_pair: np.ndarray,
+    positions: np.ndarray,
+    range_squared: np.ndarray,
+    clients: np.ndarray,
+    radii_squared: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Moved-router adjacency rows + coverage columns for ``P`` pairs.
+
+    The :class:`~repro.core.engine.stacked.StackedDeltaEngine`'s two
+    per-phase broadcasts fused into one parallel pass: ``rows_new[p]``
+    is router ``router_of_pair[p]``'s adjacency row at ``new_xy[p]``
+    against the incumbent ``positions`` (diagonal cleared), ``cols_new
+    [p]`` its coverage column over ``clients``.  Boolean views, no copy.
+    """
+    pairs = _i64a(router_of_pair)
+    n = positions.shape[0]
+    m = clients.shape[0]
+    rows_new = np.empty((pairs.size, n), dtype=np.uint8)
+    cols_new = np.empty((pairs.size, m), dtype=np.uint8)
+    require().repro_delta_rows_cols(
+        _pd(_f64(new_xy)), _pi(pairs), pairs.size,
+        _pd(_f64(positions)), n,
+        _pd(_f64(range_squared)), _pd(_f64(clients)), m,
+        _pd(_f64(radii_squared)),
+        _pu8(rows_new), _pu8(cols_new),
+    )
+    return rows_new.view(bool), cols_new.view(bool)
+
+
+def giant_covered(
+    client_ptr: np.ndarray,
+    client_hit: np.ndarray,
+    n_routers: int,
+    giant_masks: np.ndarray,
+    pair_cand: np.ndarray,
+    pair_router: np.ndarray,
+    cols_new: np.ndarray,
+    coverage: np.ndarray,
+) -> np.ndarray:
+    """Giant-only covered-client counts for one chain segment.
+
+    All-integer replacement of the float32 sgemm + per-mover
+    corrections: per candidate, each client's covering-giant-router
+    count comes from the incumbent's client-major CSR hit lists
+    (``client_ptr``/``client_hit``), then every giant mover exchanges
+    its old coverage column for its new one.
+    """
+    count = giant_masks.shape[0]
+    covered = np.empty(count, dtype=np.int64)
+    pair_cand = _i64a(pair_cand)
+    pair_router = _i64a(pair_router)
+    client_ptr = _i64a(client_ptr)
+    client_hit = _i64a(client_hit)
+    require().repro_giant_covered(
+        _pi(client_ptr), _pi(client_hit),
+        client_ptr.size - 1, n_routers, count,
+        _pu8(_u8(giant_masks)),
+        _pi(pair_cand), _pi(pair_router), pair_cand.size,
+        _pu8(_u8(cols_new)), _pu8(_u8(coverage)),
+        _pi(covered),
+    )
+    return covered.astype(np.intp, copy=False)
+
+
+def client_csr(coverage: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Client-major CSR of a boolean ``(M, N)`` coverage matrix.
+
+    Offsets come from one row-sum cumsum; the hit lists are filled by
+    the C kernel when it is loaded (``np.nonzero`` over the full matrix
+    is the commit-path hot spot at city scale) and by ``np.nonzero``
+    otherwise.  Both fills emit routers in ascending order per client —
+    row-major — so the arrays are bit-identical either way.
+    """
+    matrix = _u8(coverage)
+    m = matrix.shape[0]
+    n = matrix.shape[1] if matrix.ndim == 2 else 0
+    ptr = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(matrix.sum(axis=1, dtype=np.int64), out=ptr[1:])
+    hit = np.empty(int(ptr[m]), dtype=np.int64)
+    if hit.size:
+        lib = _load() if _env_enabled() else None
+        if lib is not None:
+            lib.repro_client_csr_fill(_pu8(matrix), m, n, _pi(ptr), _pi(hit))
+        else:
+            # np.nonzero returns strided column views of one (nnz, 2)
+            # buffer; the downstream kernel walks raw int64s, so the
+            # hit list must be compacted.
+            hit[:] = np.nonzero(matrix)[1]
+    return ptr, hit
+
+
+def csr_update_column(
+    ptr: np.ndarray,
+    hit: np.ndarray,
+    router: int,
+    newcol: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Rewrite a client-major CSR for one moved router's new column.
+
+    O(nnz) — the incumbent-commit path at city scale, where rebuilding
+    from the full ``(M, N)`` matrix would rescan mostly-unchanged
+    cells.  Bit-identical to :func:`client_csr` on the patched matrix.
+    """
+    lib = require()
+    ptr = _i64a(ptr)
+    hit = _i64a(hit)
+    newcol = _u8(newcol)
+    m = newcol.shape[0]
+    if ptr.shape[0] != m + 1:
+        raise ValueError(
+            f"ptr has {ptr.shape[0]} offsets for {m} clients"
+        )
+    new_ptr = np.empty(m + 1, dtype=np.int64)
+    # Worst case: every client gains the moved router.
+    new_hit = np.empty(hit.shape[0] + m, dtype=np.int64)
+    lib.repro_csr_update_column(
+        _pi(ptr), _pi(hit), m, int(router), _pu8(newcol),
+        _pi(new_ptr), _pi(new_hit),
+    )
+    return new_ptr, new_hit[: int(new_ptr[m])]
+
+
+def dense_edges(adjacency: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """One-way ``(rows, cols)`` edge arrays of a dense adjacency matrix.
+
+    The upper-triangle scan that refreshes a chain cache's edge arrays
+    on commit; same ``(i < j)`` row-major order as the ``np.nonzero``
+    path it replaces.
+    """
+    lib = require()
+    matrix = _u8(adjacency)
+    n = matrix.shape[0]
+    # Each undirected link sets two cells, so the popcount halves.
+    n_links = int(matrix.sum(dtype=np.int64)) // 2
+    rows = np.empty(n_links, dtype=np.int64)
+    cols = np.empty(n_links, dtype=np.int64)
+    if n_links:
+        lib.repro_dense_edges(_pu8(matrix), n, _pi(rows), _pi(cols))
+    return rows.astype(np.intp, copy=False), cols.astype(np.intp, copy=False)
+
+
+# ----------------------------------------------------------------------
+# Stacked measurement engine
+# ----------------------------------------------------------------------
+
+
+class CompiledEngine:
+    """Fused stacked measurement of ``(K, N, 2)`` candidate stacks.
+
+    The compiled tier's counterpart of
+    :func:`~repro.core.engine.batch.measure_stack` /
+    :class:`~repro.core.engine.sparse.SparseEngine`: per candidate, the
+    pairwise link test, component labeling and covered-count reduction
+    run fused in C with no ``(K, N, N)`` or ``(K, M, N)`` tensor ever
+    materialized.  The kernel *form* follows
+    :func:`~repro.core.engine.dispatch.select_engine` — at dense scale
+    an all-pairs sweep against the precomputed squared range matrix, at
+    city scale a per-candidate spatial binning with the same 3x3-ring
+    conservative prune as the numpy sparse engine — and both forms are
+    bit-identical to their numpy counterparts.
+    """
+
+    def __init__(
+        self,
+        problem: ProblemInstance,
+        fitness: FitnessFunction | None = None,
+    ) -> None:
+        from repro.core.engine.dispatch import select_engine
+        from repro.core.engine.sparse import coverage_cell_size, link_cell_size
+
+        require()
+        self._problem = problem
+        self._fitness = fitness if fitness is not None else WeightedSumFitness()
+        self.form = select_engine(problem)
+        radii = _f64(problem.fleet.radii)
+        self._radii = radii
+        self._radii_squared = _f64(radii * radii)
+        self._clients = _f64(problem.clients.positions)
+        self._giant_only = problem.coverage_rule is not CoverageRule.ANY_ROUTER
+        self._rule_code = _RULE_CODES[problem.link_rule]
+        if self.form == "dense":
+            link_range = problem.link_rule.range_matrix(radii)
+            self._range_squared = _f64(link_range * link_range)
+        else:
+            self._link_cell = link_cell_size(radii, problem.link_rule)
+            self._cover_cell = coverage_cell_size(radii)
+            # In-grid coordinates span [0, width-1] x [0, height-1], so
+            # these bin-grid dimensions are exact — no position of a
+            # valid placement or client ever clamps.
+            self._link_bins = (
+                _bin_count(problem.grid.width, self._link_cell),
+                _bin_count(problem.grid.height, self._link_cell),
+            )
+            self._cover_bins = (
+                _bin_count(problem.grid.width, self._cover_cell),
+                _bin_count(problem.grid.height, self._cover_cell),
+            )
+
+    @property
+    def problem(self) -> ProblemInstance:
+        """The instance this engine measures against."""
+        return self._problem
+
+    @property
+    def fitness_function(self) -> FitnessFunction:
+        """The configured scalarization."""
+        return self._fitness
+
+    def measure_stack(self, positions: np.ndarray):
+        """Measure a ``(K, N, 2)`` stack; bit-identical to the numpy paths."""
+        from repro.core.engine.batch import StackedMeasurement
+
+        positions = _f64(positions)
+        if positions.ndim != 3 or positions.shape[2] != 2:
+            raise ValueError(
+                f"positions must be (K, N, 2), got {positions.shape}"
+            )
+        n = self._problem.n_routers
+        if positions.shape[1] != n:
+            raise ValueError(
+                f"positions stack has {positions.shape[1]} routers but the "
+                f"fleet has {n}"
+            )
+        k = positions.shape[0]
+        giant_sizes = np.zeros(k, dtype=np.int64)
+        covered = np.zeros(k, dtype=np.int64)
+        n_components = np.zeros(k, dtype=np.int64)
+        n_links = np.zeros(k, dtype=np.int64)
+        giant_masks = np.zeros((k, n), dtype=np.uint8)
+        if k:
+            lib = require()
+            m = self._clients.shape[0]
+            if self.form == "dense":
+                lib.repro_measure_stack_dense(
+                    _pd(positions), k, n,
+                    _pd(self._range_squared),
+                    _pd(self._clients), m,
+                    _pd(self._radii_squared),
+                    int(self._giant_only),
+                    _pi(giant_sizes), _pi(covered),
+                    _pi(n_components), _pi(n_links),
+                    _pu8(giant_masks),
+                )
+            else:
+                lib.repro_measure_stack_sparse(
+                    _pd(positions), k, n,
+                    _pd(self._radii), self._rule_code,
+                    self._link_cell, *self._link_bins,
+                    _pd(self._clients), m,
+                    _pd(self._radii_squared),
+                    self._cover_cell, *self._cover_bins,
+                    int(self._giant_only),
+                    _pi(giant_sizes), _pi(covered),
+                    _pi(n_components), _pi(n_links),
+                    _pu8(giant_masks),
+                )
+        degree_totals = 2 * n_links
+        measurement = StackedMeasurement(
+            problem=self._problem,
+            fitness_function=self._fitness,
+            giant_sizes=giant_sizes.astype(np.intp, copy=False),
+            covered_clients=covered.astype(np.intp, copy=False),
+            n_components=n_components.astype(np.intp, copy=False),
+            n_links=n_links.astype(np.intp, copy=False),
+            # The same exact-integer float64 division as every other path.
+            mean_degrees=degree_totals / n,
+            giant_masks=giant_masks.view(bool),
+        )
+        measurement.fitness = self._fitness.score_rows(measurement)
+        return measurement
+
+    def evaluate(self, placement: Placement):
+        """Scalar measurement: a stack of one, materialized."""
+        if len(placement) != self._problem.n_routers:
+            raise ValueError(
+                f"placement positions {len(placement)} routers but the fleet "
+                f"has {self._problem.n_routers}"
+            )
+        measurement = self.measure_stack(
+            placement.positions_array()[np.newaxis]
+        )
+        return measurement.evaluation(0, placement)
+
+    def evaluate_batch(self, placements) -> list:
+        """Measure a placement sequence; order-preserving, one slot each."""
+        if not placements:
+            return []
+        n = self._problem.n_routers
+        for placement in placements:
+            if len(placement) != n:
+                raise ValueError(
+                    f"placement positions {len(placement)} routers but the "
+                    f"fleet has {n}"
+                )
+        stack = np.stack([p.positions_array() for p in placements])
+        measurement = self.measure_stack(stack)
+        return [
+            measurement.evaluation(index, placement)
+            for index, placement in enumerate(placements)
+        ]
+
+    def measure_metrics(self, placement: Placement) -> NetworkMetrics:
+        """Metric bundle only (no fitness), for metric-level callers."""
+        return self.evaluate(placement).metrics
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledEngine(n_routers={self._problem.n_routers}, "
+            f"form={self.form!r}, openmp={bool(require().repro_has_openmp())})"
+        )
+
+
+def _bin_count(extent: int, cell: float) -> int:
+    """Bins covering in-grid coordinates ``[0, extent - 1]``."""
+    if extent <= 0:
+        return 1
+    return int(np.floor((extent - 1) / cell)) + 1

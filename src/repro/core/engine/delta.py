@@ -9,7 +9,9 @@ touches.  Results are bit-identical to the scalar path (asserted by the
 parity tests).
 
 Two cache layouts, selected by the shared engine dispatch (see
-:mod:`repro.core.engine.dispatch`):
+:mod:`repro.core.engine.dispatch`; the ``"compiled"`` tier reuses the
+layout heuristic and routes the per-move measurement through the C
+kernels of :mod:`repro.core.engine.compiled`):
 
 * **dense** (paper scale) — the incumbent's boolean adjacency and
   coverage *matrices*; a move rewrites the touched rows/columns.
@@ -70,6 +72,18 @@ class DeltaEvaluator:
         self._radii = radii
         self._radii_squared = radii * radii
         self._engine = resolve_engine(self._problem, engine)
+        # The compiled tier reuses the numpy cache layouts and only
+        # swaps who crunches them, so layout still follows the size
+        # heuristic even when the tier is "compiled".
+        if self._engine == "compiled":
+            from repro.core.engine import compiled
+            from repro.core.engine.dispatch import select_engine
+
+            self._compiled = compiled
+            self._layout = select_engine(self._problem)
+        else:
+            self._compiled = None
+            self._layout = self._engine
         self._positions: np.ndarray | None = None
         self._incumbent: Evaluation | None = None
         # Dense caches.
@@ -93,8 +107,18 @@ class DeltaEvaluator:
 
     @property
     def engine(self) -> str:
-        """The resolved cache layout: ``"dense"`` or ``"sparse"``."""
+        """The resolved tier: ``"dense"``, ``"sparse"`` or ``"compiled"``."""
         return self._engine
+
+    @property
+    def layout(self) -> str:
+        """The cache layout in use: ``"dense"`` or ``"sparse"``.
+
+        Equal to :attr:`engine` for the numpy tiers; the compiled tier
+        picks its layout from the same size heuristic
+        (:func:`~repro.core.engine.dispatch.select_engine`).
+        """
+        return self._layout
 
     @property
     def incumbent(self) -> Evaluation:
@@ -126,7 +150,7 @@ class DeltaEvaluator:
             )
         positions = placement.positions_array().copy()
         self._last_propose = None
-        if self._engine == "sparse":
+        if self._layout == "sparse":
             evaluation = self._sparse_reset(placement, positions, cache)
         else:
             adjacency = self._cached_adjacency(positions, cache)
@@ -166,7 +190,7 @@ class DeltaEvaluator:
             link_rule=self._problem.link_rule,
             client_positions=self._problem.clients.positions,
         )
-        if self._engine == "sparse":
+        if self._layout == "sparse":
             return IncumbentCache(
                 layout="sparse",
                 edge_rows=self._edge_rows.copy(),
@@ -222,7 +246,7 @@ class DeltaEvaluator:
         placement = move.apply(self._incumbent.placement)
         new_positions = placement.positions_array()
         moved = np.flatnonzero((new_positions != self._positions).any(axis=1))
-        if self._engine == "sparse":
+        if self._layout == "sparse":
             rows, cols, cov_router, cov_client = self._sparse_apply(
                 new_positions, moved
             )
@@ -255,7 +279,7 @@ class DeltaEvaluator:
             )
         new_positions = placement.positions_array()
         moved = np.flatnonzero((new_positions != self._positions).any(axis=1))
-        if self._engine == "sparse":
+        if self._layout == "sparse":
             if moved.size:
                 cached = self._last_propose
                 if cached is not None and cached[0] is evaluation:
@@ -309,6 +333,30 @@ class DeltaEvaluator:
     ) -> Evaluation:
         """Metrics + fitness from ready-made adjacency/coverage matrices."""
         n = self._problem.n_routers
+        if self._compiled is not None:
+            giant_size, covered, n_components, n_links, giant_mask = (
+                self._compiled.measure_dense_matrices(
+                    adjacency,
+                    coverage,
+                    self._problem.coverage_rule is not CoverageRule.ANY_ROUTER,
+                )
+            )
+            degree_total = 2 * n_links
+            metrics = NetworkMetrics(
+                giant_size=giant_size,
+                n_routers=n,
+                covered_clients=covered,
+                n_clients=self._problem.n_clients,
+                n_components=n_components,
+                n_links=n_links,
+                mean_degree=degree_total / n,
+            )
+            return Evaluation(
+                placement=placement,
+                metrics=metrics,
+                fitness=self._fitness.score(metrics),
+                giant_mask=giant_mask,
+            )
         # One flat nonzero pass: the directed endpoint count is exactly
         # the degree total, and one direction per edge suffices for the
         # propagation (its sweeps push labels both ways).
@@ -452,6 +500,8 @@ class DeltaEvaluator:
         # position, and unmoved routers all live in the extent.
         from repro.core.engine.sparse import link_hits
 
+        if self._compiled is not None:
+            link_hits = self._compiled.link_hits_compiled
         link_rule = self._problem.link_rule
         local, partner = self._router_index.query_points(new_positions[moved])
         if local.size:
@@ -498,9 +548,17 @@ class DeltaEvaluator:
         )
 
         problem = self._problem
-        labels, counts, giant_label, giant_mask = components_from_edges(
-            problem.n_routers, rows, cols
-        )
+        if self._compiled is not None:
+            # Same canonical labels from the union-find kernel; the
+            # derived pieces repeat components_from_edges verbatim.
+            labels = self._compiled.label_components(problem.n_routers, rows, cols)
+            counts = np.bincount(labels, minlength=problem.n_routers)
+            giant_label = int(counts.argmax())
+            giant_mask = labels == giant_label
+        else:
+            labels, counts, giant_label, giant_mask = components_from_edges(
+                problem.n_routers, rows, cols
+            )
         if problem.n_clients == 0:
             covered = 0
         else:

@@ -2,8 +2,15 @@
 
 Every evaluator accepts an ``engine`` argument: ``"dense"`` forces the
 matrix-based paths of PR 1, ``"sparse"`` forces the spatial-grid path,
-and the default ``"auto"`` picks per problem instance.  The heuristic is
-deliberately simple and documented so runs stay explainable:
+``"compiled"`` forces the C-kernel tier of
+:mod:`repro.core.engine.compiled` (raising when no toolchain can build
+it), and the default ``"auto"`` picks per problem instance — promoting
+to the compiled tier whenever it is available and otherwise falling
+back to the numpy heuristic below, with identical results either way.
+
+:func:`select_engine` is the numpy-layout heuristic (it also decides
+which *kernel form* the compiled tier runs), deliberately simple and
+documented so runs stay explainable:
 
 * below :data:`DENSE_CELL_BUDGET` matrix cells (``N^2 + M * N``) the
   dense tensors are small and their flat vectorized passes win — every
@@ -27,6 +34,8 @@ __all__ = [
     "ENGINE_AUTO",
     "ENGINE_DENSE",
     "ENGINE_SPARSE",
+    "ENGINE_COMPILED",
+    "ENGINE_TIERS",
     "DENSE_CELL_BUDGET",
     "select_engine",
     "resolve_engine",
@@ -35,6 +44,12 @@ __all__ = [
 ENGINE_AUTO = "auto"
 ENGINE_DENSE = "dense"
 ENGINE_SPARSE = "sparse"
+ENGINE_COMPILED = "compiled"
+
+#: Every valid ``engine`` argument, in documentation order.  The single
+#: source the ``resolve_engine`` error message and the CLI ``--engine``
+#: choices are both derived from, so adding a tier cannot skew them.
+ENGINE_TIERS = (ENGINE_AUTO, ENGINE_DENSE, ENGINE_SPARSE, ENGINE_COMPILED)
 
 #: Up to this many matrix cells (``N^2 + M * N``) the dense engines are
 #: both fast and small; the paper frame (64 routers, 192 clients) is
@@ -63,11 +78,25 @@ def select_engine(problem: ProblemInstance) -> str:
 
 
 def resolve_engine(problem: ProblemInstance, engine: str) -> str:
-    """Validate an ``engine`` argument and resolve ``"auto"``."""
+    """Validate an ``engine`` argument and resolve ``"auto"``.
+
+    ``"auto"`` promotes to the compiled tier when its kernels are
+    available (see :func:`repro.core.engine.compiled.is_available`) and
+    silently falls back to :func:`select_engine` when they are not;
+    ``"compiled"`` demands the tier and raises a ``RuntimeError``
+    explaining the failure when it cannot run.
+    """
     if engine == ENGINE_AUTO:
+        from repro.core.engine import compiled
+
+        if compiled.is_available():
+            return ENGINE_COMPILED
         return select_engine(problem)
-    if engine not in (ENGINE_DENSE, ENGINE_SPARSE):
-        raise ValueError(
-            f"engine must be 'auto', 'dense' or 'sparse', got {engine!r}"
-        )
+    if engine not in ENGINE_TIERS:
+        choices = ", ".join(repr(tier) for tier in ENGINE_TIERS)
+        raise ValueError(f"engine must be one of {choices}, got {engine!r}")
+    if engine == ENGINE_COMPILED:
+        from repro.core.engine import compiled
+
+        compiled.require()
     return engine

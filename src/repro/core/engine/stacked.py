@@ -68,6 +68,7 @@ class StackedEngine:
         self._max_chunk = max_chunk
         self._engine = resolve_engine(problem, engine)
         self._sparse = None
+        self._compiled = None
 
     @property
     def problem(self) -> ProblemInstance:
@@ -81,8 +82,32 @@ class StackedEngine:
 
     @property
     def engine(self) -> str:
-        """The resolved evaluation path: ``"dense"`` or ``"sparse"``."""
+        """The resolved path: ``"dense"``, ``"sparse"`` or ``"compiled"``."""
         return self._engine
+
+    @property
+    def layout(self) -> str:
+        """The numpy cache layout this engine's instance calls for.
+
+        ``"dense"`` or ``"sparse"`` — for the compiled tier this is the
+        :func:`~repro.core.engine.dispatch.select_engine` form, which
+        also tells the search layer whether dense incumbent caches
+        (:class:`StackedDeltaEngine`) are affordable.
+        """
+        if self._engine == "compiled":
+            from repro.core.engine.dispatch import select_engine
+
+            return select_engine(self._problem)
+        return self._engine
+
+    @property
+    def accepts_positions(self) -> bool:
+        """Whether :meth:`measure_positions` works on this engine.
+
+        True for the dense and compiled tiers, whose kernels consume raw
+        ``(K, N, 2)`` stacks; the numpy sparse path needs placements.
+        """
+        return self._engine in ("dense", "compiled")
 
     def _sparse_engine(self):
         if self._sparse is None:
@@ -91,18 +116,28 @@ class StackedEngine:
             self._sparse = SparseEngine(self._problem, self._fitness)
         return self._sparse
 
+    def _compiled_engine(self):
+        if self._compiled is None:
+            from repro.core.engine.compiled import CompiledEngine
+
+            self._compiled = CompiledEngine(self._problem, self._fitness)
+        return self._compiled
+
     def measure_positions(self, positions: np.ndarray) -> StackedMeasurement:
-        """Measure a raw ``(K, N, 2)`` position stack (dense path only).
+        """Measure a raw ``(K, N, 2)`` position stack (dense/compiled).
 
         The fast lane for multi-chain phases: candidate rows are derived
         numerically from the incumbents' position rows, so no placement
-        objects exist yet.  Raises on the sparse path, which needs
-        placements — use :meth:`measure_placements` there.
+        objects exist yet.  Raises on the numpy sparse path, which needs
+        placements — use :meth:`measure_placements` there.  The compiled
+        tier accepts stacks in *both* kernel forms, so city-scale
+        portfolios stay on this lane too.
         """
-        if self._engine != "dense":
+        if not self.accepts_positions:
             raise ValueError(
-                "measure_positions requires the dense engine; the sparse "
-                "path measures placements (see measure_placements)"
+                "measure_positions requires the dense or compiled engine; "
+                "the sparse path measures placements (see "
+                "measure_placements)"
             )
         positions = np.asarray(positions, dtype=float)
         if positions.ndim != 3 or positions.shape[2] != 2:
@@ -112,6 +147,10 @@ class StackedEngine:
         k = positions.shape[0]
         if k == 0:
             return self._empty_measurement()
+        if self._engine == "compiled":
+            # The fused kernels never materialize per-candidate tensors,
+            # so no memory-bounding chunking is needed.
+            return self._compiled_engine().measure_stack(positions)
         if k <= self._max_chunk:
             return measure_stack(self._problem, self._fitness, positions)
         chunks = [
@@ -136,7 +175,7 @@ class StackedEngine:
         """
         if not placements:
             return self._empty_measurement()
-        if self._engine == "dense":
+        if self.accepts_positions:
             positions = np.stack([p.positions_array() for p in placements])
             return self.measure_positions(positions)
         evaluations = [
@@ -190,11 +229,18 @@ class _ChainCache:
         "coverage",
         "coverage32",
         "coverage_counts",
+        "client_ptr",
+        "client_hit",
         "edge_rows",
         "edge_cols",
     )
 
-    def __init__(self, problem: ProblemInstance, placement: Placement) -> None:
+    def __init__(
+        self,
+        problem: ProblemInstance,
+        placement: Placement,
+        use_csr: bool = False,
+    ) -> None:
         self.placement = placement
         self.positions = np.array(placement.positions_array(), dtype=float)
         # The reference matrix builders, so the cached state is exactly
@@ -205,18 +251,37 @@ class _ChainCache:
         self.coverage = coverage_matrix(
             problem.clients.positions, self.positions, problem.fleet.radii
         )
-        rows, cols = np.nonzero(self.adjacency)
-        one_way = rows < cols
-        self.edge_rows = rows[one_way].astype(np.intp)
-        self.edge_cols = cols[one_way].astype(np.intp)
+        if use_csr:
+            # Compiled tier: byte-scan edge extraction, same (i < j)
+            # row-major order as the np.nonzero path below.
+            from repro.core.engine.compiled import dense_edges
+
+            self.edge_rows, self.edge_cols = dense_edges(self.adjacency)
+        else:
+            rows, cols = np.nonzero(self.adjacency)
+            one_way = rows < cols
+            self.edge_rows = rows[one_way].astype(np.intp)
+            self.edge_cols = cols[one_way].astype(np.intp)
+        self.coverage32 = None
+        self.coverage_counts = None
+        self.client_ptr = None
+        self.client_hit = None
         if problem.coverage_rule is CoverageRule.ANY_ROUTER:
-            self.coverage32 = None
             self.coverage_counts = self.coverage.sum(axis=1, dtype=np.int32)
+        elif use_csr:
+            # Client-major hit lists for the compiled giant-only count
+            # kernel (exact integers end to end).
+            self.refresh_csr()
         else:
             # float32 copy for the per-phase sgemm: counts stay exact
             # (at most N ones per client, far below 2**24).
             self.coverage32 = self.coverage.astype(np.float32)
-            self.coverage_counts = None
+
+    def refresh_csr(self) -> None:
+        """Rebuild the client-major CSR from the coverage matrix."""
+        from repro.core.engine.compiled import client_csr
+
+        self.client_ptr, self.client_hit = client_csr(self.coverage)
 
 
 class StackedDeltaEngine:
@@ -256,7 +321,10 @@ class StackedDeltaEngine:
     """
 
     def __init__(
-        self, problem: ProblemInstance, fitness: FitnessFunction | None = None
+        self,
+        problem: ProblemInstance,
+        fitness: FitnessFunction | None = None,
+        engine: str = "dense",
     ) -> None:
         self._problem = problem
         self._fitness = fitness if fitness is not None else WeightedSumFitness()
@@ -267,6 +335,27 @@ class StackedDeltaEngine:
         self._clients = problem.clients.positions
         self._giant_only = problem.coverage_rule is not CoverageRule.ANY_ROUTER
         self._caches: dict[int, _ChainCache] = {}
+        # The dense-layout caches are shared; ``engine`` only picks who
+        # crunches them: the numpy broadcasts/sgemm ("dense") or the C
+        # kernels ("compiled").  "auto" promotes when the kernels are
+        # available, mirroring the dispatch contract.
+        if engine == "auto":
+            from repro.core.engine import compiled
+
+            engine = "compiled" if compiled.is_available() else "dense"
+        if engine == "compiled":
+            from repro.core.engine import compiled
+
+            compiled.require()
+            self._compiled = compiled
+        elif engine == "dense":
+            self._compiled = None
+        else:
+            raise ValueError(
+                "StackedDeltaEngine engine must be 'auto', 'dense' or "
+                f"'compiled', got {engine!r}"
+            )
+        self._engine = engine
 
     @property
     def problem(self) -> ProblemInstance:
@@ -278,9 +367,16 @@ class StackedDeltaEngine:
         """The configured scalarization."""
         return self._fitness
 
+    @property
+    def engine(self) -> str:
+        """Who crunches the phase deltas: ``"dense"`` or ``"compiled"``."""
+        return self._engine
+
     def reset_chain(self, chain: int, placement: Placement) -> None:
         """(Re)build chain ``chain``'s incumbent cache from scratch."""
-        self._caches[chain] = _ChainCache(self._problem, placement)
+        self._caches[chain] = _ChainCache(
+            self._problem, placement, use_csr=self._compiled is not None
+        )
 
     def commit_chain(self, chain: int, placement: Placement) -> None:
         """Advance chain ``chain``'s incumbent to an accepted placement.
@@ -321,10 +417,42 @@ class StackedDeltaEngine:
                 cache.coverage[:, router] = column
                 if cache.coverage32 is not None:
                     cache.coverage32[:, router] = column
-        rows, cols = np.nonzero(cache.adjacency)
-        one_way = rows < cols
-        cache.edge_rows = rows[one_way].astype(np.intp)
-        cache.edge_cols = cols[one_way].astype(np.intp)
+                if cache.client_ptr is not None:
+                    # O(nnz) CSR rewrite for this column; rebuilding
+                    # from the full matrix rescans mostly-unchanged
+                    # cells (the commit hot spot at city scale).
+                    cache.client_ptr, cache.client_hit = (
+                        self._compiled.csr_update_column(
+                            cache.client_ptr, cache.client_hit,
+                            router, column,
+                        )
+                    )
+        if self._compiled is not None:
+            # Incremental edge refresh: drop edges touching a mover,
+            # re-add each mover's links from its patched adjacency row
+            # (final positions — the rows above already use them).
+            # Edge order changes vs. np.nonzero, but every consumer
+            # masks or union-finds, so the labels stay canonical.
+            mover_mask = np.zeros(self._problem.n_routers, dtype=bool)
+            mover_mask[moved] = True
+            keep = ~(mover_mask[cache.edge_rows] | mover_mask[cache.edge_cols])
+            row_parts = [cache.edge_rows[keep]]
+            col_parts = [cache.edge_cols[keep]]
+            for router in moved.tolist():
+                partners = np.flatnonzero(cache.adjacency[router])
+                # A mover-mover link appears in both rows; keep it once.
+                partners = partners[
+                    ~mover_mask[partners] | (partners > router)
+                ]
+                row_parts.append(np.minimum(partners, router))
+                col_parts.append(np.maximum(partners, router))
+            cache.edge_rows = np.concatenate(row_parts)
+            cache.edge_cols = np.concatenate(col_parts)
+        else:
+            rows, cols = np.nonzero(cache.adjacency)
+            one_way = rows < cols
+            cache.edge_rows = rows[one_way].astype(np.intp)
+            cache.edge_cols = cols[one_way].astype(np.intp)
         cache.positions[moved] = new_positions[moved]
         cache.placement = placement
 
@@ -378,7 +506,12 @@ class StackedDeltaEngine:
         targets = (
             np.concatenate(edge_targets) if edge_targets else np.zeros(0, np.intp)
         )
-        labels = labels_from_edge_stack(k_total * n, sources, targets)
+        if self._compiled is not None:
+            # One union-find kernel for any stack size, replacing the
+            # scipy-vs-propagation split (identical canonical labels).
+            labels = self._compiled.label_components(k_total * n, sources, targets)
+        else:
+            labels = labels_from_edge_stack(k_total * n, sources, targets)
         counts = np.bincount(labels, minlength=k_total * n).reshape(k_total, n)
         labels = labels.reshape(k_total, n)
         labels -= np.arange(k_total, dtype=np.intp)[:, np.newaxis] * n
@@ -469,24 +602,38 @@ class StackedDeltaEngine:
 
         if n_pairs:
             new_xy = np.asarray(pair_xy, dtype=float)
-            new_x = new_xy[:, 0]
-            new_y = new_xy[:, 1]
-            # New adjacency rows against the *incumbent* positions —
-            # identical predicate to the reference adjacency_matrix.
-            dx = new_x[:, np.newaxis] - cache.positions[np.newaxis, :, 0]
-            dy = new_y[:, np.newaxis] - cache.positions[np.newaxis, :, 1]
-            rows_new = dx * dx + dy * dy <= self._range_squared[router_of_pair]
-            rows_new[np.arange(n_pairs), router_of_pair] = False
-            # New coverage columns (client within the mover's radius).
-            if self._clients.size:
-                cdx = new_x[:, np.newaxis] - self._clients[np.newaxis, :, 0]
-                cdy = new_y[:, np.newaxis] - self._clients[np.newaxis, :, 1]
-                cols_new = (
-                    cdx * cdx + cdy * cdy
-                    <= self._radii_squared[router_of_pair, np.newaxis]
+            if self._compiled is not None:
+                # Fused kernel: both broadcasts in one parallel pass,
+                # same predicate order, diagonal already cleared.
+                rows_new, cols_new = self._compiled.delta_rows_cols(
+                    new_xy,
+                    router_of_pair,
+                    cache.positions,
+                    self._range_squared,
+                    self._clients,
+                    self._radii_squared,
                 )
             else:
-                cols_new = np.zeros((n_pairs, 0), dtype=bool)
+                new_x = new_xy[:, 0]
+                new_y = new_xy[:, 1]
+                # New adjacency rows against the *incumbent* positions —
+                # identical predicate to the reference adjacency_matrix.
+                dx = new_x[:, np.newaxis] - cache.positions[np.newaxis, :, 0]
+                dy = new_y[:, np.newaxis] - cache.positions[np.newaxis, :, 1]
+                rows_new = (
+                    dx * dx + dy * dy <= self._range_squared[router_of_pair]
+                )
+                rows_new[np.arange(n_pairs), router_of_pair] = False
+                # New coverage columns (client within the mover's radius).
+                if self._clients.size:
+                    cdx = new_x[:, np.newaxis] - self._clients[np.newaxis, :, 0]
+                    cdy = new_y[:, np.newaxis] - self._clients[np.newaxis, :, 1]
+                    cols_new = (
+                        cdx * cdx + cdy * cdy
+                        <= self._radii_squared[router_of_pair, np.newaxis]
+                    )
+                else:
+                    cols_new = np.zeros((n_pairs, 0), dtype=bool)
         else:
             rows_new = np.zeros((0, n), dtype=bool)
             cols_new = np.zeros((0, self._problem.n_clients), dtype=bool)
@@ -603,6 +750,21 @@ class StackedDeltaEngine:
                 )
                 np.add.at(counts, cand_of_pair, difference)
             covered[start:end] = np.count_nonzero(counts > 0, axis=1)
+            return
+        if self._compiled is not None:
+            # GIANT_ONLY via the all-integer CSR kernel: per-client
+            # covering-giant counts from the incumbent's hit lists, then
+            # each giant mover swaps its old column for its new one.
+            covered[start:end] = self._compiled.giant_covered(
+                cache.client_ptr,
+                cache.client_hit,
+                self._problem.n_routers,
+                giant_masks[start:end],
+                cand_of_pair,
+                router_of_pair,
+                cols_new,
+                cache.coverage,
+            )
             return
         # GIANT_ONLY: per-client count of covering giant routers =
         # hits x giant-mask, one exact float32 sgemm for the segment...

@@ -109,10 +109,11 @@ class Evaluator:
         self._n_evaluations = 0
         self._engine = resolve_engine(problem, engine)
         self._sparse = None
+        self._compiled = None
 
     @property
     def engine(self) -> str:
-        """The resolved evaluation path: ``"dense"`` or ``"sparse"``."""
+        """The resolved path: ``"dense"``, ``"sparse"`` or ``"compiled"``."""
         return self._engine
 
     def _sparse_engine(self):
@@ -122,6 +123,14 @@ class Evaluator:
 
             self._sparse = SparseEngine(self._problem, self._fitness)
         return self._sparse
+
+    def _compiled_engine(self):
+        """The lazily built :class:`~repro.core.engine.compiled.CompiledEngine`."""
+        if self._compiled is None:
+            from repro.core.engine.compiled import CompiledEngine
+
+            self._compiled = CompiledEngine(self._problem, self._fitness)
+        return self._compiled
 
     @property
     def problem(self) -> ProblemInstance:
@@ -155,6 +164,10 @@ class Evaluator:
 
     def evaluate(self, placement: Placement) -> Evaluation:
         """Measure a placement: network, giant component, coverage, fitness."""
+        if self._engine == "compiled":
+            evaluation = self._compiled_engine().evaluate(placement)
+            self.record_evaluation(evaluation)
+            return evaluation
         if self._engine == "sparse":
             evaluation = self._sparse_engine().evaluate(placement)
             self.record_evaluation(evaluation)
@@ -197,7 +210,9 @@ class Evaluator:
         from repro.core.engine.batch import DEFAULT_MAX_CHUNK, evaluate_batch
 
         evaluations: list[Evaluation] = []
-        if self._engine == "sparse":
+        if self._engine == "compiled":
+            evaluations.extend(self._compiled_engine().evaluate_batch(placements))
+        elif self._engine == "sparse":
             sparse = self._sparse_engine()
             evaluations.extend(sparse.evaluate(p) for p in placements)
         else:

@@ -82,6 +82,14 @@ __all__ = [
     "MultiStartSearch",
 ]
 
+#: Portfolio-wide cap on the compiled delta engine's per-chain dense
+#: incumbent caches (``N * (N + M)`` byte-sized cells per chain) on
+#: sparse-layout instances.  ~256 MB — roomy for city portfolios
+#: (16 chains at 1024 routers / 4000 clients is ~80 MB) while keeping
+#: city-large (4096 routers / 50k clients, ~220 MB *per chain*) on the
+#: constant-memory stacked path.
+DELTA_CACHE_BUDGET = 1 << 28
+
 
 def chain_generators(
     seed: "int | Sequence[int] | np.random.SeedSequence", n_chains: int
@@ -253,11 +261,24 @@ class MultiChainSearch:
             problem, fitness, engine=self.engine, max_chunk=self.max_chunk
         )
         # On the dense layout every phase measures incrementally against
-        # per-chain incumbent caches; sparse instances keep the shared
-        # spatial-grid engine (its per-candidate cost is already O(N k)).
+        # per-chain incumbent caches (the compiled tier carries through
+        # to the delta kernels).  The compiled tier also takes the delta
+        # path on sparse-layout instances — its commit updates are
+        # O(nnz), so the only cost of the dense per-chain caches is
+        # memory, gated below.  Numpy sparse instances keep the shared
+        # spatial-grid engine (per-candidate cost is already O(N k)).
+        per_chain_cells = problem.n_routers * (
+            problem.n_routers + problem.n_clients
+        )
         delta = (
-            StackedDeltaEngine(problem, engine.fitness_function)
-            if engine.engine == "dense"
+            StackedDeltaEngine(
+                problem, engine.fitness_function, engine=engine.engine
+            )
+            if engine.layout == "dense"
+            or (
+                engine.engine == "compiled"
+                and len(initials) * per_chain_cells <= DELTA_CACHE_BUDGET
+            )
             else None
         )
         states = self._initial_states(engine, initials, rngs)
@@ -471,7 +492,7 @@ class MultiChainSearch:
         a move re-applied to its chain's incumbent, or an already-built
         placement.
         """
-        dense = engine.engine == "dense"
+        dense = engine.accepts_positions
         sources: list[object] = []
         rows: list[np.ndarray] = []
         placements: list[Placement] = []

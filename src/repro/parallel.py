@@ -13,12 +13,32 @@ seed owns which stream, only which process advances it.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Sequence
 
 import numpy as np
 
 __all__ = ["shard_slices", "seed_shards", "run_tasks"]
+
+
+def _limit_worker_threads() -> None:
+    """Pin each pool worker to one compute thread.
+
+    The compiled engine's kernels parallelize with OpenMP; with the
+    process pool already saturating the cores, nested threading would
+    oversubscribe them.  Runs once per worker process at pool start.
+    """
+    os.environ["OMP_NUM_THREADS"] = "1"
+    try:
+        from repro.core.engine import compiled
+
+        if compiled.is_available():
+            compiled.set_num_threads(1)
+    except Exception:
+        # Thread pinning is a performance nicety; a worker that cannot
+        # build or load the kernels simply runs the numpy paths.
+        pass
 
 
 def shard_slices(count: int, shards: int) -> list[slice]:
@@ -56,6 +76,8 @@ def run_tasks(
     if workers is None or workers == 1:
         shards = [runner(task) for task in tasks]
     else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_limit_worker_threads
+        ) as pool:
             shards = list(pool.map(runner, tasks))
     return [row for shard in shards for row in shard]

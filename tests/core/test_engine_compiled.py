@@ -1,0 +1,368 @@
+"""Parity and availability tests for the compiled (C-kernel) tier.
+
+Two halves with different availability requirements:
+
+* The parity classes need the kernels built (system C toolchain) and
+  skip cleanly without one — tier 1 must pass on a box with no
+  compiler.
+* The fallback class runs everywhere: it forces the tier unavailable
+  through the ``REPRO_COMPILED`` gate and asserts the documented
+  contract — ``engine="compiled"`` fails loudly, ``engine="auto"``
+  falls back silently with identical results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import compiled
+from repro.core.engine.components import labels_from_edges
+from repro.core.engine.delta import DeltaEvaluator
+from repro.core.engine.dispatch import ENGINE_TIERS, resolve_engine
+from repro.core.engine.sparse import link_hits
+from repro.core.engine.stacked import StackedDeltaEngine, StackedEngine
+from repro.core.evaluation import Evaluator
+from repro.core.problem import ProblemInstance
+from repro.core.radio import CoverageRule, LinkRule, RadioProfile
+from repro.core.solution import Placement
+from repro.instances.catalog import city_spec, tiny_spec
+
+needs_kernels = pytest.mark.skipif(
+    not compiled.is_available(),
+    reason="compiled kernels not available (no C toolchain?)",
+)
+
+LINK_RULES = [LinkRule.OVERLAP, LinkRule.BIDIRECTIONAL, LinkRule.UNIDIRECTIONAL]
+COVERAGE_RULES = [CoverageRule.GIANT_ONLY, CoverageRule.ANY_ROUTER]
+
+
+def tiny_problem(link_rule=LinkRule.BIDIRECTIONAL, coverage_rule=CoverageRule.GIANT_ONLY):
+    problem = tiny_spec(seed=3).generate()
+    return problem.with_link_rule(link_rule).with_coverage_rule(coverage_rule)
+
+
+def random_placements(problem, count, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        Placement.random(problem.grid, problem.n_routers, rng)
+        for _ in range(count)
+    ]
+
+
+def assert_same_evaluation(a, b):
+    assert a.metrics == b.metrics
+    assert a.fitness == b.fitness
+    assert np.array_equal(a.giant_mask, b.giant_mask)
+
+
+@needs_kernels
+class TestScalarParity:
+    @pytest.mark.parametrize("link_rule", LINK_RULES)
+    @pytest.mark.parametrize("coverage_rule", COVERAGE_RULES)
+    def test_bit_identical_to_dense(self, link_rule, coverage_rule):
+        problem = tiny_problem(link_rule, coverage_rule)
+        reference = Evaluator(problem, engine="dense")
+        under_test = Evaluator(problem, engine="compiled")
+        assert under_test.engine == "compiled"
+        for placement in random_placements(problem, 5, seed=11):
+            assert_same_evaluation(
+                under_test.evaluate(placement), reference.evaluate(placement)
+            )
+
+    def test_sparse_form_matches_both_numpy_engines(self):
+        # City scale forces the bin-pair kernel form.
+        problem = city_spec(1024, 4_000, seed=3).generate()
+        placement = random_placements(problem, 1, seed=12)[0]
+        compiled_eval = Evaluator(problem, engine="compiled").evaluate(placement)
+        for numpy_engine in ("dense", "sparse"):
+            reference = Evaluator(problem, engine=numpy_engine).evaluate(placement)
+            assert_same_evaluation(compiled_eval, reference)
+
+    def test_evaluate_many_counts_and_matches(self):
+        problem = tiny_problem()
+        placements = random_placements(problem, 6, seed=13)
+        reference = Evaluator(problem, engine="dense")
+        under_test = Evaluator(problem, engine="compiled")
+        batch = under_test.evaluate_many(placements)
+        assert under_test.n_evaluations == len(placements)
+        for evaluation, placement in zip(batch, placements):
+            assert_same_evaluation(evaluation, reference.evaluate(placement))
+
+    def test_zero_clients(self):
+        rng = np.random.default_rng(5)
+        problem = ProblemInstance.build(
+            32, 32, 8, [], RadioProfile(3.0, 6.0), rng
+        )
+        placement = random_placements(problem, 1, seed=14)[0]
+        compiled_eval = Evaluator(problem, engine="compiled").evaluate(placement)
+        reference = Evaluator(problem, engine="dense").evaluate(placement)
+        assert compiled_eval.covered_clients == 0
+        assert_same_evaluation(compiled_eval, reference)
+
+
+@needs_kernels
+class TestStackedParity:
+    def test_measure_positions_matches_numpy_stack(self):
+        problem = tiny_problem()
+        placements = random_placements(problem, 9, seed=15)
+        stack = np.stack([p.positions_array() for p in placements])
+        reference = StackedEngine(problem, engine="dense").measure_positions(stack)
+        engine = StackedEngine(problem, engine="compiled")
+        assert engine.engine == "compiled" and engine.layout == "dense"
+        assert engine.accepts_positions
+        measurement = engine.measure_positions(stack)
+        for name in (
+            "giant_sizes", "covered_clients", "n_components",
+            "n_links", "mean_degrees", "fitness", "giant_masks",
+        ):
+            assert np.array_equal(
+                getattr(measurement, name), getattr(reference, name)
+            ), name
+
+    def test_city_stack_takes_positions_lane(self):
+        problem = city_spec(1024, 4_000, seed=3).generate()
+        engine = StackedEngine(problem, engine="compiled")
+        assert engine.layout == "sparse" and engine.accepts_positions
+        placements = random_placements(problem, 2, seed=16)
+        reference = StackedEngine(problem, engine="sparse").measure_placements(
+            placements
+        )
+        measurement = engine.measure_placements(placements)
+        assert np.array_equal(measurement.fitness, reference.fitness)
+        assert np.array_equal(measurement.giant_masks, reference.giant_masks)
+
+    def test_empty_stack(self):
+        problem = tiny_problem()
+        engine = StackedEngine(problem, engine="compiled")
+        assert len(engine.measure_placements([])) == 0
+
+
+@needs_kernels
+class TestDeltaParity:
+    class _Move:
+        def __init__(self, placement):
+            self._placement = placement
+
+        def apply(self, incumbent):
+            return self._placement
+
+    @pytest.mark.parametrize("coverage_rule", COVERAGE_RULES)
+    def test_propose_commit_loop_matches_dense(self, coverage_rule):
+        problem = tiny_problem(coverage_rule=coverage_rule)
+        rng = np.random.default_rng(17)
+        start = Placement.random(problem.grid, problem.n_routers, rng)
+        under_test = DeltaEvaluator(Evaluator(problem), engine="compiled")
+        reference = DeltaEvaluator(Evaluator(problem), engine="dense")
+        assert under_test.engine == "compiled"
+        assert under_test.layout == "dense"
+        assert_same_evaluation(under_test.reset(start), reference.reset(start))
+        incumbent = start
+        for _ in range(20):
+            router = int(rng.integers(0, len(incumbent)))
+            cell = problem.grid.random_free_cell(incumbent.occupied, rng)
+            candidate = incumbent.with_move(router, cell)
+            ours = under_test.propose(self._Move(candidate))
+            theirs = reference.propose(self._Move(candidate))
+            assert_same_evaluation(ours, theirs)
+            if rng.random() < 0.5:
+                under_test.commit(ours)
+                reference.commit(theirs)
+                incumbent = candidate
+
+    def test_sparse_layout_propose_matches(self):
+        problem = city_spec(1024, 4_000, seed=3).generate()
+        rng = np.random.default_rng(18)
+        start = Placement.random(problem.grid, problem.n_routers, rng)
+        under_test = DeltaEvaluator(Evaluator(problem), engine="compiled")
+        reference = DeltaEvaluator(Evaluator(problem), engine="sparse")
+        assert under_test.layout == "sparse"
+        assert_same_evaluation(under_test.reset(start), reference.reset(start))
+        for _ in range(5):
+            router = int(rng.integers(0, len(start)))
+            cell = problem.grid.random_free_cell(start.occupied, rng)
+            candidate = start.with_move(router, cell)
+            assert_same_evaluation(
+                under_test.propose(self._Move(candidate)),
+                reference.propose(self._Move(candidate)),
+            )
+
+    def test_export_cache_reports_layout(self):
+        problem = tiny_problem()
+        delta = DeltaEvaluator(Evaluator(problem), engine="compiled")
+        delta.reset(random_placements(problem, 1, seed=19)[0])
+        assert delta.export_cache().layout == "dense"
+
+
+@needs_kernels
+class TestStackedDeltaParity:
+    def test_phase_matches_dense_engine(self):
+        problem = tiny_problem()
+        rng = np.random.default_rng(20)
+        incumbent = Placement.random(problem.grid, problem.n_routers, rng)
+        under_test = StackedDeltaEngine(problem, engine="compiled")
+        reference = StackedDeltaEngine(problem, engine="dense")
+        under_test.reset_chain(0, incumbent)
+        reference.reset_chain(0, incumbent)
+        items = [(0, (), ())]
+        for _ in range(4):
+            router = int(rng.integers(0, len(incumbent)))
+            cell = problem.grid.random_free_cell(incumbent.occupied, rng)
+            items.append((0, (router,), ((float(cell.x), float(cell.y)),)))
+        a = int(rng.integers(0, len(incumbent)))
+        b = (a + 1) % len(incumbent)
+        items.append(
+            (0, (a, b), (tuple(map(float, incumbent[b])),
+                         tuple(map(float, incumbent[a]))))
+        )
+        ours = under_test.measure_phase(items)
+        theirs = reference.measure_phase(items)
+        for name in (
+            "giant_sizes", "covered_clients", "n_components",
+            "n_links", "mean_degrees", "fitness", "giant_masks",
+        ):
+            assert np.array_equal(getattr(ours, name), getattr(theirs, name)), name
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            StackedDeltaEngine(tiny_problem(), engine="turbo")
+
+
+@needs_kernels
+class TestKernelUnits:
+    def test_label_components_matches_numpy(self):
+        rng = np.random.default_rng(21)
+        for n_nodes, n_edges in ((1, 0), (64, 120), (8192, 24_000)):
+            rows = rng.integers(0, n_nodes, n_edges)
+            cols = rng.integers(0, n_nodes, n_edges)
+            keep = rows != cols
+            rows, cols = rows[keep], cols[keep]
+            assert np.array_equal(
+                compiled.label_components(n_nodes, rows, cols),
+                labels_from_edges(n_nodes, rows, cols),
+            )
+
+    def test_label_components_validates(self):
+        with pytest.raises(ValueError):
+            compiled.label_components(2, np.array([0]), np.array([5]))
+        with pytest.raises(ValueError):
+            compiled.label_components(-1, np.zeros(0, int), np.zeros(0, int))
+
+    @pytest.mark.parametrize("link_rule", LINK_RULES)
+    def test_link_hits_matches_numpy(self, link_rule):
+        rng = np.random.default_rng(22)
+        positions = rng.uniform(0, 64, size=(100, 2))
+        radii = rng.uniform(2, 10, size=100)
+        rows = rng.integers(0, 100, 400)
+        cols = rng.integers(0, 100, 400)
+        ours = compiled.link_hits_compiled(positions, radii, link_rule, rows, cols)
+        theirs = link_hits(positions, radii, link_rule, rows, cols)
+        assert np.array_equal(ours[0], theirs[0])
+        assert np.array_equal(ours[1], theirs[1])
+
+    def test_client_csr_is_contiguous(self):
+        # np.nonzero hands back strided column views; the kernels walk
+        # raw int64 buffers, so the hit list must be compacted.
+        coverage = np.zeros((6, 4), dtype=bool)
+        coverage[1, 2] = coverage[3, 0] = coverage[3, 3] = True
+        ptr, hit = compiled.client_csr(coverage)
+        assert hit.flags["C_CONTIGUOUS"] and ptr.flags["C_CONTIGUOUS"]
+        assert ptr.tolist() == [0, 0, 1, 1, 3, 3, 3]
+        assert hit.tolist() == [2, 0, 3]
+
+    def test_giant_covered_exchanges_mover_columns(self):
+        coverage = np.array(
+            [[1, 0, 0], [0, 1, 0], [1, 0, 1], [0, 0, 0]], dtype=bool
+        )
+        ptr, hit = compiled.client_csr(coverage)
+        giant = np.array([[True, False, True]])
+        # Candidate 0 moves router 0 (in the giant) to cover only the
+        # last client: c0 loses its hit, c2 keeps router 2, c3 gains.
+        covered = compiled.giant_covered(
+            ptr, hit, 3, giant,
+            np.array([0], dtype=np.intp), np.array([0], dtype=np.intp),
+            np.array([[0, 0, 0, 1]], dtype=bool), coverage,
+        )
+        assert covered.tolist() == [2]
+
+    def test_csr_update_column_matches_full_rebuild(self):
+        rng = np.random.default_rng(37)
+        coverage = rng.random((40, 12)) < 0.3
+        ptr, hit = compiled.client_csr(coverage)
+        for router in (0, 5, 11):
+            newcol = rng.random(40) < 0.4
+            patched = coverage.copy()
+            patched[:, router] = newcol
+            got_ptr, got_hit = compiled.csr_update_column(
+                ptr, hit, router, newcol
+            )
+            want_ptr, want_hit = compiled.client_csr(patched)
+            assert np.array_equal(got_ptr, want_ptr)
+            assert np.array_equal(got_hit, want_hit)
+            coverage, ptr, hit = patched, got_ptr, got_hit
+
+    def test_csr_update_column_validates_offsets(self):
+        with pytest.raises(ValueError):
+            compiled.csr_update_column(
+                np.zeros(3, dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+                0,
+                np.zeros(5, dtype=bool),
+            )
+
+    def test_dense_edges_matches_nonzero(self):
+        rng = np.random.default_rng(41)
+        half = rng.random((30, 30)) < 0.2
+        adjacency = np.triu(half, k=1)
+        adjacency = adjacency | adjacency.T
+        rows, cols = compiled.dense_edges(adjacency)
+        ref_rows, ref_cols = np.nonzero(adjacency)
+        one_way = ref_rows < ref_cols
+        assert np.array_equal(rows, ref_rows[one_way])
+        assert np.array_equal(cols, ref_cols[one_way])
+
+    def test_set_num_threads_validates(self):
+        with pytest.raises(ValueError):
+            compiled.set_num_threads(0)
+
+
+class TestForcedUnavailability:
+    """The documented fallback contract, no toolchain required."""
+
+    @pytest.fixture()
+    def disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILED", "0")
+
+    def test_compiled_engine_raises_clear_error(self, disabled):
+        problem = tiny_problem()
+        with pytest.raises(RuntimeError, match="engine='auto'"):
+            Evaluator(problem, engine="compiled")
+
+    def test_require_names_the_gate(self, disabled):
+        with pytest.raises(RuntimeError, match="REPRO_COMPILED"):
+            compiled.require()
+
+    def test_auto_falls_back_silently_with_identical_results(self, disabled):
+        problem = tiny_problem()
+        auto = Evaluator(problem, engine="auto")
+        assert auto.engine in ("dense", "sparse")
+        forced = Evaluator(problem, engine=auto.engine)
+        for placement in random_placements(problem, 3, seed=23):
+            assert_same_evaluation(
+                auto.evaluate(placement), forced.evaluate(placement)
+            )
+
+    def test_is_available_honors_gate(self, disabled):
+        assert not compiled.is_available()
+
+
+class TestDispatchContract:
+    def test_error_message_lists_every_tier(self):
+        problem = tiny_problem()
+        with pytest.raises(ValueError) as excinfo:
+            resolve_engine(problem, "turbo")
+        for tier in ENGINE_TIERS:
+            assert repr(tier) in str(excinfo.value)
+
+    def test_compiled_is_a_tier(self):
+        assert "compiled" in ENGINE_TIERS

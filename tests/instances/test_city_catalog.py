@@ -52,7 +52,9 @@ class TestCityEndToEnd:
         # paper's neighborhood search, with the engine auto-dispatched.
         problem = city_medium().generate()
         evaluator = Evaluator(problem)
-        assert evaluator.engine == "sparse"
+        # "auto" promotes to compiled when the kernels built; the numpy
+        # fallback for this instance is the sparse path.
+        assert evaluator.engine in ("sparse", "compiled")
         rng = np.random.default_rng(CITY_SEED)
         initial = Placement.random(problem.grid, problem.n_routers, rng)
         search = NeighborhoodSearch(
