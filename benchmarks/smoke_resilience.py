@@ -1,0 +1,172 @@
+"""Resilience smoke for CI: chaos parity + kill-mid-run checkpoint resume.
+
+Two end-to-end guarantees, exercised for real rather than simulated:
+
+1. **Chaos parity** — a ScenarioFleet run with injected worker crashes
+   and compiled-tier poison (``REPRO_FAULT_INJECT``) completes through
+   retry/degradation with results bit-identical to a fault-free serial
+   run.
+2. **Kill/resume** — a checkpointed fleet run is started in a child
+   process and SIGKILLed partway through the grid; resuming from the
+   checkpoint directory produces results identical to an uninterrupted
+   run.
+
+Run directly (``PYTHONPATH=src python benchmarks/smoke_resilience.py``);
+exits non-zero on any parity violation.  ``--child`` is the internal
+entry point for the killed run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import time
+import warnings
+
+from repro.instances.catalog import tiny_spec
+from repro.resilience import (
+    FAULT_ENV,
+    SupervisionReport,
+    scenario_result_to_dict,
+    stable_scenario_dict,
+)
+from repro.scenario import Scenario, ScenarioFleet
+
+SEED = 9
+
+
+def build_fleet(workers=None):
+    """The shared grid: parent and killed child must build it identically."""
+    problem = tiny_spec(seed=3).generate()
+    return ScenarioFleet(
+        [
+            Scenario.client_drift(problem, 2),
+            Scenario.router_outages(problem, 2),
+        ],
+        [("search:swap", {"n_candidates": 4})],
+        n_seeds=2,
+        budget=4,
+        warm="both",
+        workers=workers,
+    )
+
+
+def stable(report):
+    return [
+        (
+            run.scenario,
+            run.solver,
+            run.warm,
+            run.replicate,
+            stable_scenario_dict(scenario_result_to_dict(run.result)),
+        )
+        for run in report.runs
+    ]
+
+
+def chaos_parity():
+    os.environ.pop(FAULT_ENV, None)
+    clean = build_fleet().run(seed=SEED)
+
+    os.environ[FAULT_ENV] = "kill@0,crash-compiled@1"
+    supervision = SupervisionReport()
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            injected = build_fleet(workers=2).run(
+                seed=SEED, report=supervision
+            )
+    finally:
+        os.environ.pop(FAULT_ENV, None)
+
+    assert stable(injected) == stable(clean), (
+        "fleet results diverged after injected-fault recovery"
+    )
+    assert supervision.n_failures >= 1, "fault plan injected nothing"
+    print(
+        f"chaos parity OK: recovered from {supervision.summary()}; "
+        "results bit-identical to the fault-free serial run"
+    )
+
+
+def kill_resume(tmp_dir):
+    uninterrupted = build_fleet().run(seed=SEED)
+    total_cells = len(uninterrupted.runs)
+
+    env = dict(os.environ)
+    env.pop(FAULT_ENV, None)
+    # Deterministic per-task delays: results are untouched, but every
+    # shard takes >= 0.4 s, so the kill below reliably lands mid-grid.
+    env[FAULT_ENV] = ",".join(f"delay@{i}:0.4" for i in range(16))
+    env["PYTHONPATH"] = "src"
+    child = subprocess.Popen(
+        [sys.executable, os.path.abspath(__file__), "--child", tmp_dir],
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+    try:
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            cells = [
+                name
+                for name in (
+                    os.listdir(tmp_dir) if os.path.isdir(tmp_dir) else []
+                )
+                if name.endswith(".json") and name != "manifest.json"
+            ]
+            if cells or child.poll() is not None:
+                break
+            time.sleep(0.005)
+        if child.poll() is None:
+            child.send_signal(signal.SIGKILL)
+            child.wait(timeout=30)
+            print(
+                f"killed the checkpointed run after {len(cells)} of "
+                f"{total_cells} cells"
+            )
+        else:
+            print(
+                "warning: child finished before the kill; "
+                "resume degenerates to a full restore"
+            )
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait(timeout=30)
+
+    resumed = build_fleet().run(seed=SEED, resume_from=tmp_dir)
+    assert stable(resumed) == stable(uninterrupted), (
+        "resumed run diverged from the uninterrupted run"
+    )
+    print(
+        f"kill/resume OK: resumed run matches the uninterrupted run "
+        f"across all {total_cells} cells"
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--child",
+        metavar="DIR",
+        help="internal: run the checkpointed fleet into DIR and exit",
+    )
+    args = parser.parse_args()
+
+    if args.child:
+        build_fleet().run(seed=SEED, checkpoint=args.child)
+        return
+
+    import tempfile
+
+    chaos_parity()
+    with tempfile.TemporaryDirectory() as tmp:
+        kill_resume(os.path.join(tmp, "fleet"))
+    print("resilience smoke passed")
+
+
+if __name__ == "__main__":
+    main()

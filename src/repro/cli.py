@@ -73,6 +73,65 @@ def _add_engine(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_resilience(
+    parser: argparse.ArgumentParser, *, timeout: bool = True
+) -> None:
+    """The uniform fault-tolerance knobs (see ``repro.resilience``)."""
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry a failed/crashed task up to N times with exponential "
+        "backoff; a shard crashing under the compiled engine is retried "
+        "with REPRO_COMPILED=0 (identical results)",
+    )
+    if timeout:
+        parser.add_argument(
+            "--task-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-task wall-clock budget under --workers; a hung "
+            "worker is abandoned and its task retried in a fresh pool",
+        )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="persist every completed cell into DIR (atomic JSON + "
+        "manifest with seed provenance) so an interrupted run can resume",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="resume from a checkpoint directory: skip completed cells "
+        "(one is recomputed and verified bit-identical) and keep "
+        "checkpointing new ones there",
+    )
+
+
+def _resilience_policy(args: argparse.Namespace):
+    """A ``RetryPolicy`` from the CLI flags, or ``None`` when untouched."""
+    retries = getattr(args, "retries", None)
+    task_timeout = getattr(args, "task_timeout", None)
+    if retries is None and task_timeout is None:
+        return None
+    from repro.resilience import RetryPolicy
+
+    return RetryPolicy(
+        max_retries=retries if retries is not None else 3,
+        timeout=task_timeout,
+    )
+
+
+def _print_supervision(report) -> None:
+    """Surface recovery activity on stderr (quiet on clean runs)."""
+    if report.failures or report.degraded:
+        print(report.summary(), file=sys.stderr)
+
+
 def _add_scenario_shape(parser: argparse.ArgumentParser) -> None:
     """The per-kind perturbation knobs, shared by scenario commands."""
     parser.add_argument(
@@ -306,6 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also draw the fitness-vs-step curve",
     )
     _add_engine(scenario)
+    _add_resilience(scenario, timeout=False)
 
     fleet = subparsers.add_parser(
         "scenario-fleet",
@@ -376,6 +436,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also draw the mean recovery curves per scenario",
     )
     _add_engine(fleet)
+    _add_resilience(fleet)
 
     reproduce = subparsers.add_parser(
         "reproduce", help="regenerate every table and figure of the paper"
@@ -413,6 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
         "chains still run in lockstep within each process)",
     )
     _add_engine(replicate)
+    _add_resilience(replicate)
 
     sweep = subparsers.add_parser(
         "sweep", help="scaling sweeps around the paper's operating point"
@@ -456,9 +518,16 @@ def main(argv: "list[str] | None" = None) -> int:
         "replicate": _cmd_replicate,
         "sweep": _cmd_sweep,
     }
+    from repro.resilience import CheckpointError, RetryExhaustedError
+
     try:
         return handlers[args.command](args)
-    except (ValueError, OSError) as error:
+    except (
+        ValueError,
+        OSError,
+        CheckpointError,
+        RetryExhaustedError,
+    ) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
@@ -608,9 +677,20 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         budget=args.budget,
         warm=not args.cold,
         engine=args.engine,
+        policy=_resilience_policy(args),
         **_scenario_solver_kwargs(args.solver, args.candidates, args.stall),
     )
-    outcome = runner.run(scenario, seed=args.seed)
+    from repro.resilience import SupervisionReport
+
+    supervision = SupervisionReport()
+    outcome = runner.run(
+        scenario,
+        seed=args.seed,
+        checkpoint=args.checkpoint,
+        resume_from=args.resume,
+        report=supervision,
+    )
+    _print_supervision(supervision)
     print(render_timeline(outcome))
     if args.chart:
         print(
@@ -652,8 +732,18 @@ def _cmd_scenario_fleet(args: argparse.Namespace) -> int:
         warm=args.arms,
         engine=args.engine,
         workers=args.workers,
+        policy=_resilience_policy(args),
     )
-    report = fleet.run(seed=args.seed)
+    from repro.resilience import SupervisionReport
+
+    supervision = SupervisionReport()
+    report = fleet.run(
+        seed=args.seed,
+        checkpoint=args.checkpoint,
+        resume_from=args.resume,
+        report=supervision,
+    )
+    _print_supervision(supervision)
     print(render_fleet_report(report, chart=args.chart))
     return 0
 
@@ -706,10 +796,43 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
         link_rule=problem.link_rule,
         coverage_rule=problem.coverage_rule,
     )
+    from repro.resilience import SupervisionReport
+
+    import os
+
+    # The two studies checkpoint into sibling subdirectories (each keeps
+    # its own manifest).  A run interrupted during the first study has
+    # no second subdirectory yet, so --resume degrades to fresh
+    # checkpointing for a study whose checkpoint never started.
+    def _study_dirs(name: str) -> tuple["str | None", "str | None"]:
+        checkpoint = (
+            os.path.join(args.checkpoint, name) if args.checkpoint else None
+        )
+        resume = os.path.join(args.resume, name) if args.resume else None
+        if resume is not None and not os.path.isfile(
+            os.path.join(resume, "manifest.json")
+        ):
+            # The run was interrupted before this study checkpointed
+            # anything: recompute it fresh (into the same directory)
+            # instead of refusing the resume of the *other* study.
+            return resume, None
+        return checkpoint, resume
+
+    policy = _resilience_policy(args)
+    supervision = SupervisionReport()
+    checkpoint, resume = _study_dirs("standalone")
     standalone = replicate_standalone(
-        spec, n_seeds=args.seeds, workers=args.workers, engine=args.engine
+        spec,
+        n_seeds=args.seeds,
+        workers=args.workers,
+        engine=args.engine,
+        policy=policy,
+        checkpoint=checkpoint,
+        resume_from=resume,
+        report=supervision,
     )
     print(format_replication(standalone, "stand-alone ad hoc methods"))
+    checkpoint, resume = _study_dirs("movements")
     movements = replicate_movements(
         spec,
         n_seeds=args.seeds,
@@ -717,8 +840,13 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
         max_phases=args.phases,
         workers=args.workers,
         engine=args.engine,
+        policy=policy,
+        checkpoint=checkpoint,
+        resume_from=resume,
+        report=supervision,
     )
     print(format_replication(movements, "neighborhood search movements"))
+    _print_supervision(supervision)
     return 0
 
 

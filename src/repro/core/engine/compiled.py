@@ -48,6 +48,7 @@ import shutil
 import subprocess
 import tempfile
 import threading
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -59,6 +60,7 @@ from repro.core.solution import Placement
 
 __all__ = [
     "is_available",
+    "build_error",
     "require",
     "has_openmp",
     "set_num_threads",
@@ -230,12 +232,37 @@ def _load() -> "ctypes.CDLL | None":
             _lib = _bind(ctypes.CDLL(str(_compile_library())))
         except (OSError, RuntimeError, subprocess.SubprocessError) as exc:
             _build_error = str(exc)
+            # One warning per process (the failure is cached, so this
+            # branch runs once): ``engine="auto"`` keeps working on the
+            # numpy tiers with identical results, but silence here cost
+            # users the speedup without any signal as to why.
+            summary = _build_error.strip().splitlines()[-1][:200]
+            warnings.warn(
+                "building the compiled kernel engine failed; falling "
+                f"back to the numpy engines (identical results). "
+                f"Build error: {summary} — see "
+                "repro.core.engine.compiled.build_error() for the full "
+                "text",
+                RuntimeWarning,
+                stacklevel=3,
+            )
     return _lib
 
 
 def is_available() -> bool:
     """Whether the compiled tier can run (gate enabled + build succeeds)."""
     return _env_enabled() and _load() is not None
+
+
+def build_error() -> "str | None":
+    """The cached kernel build failure, or ``None``.
+
+    ``None`` either means the build succeeded or that nothing has
+    attempted a build yet in this process (the build is lazy); after a
+    failed :func:`is_available`/:func:`require` call this holds the full
+    compiler/loader error text for diagnostics.
+    """
+    return _build_error
 
 
 def require() -> ctypes.CDLL:

@@ -82,7 +82,11 @@ def resolve_engine(problem: ProblemInstance, engine: str) -> str:
 
     ``"auto"`` promotes to the compiled tier when its kernels are
     available (see :func:`repro.core.engine.compiled.is_available`) and
-    silently falls back to :func:`select_engine` when they are not;
+    falls back to :func:`select_engine` when they are not — a *failed
+    kernel build* additionally raises a one-time ``RuntimeWarning``
+    naming the build error (full text via
+    :func:`repro.core.engine.compiled.build_error`), because the
+    fallback is result-identical but not speed-identical;
     ``"compiled"`` demands the tier and raises a ``RuntimeError``
     explaining the failure when it cannot run.
     """

@@ -36,6 +36,7 @@ built-in registries and movements all are).
 
 from __future__ import annotations
 
+import re
 import zlib
 from dataclasses import dataclass
 
@@ -48,6 +49,8 @@ from repro.instances.generator import InstanceSpec
 from repro.neighborhood.movements import MovementType
 from repro.neighborhood.multichain import MultiChainSearch
 from repro.parallel import run_tasks, seed_shards
+from repro.resilience.checkpoint import open_store
+from repro.resilience.supervisor import RetryPolicy, SupervisionReport
 
 __all__ = [
     "ReplicatedMetric",
@@ -149,6 +152,100 @@ def _movement_run(task) -> list[tuple[float, float]]:
 
 _run_tasks = run_tasks
 
+_ROW_FORMAT = "repro.replicate_row.v1"
+
+
+def _rep_key(label: str, seed: int) -> str:
+    """Checkpoint key of one (label, seed) row: readable + collision-free.
+
+    The sanitized label is for humans; the CRC key (the same
+    :func:`label_key` that seeds the row's generator) disambiguates
+    labels that sanitize identically.  Seed-granular — never
+    shard-granular — so a checkpoint written at one worker count resumes
+    at any other.
+    """
+    safe = re.sub(r"[^A-Za-z0-9._-]+", "-", label).strip("-") or "label"
+    return f"{safe}.{label_key(label):05d}-s{seed:03d}"
+
+
+def _row_doc(label: str, seed: int, row) -> dict:
+    return {
+        "format": _ROW_FORMAT,
+        "label": label,
+        "seed": seed,
+        "values": [float(value) for value in row],
+    }
+
+
+def _run_replication(
+    run_fn,
+    labels,
+    make_task,
+    n_seeds: int,
+    workers: "int | None",
+    policy: "RetryPolicy | None",
+    store,
+    report: "SupervisionReport | None",
+) -> dict[str, list[tuple]]:
+    """Shared supervised/checkpointed grid walk of both harnesses.
+
+    ``make_task(label, seeds)`` builds the picklable shard task for any
+    contiguous seed range — the same builder serves normal execution and
+    the single-seed parity re-verification on resume.  Returns
+    ``{label: rows-ordered-by-seed}``.
+    """
+    shards = _seed_shards(n_seeds, workers)
+    entries = [
+        (label, shard, [_rep_key(label, seed) for seed in shard])
+        for label in labels
+        for shard in shards
+    ]
+    restored = [
+        index
+        for index, (_, _, keys) in enumerate(entries)
+        if store is not None and all(store.has(key) for key in keys)
+    ]
+    if restored:
+        # Trust-but-verify: recompute one checkpointed row and assert it
+        # matches its stored document exactly.
+        label, shard, keys = entries[restored[0]]
+        seed = shard.start
+        row = run_fn(make_task(label, range(seed, seed + 1)))[0]
+        store.verify_cell(keys[0], _row_doc(label, seed, row))
+    pending = [i for i in range(len(entries)) if i not in set(restored)]
+
+    def persist(position: int, rows) -> None:
+        label, shard, keys = entries[pending[position]]
+        for seed, key, row in zip(shard, keys, rows):
+            store.save(key, _row_doc(label, seed, row))
+
+    flat = _run_tasks(
+        run_fn,
+        [make_task(entries[i][0], entries[i][1]) for i in pending],
+        workers,
+        policy=policy,
+        labels=[
+            f"{label} seeds {shard.start}..{shard.stop - 1}"
+            for label, shard, _ in (entries[i] for i in pending)
+        ],
+        on_shard=persist if store is not None else None,
+        report=report,
+    )
+    rows_by_entry: dict[int, list] = {}
+    offset = 0
+    for position, index in enumerate(pending):
+        shard = entries[index][1]
+        rows_by_entry[index] = flat[offset : offset + len(shard)]
+        offset += len(shard)
+    for index in restored:
+        rows_by_entry[index] = [
+            tuple(store.load(key)["values"]) for key in entries[index][2]
+        ]
+    results: dict[str, list[tuple]] = {label: [] for label in labels}
+    for index, (label, _, _) in enumerate(entries):
+        results[label].extend(tuple(row) for row in rows_by_entry[index])
+    return results
+
 
 @dataclass(frozen=True)
 class ReplicatedMetric:
@@ -198,6 +295,10 @@ def replicate_standalone(
     fitness: FitnessFunction | None = None,
     workers: int | None = None,
     engine: str = "auto",
+    policy: "RetryPolicy | None" = None,
+    checkpoint: "str | None" = None,
+    resume_from: "str | None" = None,
+    report: "SupervisionReport | None" = None,
 ) -> dict[str, dict[str, ReplicatedMetric]]:
     """Stand-alone ad hoc results across seeds.
 
@@ -208,31 +309,55 @@ def replicate_standalone(
     with ``workers``, contiguous seed shards fan out over a process pool.
     RNG keys are computed here in the parent (see the module docstring),
     so the per-seed values are identical in every configuration.
+
+    Execution is supervised (``policy``: retry/backoff/degradation, see
+    :mod:`repro.resilience`); ``checkpoint`` persists each completed
+    (method, seed) row and ``resume_from`` skips checkpointed rows
+    after re-verifying one of them — semantics as on
+    :meth:`repro.scenario.fleet.ScenarioFleet.run`.
     """
     if n_seeds <= 0:
         raise ValueError(f"n_seeds must be positive, got {n_seeds}")
-    shards = _seed_shards(n_seeds, workers)
-    tasks = [
-        (
+    store = open_store(
+        {
+            "kind": "replicate-standalone",
+            "spec": repr(spec),
+            "n_seeds": n_seeds,
+            "methods": list(methods),
+            "fitness": repr(fitness) if fitness is not None else None,
+            "engine": engine,
+        },
+        checkpoint=checkpoint,
+        resume_from=resume_from,
+    )
+
+    def make_task(name, seeds):
+        return (
             spec,
             name,
             fitness,
             engine,
-            [(spec.seed, label_key(name), seed) for seed in shard],
+            [(spec.seed, label_key(name), seed) for seed in seeds],
         )
-        for name in methods
-        for shard in shards
-    ]
-    values = _run_tasks(_standalone_run, tasks, workers)
-    results: dict[str, dict[str, ReplicatedMetric]] = {}
-    for index, name in enumerate(methods):
-        rows = values[index * n_seeds : (index + 1) * n_seeds]
-        results[name] = {
+
+    by_label = _run_replication(
+        _standalone_run,
+        list(methods),
+        make_task,
+        n_seeds,
+        workers,
+        policy,
+        store,
+        report,
+    )
+    return {
+        name: {
             "giant": ReplicatedMetric(tuple(row[0] for row in rows)),
             "coverage": ReplicatedMetric(tuple(row[1] for row in rows)),
             "fitness": ReplicatedMetric(tuple(row[2] for row in rows)),
         }
-    return results
+        for name, rows in by_label.items()
+    }
 
 
 def replicate_movements(
@@ -244,6 +369,10 @@ def replicate_movements(
     fitness: FitnessFunction | None = None,
     workers: int | None = None,
     engine: str = "auto",
+    policy: "RetryPolicy | None" = None,
+    checkpoint: "str | None" = None,
+    resume_from: "str | None" = None,
+    report: "SupervisionReport | None" = None,
 ) -> dict[str, dict[str, ReplicatedMetric]]:
     """Final neighborhood-search giants across seeds, per movement.
 
@@ -257,6 +386,10 @@ def replicate_movements(
     the search randomness.  With ``workers``, contiguous seed shards of
     every portfolio fan out over a process pool — identical statistics,
     less wall-clock.
+
+    Supervision and checkpoint/resume kwargs behave exactly as on
+    :func:`replicate_standalone` (rows are checkpointed per (movement,
+    seed); resume re-verifies one row).
     """
     from repro.neighborhood.movements import RandomMovement, SwapMovement
 
@@ -265,29 +398,49 @@ def replicate_movements(
     if movements is None:
         movements = {"Swap": SwapMovement, "Random": RandomMovement}
     labels = list(movements)
-    shards = _seed_shards(n_seeds, workers)
-    tasks = [
-        (
+    store = open_store(
+        {
+            "kind": "replicate-movements",
+            "spec": repr(spec),
+            "n_seeds": n_seeds,
+            "movements": labels,
+            "n_candidates": n_candidates,
+            "max_phases": max_phases,
+            "fitness": repr(fitness) if fitness is not None else None,
+            "engine": engine,
+        },
+        checkpoint=checkpoint,
+        resume_from=resume_from,
+    )
+
+    def make_task(label, seeds):
+        return (
             spec,
             movements[label],
             n_candidates,
             max_phases,
             fitness,
             engine,
-            [(spec.seed, label_key(label), seed) for seed in shard],
+            [(spec.seed, label_key(label), seed) for seed in seeds],
         )
-        for label in labels
-        for shard in shards
-    ]
-    values = _run_tasks(_movement_run, tasks, workers)
-    results: dict[str, dict[str, ReplicatedMetric]] = {}
-    for index, label in enumerate(labels):
-        rows = values[index * n_seeds : (index + 1) * n_seeds]
-        results[label] = {
+
+    by_label = _run_replication(
+        _movement_run,
+        labels,
+        make_task,
+        n_seeds,
+        workers,
+        policy,
+        store,
+        report,
+    )
+    return {
+        label: {
             "giant": ReplicatedMetric(tuple(row[0] for row in rows)),
             "coverage": ReplicatedMetric(tuple(row[1] for row in rows)),
         }
-    return results
+        for label, rows in by_label.items()
+    }
 
 
 def format_replication(

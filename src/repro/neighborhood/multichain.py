@@ -56,7 +56,6 @@ and because of the stream contract the results are identical to
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -73,7 +72,7 @@ from repro.neighborhood.moves import RelocateMove, SwapMove
 from repro.neighborhood.movements import MovementType
 from repro.neighborhood.search import SearchResult
 from repro.neighborhood.trace import SearchTrace
-from repro.parallel import shard_slices
+from repro.parallel import run_tasks, shard_slices
 
 __all__ = [
     "chain_generators",
@@ -602,9 +601,10 @@ class MultiChainSearch:
             )
             for part in _shard_slices(len(initials), workers)
         ]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            shards = list(pool.map(_run_shard, tasks))
-        return [result for shard in shards for result in shard]
+        # The shared supervised pool pins worker threads (OMP) and
+        # retries crashed shards; a raw ProcessPoolExecutor here used to
+        # skip both.
+        return run_tasks(_run_shard, tasks, workers)
 
     def __repr__(self) -> str:
         return (

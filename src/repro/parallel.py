@@ -1,6 +1,6 @@
 """Process fan-out shared by every ``workers=`` harness.
 
-Three layers run portfolios over a ``ProcessPoolExecutor``: the lockstep
+Three layers run portfolios over a process pool: the lockstep
 multi-chain engine (:mod:`repro.neighborhood.multichain`), the
 replication harness (:mod:`repro.experiments.replication`) and the
 scenario fleet (:mod:`repro.scenario.fleet`).  They all shard the same
@@ -9,36 +9,33 @@ way — contiguous, order-preserving splits, executed serially when
 the split and the pool plumbing live here once.  One implementation also
 means one determinism argument: a shard boundary can never change which
 seed owns which stream, only which process advances it.
+
+Execution itself is delegated to the supervised pool
+(:mod:`repro.resilience.supervisor`): worker crashes, hung kernels and
+transient task errors are retried per :class:`RetryPolicy` with only the
+failed shard resubmitted — safe precisely because of the determinism
+contract above — and a shard that keeps crashing under the compiled
+engine tier is degraded to the bit-identical numpy engines.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.resilience.supervisor import (
+    RetryPolicy,
+    SupervisionReport,
+    _worker_init,
+    run_supervised,
+)
+
 __all__ = ["shard_slices", "seed_shards", "run_tasks"]
 
-
-def _limit_worker_threads() -> None:
-    """Pin each pool worker to one compute thread.
-
-    The compiled engine's kernels parallelize with OpenMP; with the
-    process pool already saturating the cores, nested threading would
-    oversubscribe them.  Runs once per worker process at pool start.
-    """
-    os.environ["OMP_NUM_THREADS"] = "1"
-    try:
-        from repro.core.engine import compiled
-
-        if compiled.is_available():
-            compiled.set_num_threads(1)
-    except Exception:
-        # Thread pinning is a performance nicety; a worker that cannot
-        # build or load the kernels simply runs the numpy paths.
-        pass
+# Pool-worker bootstrap (OMP pinning) now lives with the supervisor; the
+# old name stays importable for anything that referenced it here.
+_limit_worker_threads = _worker_init
 
 
 def shard_slices(count: int, shards: int) -> list[slice]:
@@ -62,22 +59,38 @@ def seed_shards(n_seeds: int, workers: "int | None") -> list[range]:
 
 
 def run_tasks(
-    runner: Callable[[object], Sequence], tasks: list, workers: "int | None"
+    runner: Callable[[object], Sequence],
+    tasks: list,
+    workers: "int | None",
+    *,
+    policy: "RetryPolicy | None" = None,
+    labels: "Sequence[str] | None" = None,
+    on_shard: "Callable[[int, Sequence], None] | None" = None,
+    report: "SupervisionReport | None" = None,
 ) -> list:
-    """Run shard tasks serially or over a process pool, flattening in order.
+    """Run shard tasks serially or over a supervised pool, flat, in order.
 
     ``runner`` must be a top-level function and every task picklable when
     ``workers > 1``.  Results come back in task-submission order whatever
     the pool's scheduling, so callers can slice the flat list by shard
     arithmetic alone.
+
+    Supervision kwargs are all optional and default to the standard
+    :class:`RetryPolicy` (bounded retry, crash degradation).  ``labels``
+    names each shard task for failure messages — pass the shard's
+    scenario/solver/seed identity so a
+    :class:`~repro.resilience.supervisor.RetryExhaustedError` says which
+    seeds were lost.  ``on_shard(index, rows)`` fires in the parent as
+    each shard completes (the checkpoint persistence hook); ``report``
+    collects recovery activity for the caller to surface.
     """
-    if workers is not None and workers < 1:
-        raise ValueError(f"workers must be a positive int or None, got {workers}")
-    if workers is None or workers == 1:
-        shards = [runner(task) for task in tasks]
-    else:
-        with ProcessPoolExecutor(
-            max_workers=workers, initializer=_limit_worker_threads
-        ) as pool:
-            shards = list(pool.map(runner, tasks))
+    shards = run_supervised(
+        runner,
+        tasks,
+        workers=workers,
+        policy=policy,
+        labels=labels,
+        on_result=on_shard,
+        report=report,
+    )
     return [row for shard in shards for row in shard]

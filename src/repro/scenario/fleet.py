@@ -45,6 +45,13 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.parallel import run_tasks, seed_shards
+from repro.resilience.checkpoint import (
+    entropy_payload,
+    open_store,
+    scenario_result_from_dict,
+    scenario_result_to_dict,
+)
+from repro.resilience.supervisor import RetryPolicy, SupervisionReport
 from repro.scenario.runner import (
     ScenarioResult,
     ScenarioStepResult,
@@ -358,6 +365,29 @@ def _unique(values) -> list:
 # ----------------------------------------------------------------------
 
 
+def _fleet_key(cell: int, warm: bool, replicate: int) -> str:
+    """Grid-stable checkpoint key of one triple.
+
+    Keyed by (cell index, arm, replicate) — never by shard/worker
+    layout, so a run checkpointed at one worker count resumes at any
+    other.
+    """
+    arm = "warm" if warm else "cold"
+    return f"c{cell:03d}-{arm}-r{replicate:03d}"
+
+
+def _shard_label(entry) -> str:
+    """The supervision label naming one shard task's grid identity."""
+    scenario_label, solver_label, warm, shard, _ = entry
+    arm = "warm" if warm else "cold"
+    seeds = (
+        f"replicate {shard.start}"
+        if len(shard) == 1
+        else f"replicates {shard.start}..{shard.stop - 1}"
+    )
+    return f"{scenario_label}/{solver_label} ({arm}) {seeds}"
+
+
 def _resolve_solver(payload) -> Solver:
     """A per-process solver from its picklable description."""
     if isinstance(payload, Solver):
@@ -487,6 +517,10 @@ class ScenarioFleet:
     workers:
         Fan each cell's replicate shards out over a process pool
         (results identical to serial at any count).
+    policy:
+        The :class:`~repro.resilience.supervisor.RetryPolicy` governing
+        crash/timeout recovery of shard tasks (default: bounded retry
+        with compiled-tier degradation).
     """
 
     def __init__(
@@ -502,6 +536,7 @@ class ScenarioFleet:
         engine: str = "auto",
         fitness=None,
         workers: "int | None" = None,
+        policy: "RetryPolicy | None" = None,
     ) -> None:
         self._scenarios = _label_scenarios(scenarios)
         self._solvers = _label_solvers(solvers)
@@ -520,6 +555,7 @@ class ScenarioFleet:
         self.engine = engine
         self.fitness = fitness
         self.workers = workers
+        self.policy = policy
 
     @property
     def n_cells(self) -> int:
@@ -531,15 +567,39 @@ class ScenarioFleet:
         """Total triples the fleet will solve (cells x arms x seeds)."""
         return self.n_cells * len(self._arms) * self.n_seeds
 
-    def run(self, seed: "int | np.random.SeedSequence" = 0) -> FleetReport:
+    def run(
+        self,
+        seed: "int | np.random.SeedSequence" = 0,
+        *,
+        checkpoint: "str | None" = None,
+        resume_from: "str | None" = None,
+        report: "SupervisionReport | None" = None,
+    ) -> FleetReport:
         """Execute the whole grid; returns the :class:`FleetReport`.
 
         The root seed fixes everything: cell unfolds, per-replicate
         solve streams, and their sharding over workers (which never
         changes a stream, only where it is consumed).
+
+        ``checkpoint`` names a directory where every completed
+        (scenario, solver, arm, replicate) triple is persisted as an
+        atomic JSON document under a manifest pinning the grid's
+        configuration and root-seed provenance.  ``resume_from`` opens
+        such a directory (it must exist and its manifest must match this
+        fleet exactly), skips every fully checkpointed shard, re-runs
+        the rest, and — because completed cells are trusted but verified
+        — recomputes one checkpointed triple and asserts it matches its
+        stored document field-for-field
+        (:class:`~repro.resilience.checkpoint.CheckpointParityError`
+        otherwise).  ``report`` collects supervision activity (retries,
+        degradations) for the caller to surface.
         """
-        grid = fleet_seed_grid(seed, self.n_cells, self.n_seeds)
+        root = _root_sequence(seed)
+        grid = fleet_seed_grid(root, self.n_cells, self.n_seeds)
         shards = seed_shards(self.n_seeds, self.workers)
+        store = open_store(
+            self._manifest(root), checkpoint=checkpoint, resume_from=resume_from
+        )
         config = dict(
             budget=self.budget,
             warm_budget=self.warm_budget,
@@ -549,18 +609,21 @@ class ScenarioFleet:
         )
         serial = self.workers is None or self.workers == 1
         tasks = []
-        order: list[tuple[str, str, bool, range]] = []
+        order: list[tuple[str, str, bool, range, list[str]]] = []
         cell = 0
         for scenario_label, scenario in self._scenarios:
             for solver_label, payload in self._solvers:
                 unfold_seq, rep_seqs = grid[cell]
-                cell += 1
                 # In-process execution unfolds each cell once and shares
                 # the steps across its arm/shard tasks; worker processes
                 # re-unfold from the seed instead (see _run_fleet_shard).
                 steps = scenario.unfold(unfold_seq) if serial else None
                 for warm in self._arms:
                     for shard in shards:
+                        keys = [
+                            _fleet_key(cell, warm, replicate)
+                            for replicate in shard
+                        ]
                         tasks.append(
                             (
                                 scenario,
@@ -573,15 +636,53 @@ class ScenarioFleet:
                             )
                         )
                         order.append(
-                            (scenario_label, solver_label, warm, shard)
+                            (scenario_label, solver_label, warm, shard, keys)
                         )
-        results = run_tasks(_run_fleet_shard, tasks, self.workers)
-        runs: list[FleetRun] = []
+                cell += 1
+
+        # A shard task is skipped only when *all* its replicates are
+        # checkpointed; a partially persisted shard recomputes whole
+        # (deterministic, so recomputation is merely redundant work).
+        restored = [
+            index
+            for index in range(len(tasks))
+            if store is not None and all(store.has(k) for k in order[index][4])
+        ]
+        if restored:
+            self._verify_restored(store, tasks[restored[0]], order[restored[0]])
+        pending = [i for i in range(len(tasks)) if i not in set(restored)]
+
+        def persist(position: int, rows) -> None:
+            keys = order[pending[position]][4]
+            for key, result in zip(keys, rows):
+                store.save(key, scenario_result_to_dict(result))
+
+        flat = run_tasks(
+            _run_fleet_shard,
+            [tasks[i] for i in pending],
+            self.workers,
+            policy=self.policy,
+            labels=[_shard_label(order[i]) for i in pending],
+            on_shard=persist if store is not None else None,
+            report=report,
+        )
+        results: dict[int, list[ScenarioResult]] = {}
         offset = 0
-        for (scenario_label, solver_label, warm, shard) in order:
-            for replicate, result in zip(
-                shard, results[offset : offset + len(shard)]
-            ):
+        for position, index in enumerate(pending):
+            shard = order[index][3]
+            results[index] = flat[offset : offset + len(shard)]
+            offset += len(shard)
+        for index in restored:
+            results[index] = [
+                scenario_result_from_dict(store.load(key))
+                for key in order[index][4]
+            ]
+
+        runs: list[FleetRun] = []
+        for index, (scenario_label, solver_label, warm, shard, _) in enumerate(
+            order
+        ):
+            for replicate, result in zip(shard, results[index]):
                 # Key the run by its *arm* (what the grid asked for), not
                 # by ``result.warm`` — a warm-incapable solver still
                 # belongs to the warm arm it ran in, or a "both" grid
@@ -595,8 +696,46 @@ class ScenarioFleet:
                         result=result,
                     )
                 )
-            offset += len(shard)
         return FleetReport(runs=tuple(runs), n_seeds=self.n_seeds)
+
+    def _manifest(self, root: np.random.SeedSequence) -> dict:
+        """The checkpoint identity of this grid: config + seed provenance."""
+        return {
+            "kind": "scenario-fleet",
+            "seed_entropy": entropy_payload(root.entropy),
+            "scenarios": [label for label, _ in self._scenarios],
+            "solvers": [label for label, _ in self._solvers],
+            "n_seeds": self.n_seeds,
+            "arms": ["warm" if arm else "cold" for arm in self._arms],
+            "budget": self.budget,
+            "warm_budget": self.warm_budget,
+            "reuse_cache": self.reuse_cache,
+            "engine": self.engine,
+            "fitness": repr(self.fitness) if self.fitness is not None else None,
+        }
+
+    def _verify_restored(self, store, task, entry) -> None:
+        """Recompute one checkpointed triple and assert stored parity.
+
+        The resume gate: one replicate of the first restored shard is
+        re-run in-process (identical streams by the determinism
+        contract) and compared field-for-field against its stored
+        document, wall-clock excluded.  Catches stale directories and
+        code drift that the manifest alone cannot.
+        """
+        scenario, payload, config, unfold_seq, steps, rep_seqs, warm = task
+        keys = entry[4]
+        if steps is None:
+            steps = scenario.unfold(unfold_seq)
+        fresh = _solve_portfolio(
+            _resolve_solver(payload),
+            scenario.name,
+            steps,
+            rep_seqs[:1],
+            warm=warm,
+            **config,
+        )[0]
+        store.verify_cell(keys[0], scenario_result_to_dict(fresh))
 
     def __repr__(self) -> str:
         scenarios = [label for label, _ in self._scenarios]

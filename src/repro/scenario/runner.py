@@ -30,8 +30,21 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.resilience.checkpoint import (
+    entropy_payload,
+    open_store,
+    solve_result_from_dict,
+    solve_result_to_dict,
+)
+from repro.resilience.supervisor import (
+    RetryPolicy,
+    SupervisionReport,
+    retry_call,
+)
 from repro.scenario.scenario import Scenario, ScenarioStep, _root_sequence
 from repro.solvers.base import SolveResult, Solver
+
+_STEP_FORMAT = "repro.scenario_step.v1"
 
 __all__ = ["ScenarioStepResult", "ScenarioResult", "ScenarioRunner"]
 
@@ -210,6 +223,11 @@ class ScenarioRunner:
         (only ever a performance hint — results are unaffected).
     engine / fitness:
         Threaded into every solve, as on :meth:`Solver.solve`.
+    policy:
+        The :class:`~repro.resilience.supervisor.RetryPolicy` for the
+        per-step retry loop (transient step failures — injected or real
+        — are retried with backoff; a crashing compiled tier degrades
+        that step to the numpy engines).
     """
 
     def __init__(
@@ -222,6 +240,7 @@ class ScenarioRunner:
         reuse_cache: bool = True,
         engine: str = "auto",
         fitness=None,
+        policy: "RetryPolicy | None" = None,
         **solver_kwargs,
     ) -> None:
         if isinstance(solver, str):
@@ -241,12 +260,16 @@ class ScenarioRunner:
         self.reuse_cache = reuse_cache
         self.engine = engine
         self.fitness = fitness
+        self.policy = policy
 
     def run(
         self,
         scenario: Scenario,
         *,
         seed: "int | np.random.SeedSequence" = 0,
+        checkpoint: "str | None" = None,
+        resume_from: "str | None" = None,
+        report: "SupervisionReport | None" = None,
     ) -> ScenarioResult:
         """Unfold ``scenario`` and (re-)optimize every step.
 
@@ -254,12 +277,23 @@ class ScenarioRunner:
         scenario's perturbations, the second spawns one solve stream per
         step — so warm and cold runs of the same seed see the *same*
         instance sequence and the same per-step solver streams.
+
+        ``checkpoint`` persists every completed step; ``resume_from``
+        restores checkpointed steps (re-verifying the first restored one
+        against a fresh recompute) and solves only the rest — semantics
+        as on :meth:`repro.scenario.fleet.ScenarioFleet.run`, at step
+        granularity.
         """
         root = _root_sequence(seed)
         unfold_seq, solve_seq = root.spawn(2)
         steps = scenario.unfold(unfold_seq)
         return self.run_steps(
-            steps, seed=solve_seq, scenario_name=scenario.name
+            steps,
+            seed=solve_seq,
+            scenario_name=scenario.name,
+            checkpoint=checkpoint,
+            resume_from=resume_from,
+            report=report,
         )
 
     def run_steps(
@@ -268,6 +302,9 @@ class ScenarioRunner:
         *,
         seed: "int | np.random.SeedSequence" = 0,
         scenario_name: str = "steps",
+        checkpoint: "str | None" = None,
+        resume_from: "str | None" = None,
+        report: "SupervisionReport | None" = None,
     ) -> ScenarioResult:
         """(Re-)optimize an already-unfolded step sequence.
 
@@ -278,15 +315,59 @@ class ScenarioRunner:
         ``seed`` spawns one solve stream per step; the recorded
         provenance is its root entropy, exactly as :meth:`run` records
         the scenario seed.
+
+        With a ``policy``, each step runs under the serial supervision
+        loop (:func:`~repro.resilience.supervisor.retry_call`); without
+        one, step errors propagate unwrapped as before.  With
+        ``checkpoint``/``resume_from``, completed
+        steps persist as ``step###`` documents and a resumed walk solves
+        only the missing ones.  The warm-start chain survives resume
+        because a restored step's best placement is exactly the computed
+        one; only the engine-cache handoff (a performance hint, never a
+        result input) restarts cold after a restored step.
         """
         solve_seq = _root_sequence(seed)
         step_seeds = solve_seq.spawn(len(steps))
         warm_capable = self.warm and self.solver.supports_warm_start
+        store = open_store(
+            {
+                "kind": "scenario-run",
+                "scenario": scenario_name,
+                "solver": self.solver.name,
+                "n_steps": len(steps),
+                "seed_entropy": entropy_payload(solve_seq.entropy),
+                "budget": self.budget,
+                "warm_budget": self.warm_budget,
+                "warm": warm_capable,
+                "reuse_cache": self.reuse_cache,
+                "engine": self.engine,
+                "fitness": (
+                    repr(self.fitness) if self.fitness is not None else None
+                ),
+            },
+            checkpoint=checkpoint,
+            resume_from=resume_from,
+        )
 
         results: list[ScenarioStepResult] = []
         previous: "SolveResult | None" = None
+        verified_restore = False
         with _cache_tracking(self.solver, self.reuse_cache):
             for step, step_seed in zip(steps, step_seeds):
+                key = f"step{step.index:03d}"
+                restored = store is not None and store.has(key)
+                if restored and verified_restore:
+                    payload = store.load(key)
+                    result = solve_result_from_dict(payload["result"])
+                    results.append(
+                        ScenarioStepResult(
+                            step=step,
+                            result=result,
+                            seconds=float(payload["seconds"]),
+                        )
+                    )
+                    previous = result
+                    continue
                 warm_start = None
                 engine_cache = None
                 if warm_capable and previous is not None:
@@ -298,22 +379,61 @@ class ScenarioRunner:
                 budget = (
                     self.budget if warm_start is None else self.warm_budget
                 )
-                began = time.perf_counter()
-                result = self.solver.solve(
-                    step.problem,
-                    seed=step_seed,
+                def solve_step(
+                    step=step,
+                    step_seed=step_seed,
                     budget=budget,
                     warm_start=warm_start,
-                    engine=self.engine,
-                    fitness=self.fitness,
                     engine_cache=engine_cache,
-                )
-                elapsed = time.perf_counter() - began
-                results.append(
-                    ScenarioStepResult(
-                        step=step, result=result, seconds=elapsed
+                ):
+                    return self.solver.solve(
+                        step.problem,
+                        seed=step_seed,
+                        budget=budget,
+                        warm_start=warm_start,
+                        engine=self.engine,
+                        fitness=self.fitness,
+                        engine_cache=engine_cache,
                     )
+
+                began = time.perf_counter()
+                if self.policy is None:
+                    # No policy: exceptions propagate unwrapped — a
+                    # genuinely broken step should fail loudly, not
+                    # spend retries on a deterministic error.
+                    result = solve_step()
+                else:
+                    result = retry_call(
+                        solve_step,
+                        task=step.index,
+                        policy=self.policy,
+                        label=(
+                            f"{scenario_name}/{self.solver.name} "
+                            f"step {step.index}"
+                        ),
+                        report=report,
+                    )
+                elapsed = time.perf_counter() - began
+                step_result = ScenarioStepResult(
+                    step=step, result=result, seconds=elapsed
                 )
+                if store is not None:
+                    payload = {
+                        "format": _STEP_FORMAT,
+                        "index": int(step.index),
+                        "event": step.event,
+                        "seconds": float(elapsed),
+                        "result": solve_result_to_dict(result),
+                    }
+                    if restored:
+                        # The first checkpointed step on a resumed walk
+                        # is recomputed and compared, never trusted —
+                        # the store-level parity gate.
+                        store.verify_cell(key, payload)
+                        verified_restore = True
+                    else:
+                        store.save(key, payload)
+                results.append(step_result)
                 previous = result
         return ScenarioResult(
             scenario_name=scenario_name,

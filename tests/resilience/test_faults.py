@@ -1,0 +1,121 @@
+"""The deterministic fault injector: grammar, seeding, firing semantics."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.resilience.faults import (
+    FAULT_ENV,
+    Fault,
+    FaultPlan,
+    InjectedCrash,
+    InjectedFault,
+    active_plan,
+    inject,
+)
+
+
+class TestGrammar:
+    def test_parse_all_kinds(self):
+        plan = FaultPlan.parse(
+            "kill@0,poison@1:2,delay@2:0.5,crash-compiled@3"
+        )
+        assert [f.kind for f in plan.faults] == [
+            "kill",
+            "poison",
+            "delay",
+            "crash-compiled",
+        ]
+        assert [f.index for f in plan.faults] == [0, 1, 2, 3]
+        assert plan.faults[1].param == 2
+        assert plan.faults[2].param == 0.5
+
+    def test_spec_round_trips(self):
+        spec = "kill@0,poison@1:2,delay@2:0.5,crash-compiled@3"
+        assert FaultPlan.parse(spec).to_spec() == spec
+
+    def test_whitespace_and_empty_entries_tolerated(self):
+        plan = FaultPlan.parse(" kill@1 , ,poison@2 ")
+        assert len(plan.faults) == 2
+
+    def test_bad_entries_rejected(self):
+        with pytest.raises(ValueError, match="kind@index"):
+            FaultPlan.parse("kill0")
+        with pytest.raises(ValueError, match="not an integer"):
+            FaultPlan.parse("kill@x")
+        with pytest.raises(ValueError, match="not a number"):
+            FaultPlan.parse("delay@1:soon")
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.parse("segfault@1")
+        with pytest.raises(ValueError, match="must be >= 0"):
+            Fault(kind="kill", index=-1, param=1.0)
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan.parse("")
+        assert FaultPlan.parse("kill@0")
+
+
+class TestSeeded:
+    def test_same_seed_same_schedule(self):
+        one = FaultPlan.seeded(11, 40)
+        two = FaultPlan.seeded(11, 40)
+        assert one == two
+        assert one.faults  # rate=0.25 over 40 tasks: surely non-empty
+
+    def test_different_seeds_differ(self):
+        assert FaultPlan.seeded(1, 64) != FaultPlan.seeded(2, 64)
+
+    def test_rate_zero_injects_nothing(self):
+        assert not FaultPlan.seeded(3, 32, rate=0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan.seeded(0, 0)
+        with pytest.raises(ValueError):
+            FaultPlan.seeded(0, 4, rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan.seeded(0, 4, kinds=())
+
+
+class TestFiring:
+    def test_kill_fires_only_on_early_attempts(self):
+        fault = Fault(kind="kill", index=0, param=2)
+        assert fault.fires(0, degraded=False)
+        assert fault.fires(1, degraded=False)
+        assert not fault.fires(2, degraded=False)
+
+    def test_crash_compiled_respects_degradation(self, monkeypatch):
+        fault = Fault(kind="crash-compiled", index=0, param=1.0)
+        monkeypatch.delenv("REPRO_COMPILED", raising=False)
+        assert fault.fires(5, degraded=False)  # every attempt while enabled
+        assert not fault.fires(0, degraded=True)
+        monkeypatch.setenv("REPRO_COMPILED", "0")
+        assert not fault.fires(0, degraded=False)
+
+    def test_inject_raises_in_process(self):
+        plan = FaultPlan.parse("poison@1")
+        with pytest.raises(InjectedFault):
+            inject(1, 0, plan=plan)
+        inject(0, 0, plan=plan)  # other indices untouched
+        inject(1, 1, plan=plan)  # retried attempt passes
+
+    def test_inject_kill_in_process_is_catchable(self):
+        plan = FaultPlan.parse("kill@2")
+        with pytest.raises(InjectedCrash):
+            inject(2, 0, plan=plan)
+
+
+class TestActivePlan:
+    def test_env_round_trip(self, monkeypatch):
+        monkeypatch.setenv(FAULT_ENV, "poison@3:2")
+        plan = active_plan()
+        assert plan.to_spec() == "poison@3:2"
+        monkeypatch.setenv(FAULT_ENV, "kill@1")
+        assert active_plan().to_spec() == "kill@1"
+
+    def test_unset_is_empty(self, monkeypatch):
+        monkeypatch.delenv(FAULT_ENV, raising=False)
+        assert not active_plan()
+        assert os.environ.get(FAULT_ENV) is None

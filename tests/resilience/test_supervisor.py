@@ -1,0 +1,260 @@
+"""Supervised execution: crash recovery, timeouts, retry, degradation.
+
+The load-bearing assertion throughout: recovery is *verified* by the
+determinism contract — a run that crashed, timed out and retried returns
+**bit-identical** results to a fault-free run, serially and at any
+worker count.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.resilience.faults import FAULT_ENV, FaultPlan
+from repro.resilience.supervisor import (
+    RetryExhaustedError,
+    RetryPolicy,
+    SupervisionReport,
+    backoff_seconds,
+    retry_call,
+    run_supervised,
+)
+
+
+def _rng_shard(task):
+    """Deterministic shard rows: pure function of the task's seeds."""
+    return [float(np.random.default_rng(seed).random()) for seed in task]
+
+
+TASKS = [[0, 1], [2, 3], [4, 5], [6, 7]]
+
+
+@pytest.fixture
+def clean_env(monkeypatch):
+    monkeypatch.delenv(FAULT_ENV, raising=False)
+    monkeypatch.delenv("REPRO_COMPILED", raising=False)
+
+
+@pytest.fixture
+def expected(clean_env):
+    return run_supervised(_rng_shard, TASKS)
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+    def test_backoff_is_deterministic_capped_exponential(self):
+        policy = RetryPolicy(
+            backoff=0.1, backoff_factor=2.0, max_backoff=0.3, jitter=0.5
+        )
+        first = backoff_seconds(policy, 0)
+        assert first == backoff_seconds(policy, 0)  # deterministic jitter
+        assert 0.1 <= first <= 0.15
+        assert backoff_seconds(policy, 10) <= 0.3 * 1.5  # capped
+
+    def test_run_supervised_validates_inputs(self):
+        with pytest.raises(ValueError, match="workers"):
+            run_supervised(_rng_shard, TASKS, workers=0)
+        with pytest.raises(ValueError, match="labels"):
+            run_supervised(_rng_shard, TASKS, labels=["just-one"])
+        assert run_supervised(_rng_shard, []) == []
+
+
+class TestSerialSupervision:
+    def test_fault_free_passthrough(self, clean_env, expected):
+        assert run_supervised(_rng_shard, TASKS, workers=1) == expected
+
+    def test_injected_faults_recover_bit_identical(
+        self, monkeypatch, expected
+    ):
+        monkeypatch.setenv(FAULT_ENV, "kill@0,poison@2")
+        report = SupervisionReport()
+        got = run_supervised(
+            _rng_shard,
+            TASKS,
+            policy=RetryPolicy(backoff=0.0, degrade_compiled=False),
+            report=report,
+        )
+        assert got == expected
+        assert report.kinds() == {"crash": 1, "error": 1}
+
+    def test_exhaustion_names_the_shard(self, monkeypatch):
+        monkeypatch.setenv(FAULT_ENV, "poison@1:99")
+        labels = [f"cell{i} seeds {t[0]}..{t[1]}" for i, t in enumerate(TASKS)]
+        with pytest.raises(
+            RetryExhaustedError, match=r"cell1 seeds 2\.\.3"
+        ) as excinfo:
+            run_supervised(
+                _rng_shard,
+                TASKS,
+                labels=labels,
+                policy=RetryPolicy(max_retries=1, backoff=0.0),
+            )
+        assert excinfo.value.attempts == 2
+        assert "poison" in excinfo.value.last_error
+
+    def test_crash_degrades_to_numpy_engines(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COMPILED", raising=False)
+        monkeypatch.setenv(FAULT_ENV, "kill@0")
+        seen = []
+        report = SupervisionReport()
+        with pytest.warns(RuntimeWarning, match="REPRO_COMPILED=0"):
+            retry_call(
+                lambda: seen.append(_compiled_env_value()),
+                task=0,
+                policy=RetryPolicy(backoff=0.0),
+                report=report,
+            )
+        # The retried attempt ran with the compiled tier forced off...
+        assert seen == ["0"]
+        assert report.degraded == {0}
+        # ...and the flag was restored afterwards (no lasting side effect).
+        import os
+
+        assert os.environ.get("REPRO_COMPILED") is None
+
+    def test_on_result_fires_in_order(self, clean_env, expected):
+        delivered = []
+        run_supervised(
+            _rng_shard,
+            TASKS,
+            on_result=lambda index, rows: delivered.append((index, rows)),
+        )
+        assert delivered == list(enumerate(expected))
+
+
+def _compiled_env_value():
+    import os
+
+    return os.environ.get("REPRO_COMPILED")
+
+
+class TestPoolSupervision:
+    def test_fault_free_parity_across_workers(self, clean_env, expected):
+        assert run_supervised(_rng_shard, TASKS, workers=4) == expected
+
+    def test_worker_crash_mid_shard_recovers_bit_identical(
+        self, monkeypatch, expected
+    ):
+        # kill@1 hard-exits the worker process (os._exit) on task 1's
+        # first attempt; supervision rebuilds the pool and resubmits
+        # only the unfinished tasks.
+        monkeypatch.setenv(FAULT_ENV, "kill@1")
+        report = SupervisionReport()
+        got = run_supervised(
+            _rng_shard,
+            TASKS,
+            workers=4,
+            policy=RetryPolicy(backoff=0.0, degrade_compiled=False),
+            report=report,
+        )
+        assert got == expected
+        assert report.n_failures >= 1
+        assert set(report.kinds()) <= {"crash"}
+
+    def test_poison_in_pool_recovers_bit_identical(
+        self, monkeypatch, expected
+    ):
+        monkeypatch.setenv(FAULT_ENV, "poison@0,poison@3")
+        got = run_supervised(
+            _rng_shard,
+            TASKS,
+            workers=2,
+            policy=RetryPolicy(backoff=0.0),
+        )
+        assert got == expected
+
+    def test_per_task_timeout_expiry_is_classified_and_bounded(
+        self, monkeypatch
+    ):
+        # delay@0:5 outlasts the 0.3 s budget on every attempt: the hung
+        # worker is abandoned each round and the task finally exhausts
+        # with kind "timeout" — the pool never blocks forever.
+        monkeypatch.setenv(FAULT_ENV, "delay@0:5")
+        report = SupervisionReport()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with pytest.raises(RetryExhaustedError, match="task 0"):
+                run_supervised(
+                    _rng_shard,
+                    TASKS[:2],
+                    workers=2,
+                    policy=RetryPolicy(
+                        max_retries=1, timeout=0.3, backoff=0.0
+                    ),
+                    report=report,
+                )
+        assert report.kinds().get("timeout", 0) >= 2
+
+    def test_seeded_chaos_recovers_bit_identical(
+        self, monkeypatch, expected
+    ):
+        plan = FaultPlan.seeded(5, len(TASKS), rate=0.6)
+        assert plan, "seed 5 must inject something for this test to bite"
+        monkeypatch.setenv(FAULT_ENV, plan.to_spec())
+        got = run_supervised(
+            _rng_shard,
+            TASKS,
+            workers=4,
+            policy=RetryPolicy(backoff=0.0, degrade_compiled=False),
+        )
+        assert got == expected
+
+
+class TestFleetUnderInjection:
+    """The acceptance gate: a ScenarioFleet completes through injected
+    crashes and compiled-tier poison with results bit-identical to a
+    fault-free serial run."""
+
+    def test_fleet_recovers_bit_identical(self, monkeypatch):
+        from repro.instances.catalog import tiny_spec
+        from repro.resilience.checkpoint import (
+            scenario_result_to_dict,
+            stable_scenario_dict,
+        )
+        from repro.scenario import Scenario, ScenarioFleet
+
+        problem = tiny_spec(seed=3).generate()
+        scenario = Scenario.client_drift(problem, 2)
+
+        def build():
+            return ScenarioFleet(
+                [scenario],
+                [("search:swap", {"n_candidates": 4})],
+                n_seeds=2,
+                budget=3,
+                workers=None,
+            )
+
+        monkeypatch.delenv(FAULT_ENV, raising=False)
+        clean = build().run(seed=9)
+
+        # kill@0: hard worker death; crash-compiled@1: dies on every
+        # attempt until supervision degrades the task to REPRO_COMPILED=0.
+        monkeypatch.setenv(FAULT_ENV, "kill@0,crash-compiled@1")
+        injected_fleet = build()
+        injected_fleet.workers = 2
+        report = SupervisionReport()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            injected = injected_fleet.run(seed=9, report=report)
+
+        assert [
+            stable_scenario_dict(scenario_result_to_dict(run.result))
+            for run in injected.runs
+        ] == [
+            stable_scenario_dict(scenario_result_to_dict(run.result))
+            for run in clean.runs
+        ]
+        assert report.n_failures >= 1
