@@ -1,0 +1,44 @@
+"""Deadline-aware anytime execution.
+
+The neighborhood searches are naturally *anytime*: they hold a valid
+incumbent at every phase boundary, so stopping early always yields a
+well-formed result.  This package supplies the missing harness:
+
+- :mod:`repro.anytime.deadline` — a cooperative cancellation protocol
+  built on monotonic (or simulated) clocks: :class:`Deadline`,
+  :class:`CancelToken`, and the clock implementations.
+- :mod:`repro.anytime.live` — :class:`LiveRunner`, an event loop over
+  the scenario subsystem with per-event response SLAs, a degradation
+  ladder that sheds load under pressure, and :class:`LiveReport`
+  latency/regret accounting.
+"""
+
+from repro.anytime.deadline import (
+    CancelToken,
+    Clock,
+    Deadline,
+    MonotonicClock,
+    SimulatedClock,
+    SteppingClock,
+)
+from repro.anytime.live import (
+    LadderRung,
+    LiveEvent,
+    LiveReport,
+    LiveRunner,
+    DEFAULT_LADDER,
+)
+
+__all__ = [
+    "CancelToken",
+    "Clock",
+    "Deadline",
+    "MonotonicClock",
+    "SimulatedClock",
+    "SteppingClock",
+    "LadderRung",
+    "LiveEvent",
+    "LiveReport",
+    "LiveRunner",
+    "DEFAULT_LADDER",
+]

@@ -1,0 +1,232 @@
+"""Cooperative cancellation: clocks, cancel tokens and deadlines.
+
+The solvers in this repository are *anytime* algorithms — at every phase
+boundary they hold a valid, fully evaluated incumbent.  A
+:class:`Deadline` turns that property into a latency guarantee: run
+loops poll ``deadline.stop_reason()`` at phase boundaries and, when it
+fires, stop and return the tracked best-so-far instead of raising.
+
+Design rules:
+
+- **Cooperative, never preemptive.**  A deadline cannot interrupt a
+  phase in flight; it is only consulted between phases.  Callers that
+  need a hard bound budget a safety margin (see
+  :class:`repro.anytime.live.LiveRunner`'s ``deadline_fraction``).
+- **Composable.**  A deadline is the conjunction of any number of time
+  limits and :class:`CancelToken` s; ``a & b`` fires as soon as either
+  would.  This models "event SLA ∧ run budget ∧ external cancel".
+- **Deterministic.**  Checking a deadline consumes no randomness, and
+  with ``deadline=None`` (or a deadline that never fires) every run
+  loop is bit-identical to one without deadline support.  Simulated
+  clocks make firing itself deterministic for tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+__all__ = [
+    "Clock",
+    "MonotonicClock",
+    "SimulatedClock",
+    "SteppingClock",
+    "CancelToken",
+    "Deadline",
+]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Anything with a monotonic ``now() -> float`` (seconds)."""
+
+    def now(self) -> float:  # pragma: no cover - protocol signature
+        ...
+
+
+class MonotonicClock:
+    """Wall-clock time from :func:`time.monotonic` (the default)."""
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "MonotonicClock()"
+
+
+class SimulatedClock:
+    """A manually advanced clock for deterministic simulations.
+
+    Time only moves when :meth:`advance` is called, so anything driven
+    by a :class:`SimulatedClock` is a pure function of the advance
+    calls — the backbone of the deterministic ``LiveRunner`` mode and
+    the ``--smoke`` benchmark arm.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance a clock backwards ({seconds})")
+        self._now += float(seconds)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimulatedClock(now={self._now})"
+
+
+class SteppingClock:
+    """A clock that advances by a fixed ``dt`` on every ``now()`` call.
+
+    Test-only helper: run loops consult a deadline exactly once per
+    phase boundary, so a stepping clock makes a deadline fire at an
+    exact, reproducible phase without touching wall-clock time.
+    """
+
+    __slots__ = ("_now", "dt")
+
+    def __init__(self, dt: float, start: float = 0.0) -> None:
+        if dt < 0:
+            raise ValueError(f"dt must be non-negative, got {dt}")
+        self.dt = float(dt)
+        self._now = float(start)
+
+    def now(self) -> float:
+        current = self._now
+        self._now += self.dt
+        return current
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SteppingClock(dt={self.dt}, now={self._now})"
+
+
+class CancelToken:
+    """An external cancellation flag, settable from any owner.
+
+    Tokens carry no clock: they fire when (and only when) someone calls
+    :meth:`cancel`.  Attach them to a :class:`Deadline` to compose with
+    time limits.
+    """
+
+    __slots__ = ("_cancelled",)
+
+    def __init__(self) -> None:
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CancelToken(cancelled={self._cancelled})"
+
+
+@dataclass(frozen=True)
+class _Limit:
+    """One time limit: ``clock.now() >= expires_at`` means expired."""
+
+    clock: Clock
+    expires_at: float
+
+    def remaining(self) -> float:
+        return self.expires_at - self.clock.now()
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """A conjunction of time limits and cancel tokens.
+
+    A deadline *fires* as soon as any of its limits expires or any of
+    its tokens is cancelled.  Run loops call :meth:`stop_reason` once
+    per phase boundary:
+
+    - ``None`` — keep going;
+    - ``"deadline"`` — a time limit expired;
+    - ``"cancelled"`` — a token was cancelled.
+
+    Cancellation takes precedence over expiry so an explicit external
+    cancel is always reported as such.
+    """
+
+    limits: tuple[_Limit, ...] = ()
+    tokens: tuple[CancelToken, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def after(cls, seconds: float, *, clock: Clock | None = None) -> "Deadline":
+        """A deadline ``seconds`` from now on ``clock`` (monotonic default)."""
+        if not math.isfinite(seconds):
+            raise ValueError(f"deadline seconds must be finite, got {seconds}")
+        clk = clock if clock is not None else MonotonicClock()
+        return cls(limits=(_Limit(clock=clk, expires_at=clk.now() + float(seconds)),))
+
+    @classmethod
+    def at(cls, expires_at: float, *, clock: Clock | None = None) -> "Deadline":
+        """A deadline at absolute clock time ``expires_at``."""
+        if not math.isfinite(expires_at):
+            raise ValueError(f"deadline time must be finite, got {expires_at}")
+        clk = clock if clock is not None else MonotonicClock()
+        return cls(limits=(_Limit(clock=clk, expires_at=float(expires_at)),))
+
+    @classmethod
+    def cancellable(cls, token: CancelToken) -> "Deadline":
+        """A deadline with no time limit, fired only by ``token``."""
+        return cls(tokens=(token,))
+
+    def __and__(self, other: "Deadline") -> "Deadline":
+        """Conjunction: fires as soon as either side would."""
+        if not isinstance(other, Deadline):
+            return NotImplemented
+        return Deadline(
+            limits=self.limits + other.limits,
+            tokens=self.tokens + other.tokens,
+        )
+
+    def with_token(self, token: CancelToken) -> "Deadline":
+        return Deadline(limits=self.limits, tokens=self.tokens + (token,))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def stop_reason(self) -> str | None:
+        """Why a run loop should stop now, or ``None`` to continue."""
+        for token in self.tokens:
+            if token.cancelled:
+                return "cancelled"
+        for limit in self.limits:
+            if limit.remaining() <= 0:
+                return "deadline"
+        return None
+
+    def expired(self) -> bool:
+        return self.stop_reason() is not None
+
+    def remaining(self) -> float:
+        """Seconds until the tightest time limit (``inf`` if none).
+
+        Returns ``0.0`` when already expired or cancelled.
+        """
+        for token in self.tokens:
+            if token.cancelled:
+                return 0.0
+        if not self.limits:
+            return math.inf
+        return max(0.0, min(limit.remaining() for limit in self.limits))

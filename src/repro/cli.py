@@ -10,6 +10,9 @@
   underneath).
 * ``scenario`` — unfold a dynamic scenario (client drift/churn, router
   outages, radio decay) and re-optimize each step with warm starts.
+* ``scenario-live`` — serve a scenario's steps as live events under a
+  per-event response SLA, with deadline-bounded solves and overload
+  shedding (see :mod:`repro.anytime`).
 * ``scenario-fleet`` — run a whole (scenario x solver x seed) portfolio
   in lockstep and print the aggregated report.
 * ``reproduce`` — regenerate every table and figure of the paper.
@@ -367,6 +370,80 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine(scenario)
     _add_resilience(scenario, timeout=False)
 
+    live = subparsers.add_parser(
+        "scenario-live",
+        help="serve a scenario's steps as live events under a per-event "
+        "response SLA, shedding load when the re-optimizer falls behind",
+    )
+    live.add_argument("instance", help="instance JSON (from 'generate')")
+    live.add_argument(
+        "--kind",
+        default="drift",
+        choices=SCENARIO_KINDS,
+        help="what changes per event (default: drift)",
+    )
+    live.add_argument(
+        "--steps", type=int, default=10, help="number of perturbation events"
+    )
+    live.add_argument(
+        "--solver",
+        default="search:swap",
+        metavar="FAMILY[:VARIANT]",
+        help="registry spec re-optimizing each event (default: search:swap)",
+    )
+    live.add_argument(
+        "--budget", type=int, default=None, help="per-event solver budget"
+    )
+    live.add_argument(
+        "--candidates",
+        type=int,
+        default=16,
+        help="per-phase effort of the event solver (default 16)",
+    )
+    live.add_argument(
+        "--stall",
+        type=int,
+        default=8,
+        help="stop a search/multistart event after this many non-improving "
+        "phases (default 8; 0 disables)",
+    )
+    live.add_argument(
+        "--sla",
+        type=float,
+        default=0.5,
+        help="per-event response SLA in seconds (default 0.5)",
+    )
+    live.add_argument(
+        "--interval",
+        type=float,
+        default=None,
+        help="seconds between event arrivals (default: the SLA)",
+    )
+    live.add_argument(
+        "--sim",
+        type=float,
+        default=None,
+        metavar="SECONDS_PER_EVAL",
+        help="run on a simulated clock charging this many seconds per "
+        "evaluation — fully deterministic (default: real clock)",
+    )
+    live.add_argument(
+        "--deadline-fraction",
+        type=float,
+        default=0.9,
+        help="fraction of the remaining SLA granted to each solve's "
+        "deadline (default 0.9)",
+    )
+    live.add_argument(
+        "--baseline",
+        action="store_true",
+        help="also run the unbounded scenario walk and report per-event "
+        "fitness regret against it",
+    )
+    _add_scenario_shape(live)
+    live.add_argument("--seed", type=int, default=0)
+    _add_engine(live)
+
     fleet = subparsers.add_parser(
         "scenario-fleet",
         help="run a (scenario x solver x seed) portfolio in lockstep and "
@@ -513,6 +590,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "search": _cmd_search,
         "ga": _cmd_ga,
         "scenario": _cmd_scenario,
+        "scenario-live": _cmd_scenario_live,
         "scenario-fleet": _cmd_scenario_fleet,
         "reproduce": _cmd_reproduce,
         "replicate": _cmd_replicate,
@@ -705,6 +783,40 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
                 y_label="fitness",
             )
         )
+    return 0
+
+
+def _cmd_scenario_live(args: argparse.Namespace) -> int:
+    if args.steps <= 0:
+        raise ValueError(f"--steps must be positive, got {args.steps}")
+    from repro.anytime import LiveRunner
+    from repro.viz import render_live_report
+
+    problem = load_instance(args.instance)
+    scenario = _build_scenario(args.kind, problem, args)
+    solver_kwargs = _scenario_solver_kwargs(
+        args.solver, args.candidates, args.stall
+    )
+    runner = LiveRunner(
+        args.solver,
+        sla=args.sla,
+        interval=args.interval,
+        budget=args.budget,
+        engine=args.engine,
+        seconds_per_evaluation=args.sim,
+        deadline_fraction=args.deadline_fraction,
+        **solver_kwargs,
+    )
+    report = runner.run(scenario, seed=args.seed)
+    baseline = None
+    if args.baseline:
+        baseline = ScenarioRunner(
+            args.solver,
+            budget=args.budget,
+            engine=args.engine,
+            **solver_kwargs,
+        ).run(scenario, seed=args.seed)
+    print(render_live_report(report, baseline=baseline))
     return 0
 
 

@@ -103,6 +103,21 @@ class Evaluator:
         # Deferred: the engine package's modules import this one.
         from repro.core.engine.dispatch import resolve_engine
 
+        # Cheap non-finite gate (two vectorized isfinite scans).  The
+        # same check runs at ProblemInstance construction; repeating it
+        # here catches instances whose arrays were mutated after the
+        # fact (e.g. through object.__setattr__), before whichever
+        # engine tier this evaluator resolves to sees them.
+        if not np.isfinite(problem.fleet.radii).all():
+            raise ValueError(
+                "router radii must be finite (NaN/inf would silently "
+                "produce garbage fitness in every engine tier)"
+            )
+        if not np.isfinite(problem.clients.positions).all():
+            raise ValueError(
+                "client positions must be finite (NaN/inf would silently "
+                "produce garbage fitness in every engine tier)"
+            )
         self._problem = problem
         self._fitness = fitness if fitness is not None else WeightedSumFitness()
         self._archive = archive

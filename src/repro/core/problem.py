@@ -56,6 +56,24 @@ class ProblemInstance:
                     f"client {client.client_id} at {tuple(client.cell)} lies "
                     f"outside the {self.grid.width}x{self.grid.height} grid"
                 )
+        # Non-finite radii or client positions would flow silently
+        # through every engine tier (numpy comparisons with NaN are all
+        # False) and come back as garbage fitness — reject them here,
+        # at the single choke point every instance passes through.
+        if not np.isfinite(self.fleet.radii).all():
+            bad = np.flatnonzero(~np.isfinite(self.fleet.radii))
+            raise ValueError(
+                f"router radii must be finite; non-finite radius for "
+                f"router ids {bad.tolist()}"
+            )
+        if not np.isfinite(self.clients.positions).all():
+            bad = np.flatnonzero(
+                ~np.isfinite(self.clients.positions).all(axis=1)
+            )
+            raise ValueError(
+                f"client positions must be finite; non-finite position "
+                f"for client ids {bad.tolist()}"
+            )
 
     # ------------------------------------------------------------------
     # Convenience accessors

@@ -17,7 +17,9 @@ their cached evaluations, so counts match the scalar loop exactly.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -35,6 +37,9 @@ from repro.genetic.mutation import (
 from repro.genetic.population import Population
 from repro.genetic.selection import SelectionOperator, TournamentSelection
 from repro.genetic.trace import GATrace, GenerationRecord
+
+if TYPE_CHECKING:
+    from repro.anytime.deadline import Deadline
 
 __all__ = ["GAConfig", "GAResult", "GeneticAlgorithm"]
 
@@ -98,12 +103,20 @@ class GAConfig:
 
 @dataclass(frozen=True)
 class GAResult:
-    """Outcome of one GA run."""
+    """Outcome of one GA run.
+
+    ``stopped_by`` is ``None`` for a run that completed its generation
+    budget (or hit its fitness target) and ``"deadline"``/``"cancelled"``
+    when a :class:`~repro.anytime.deadline.Deadline` stopped it early.
+    ``elapsed_seconds`` is wall-clock (excluded from equality).
+    """
 
     best: Evaluation
     trace: GATrace
     n_generations: int
     n_evaluations: int
+    stopped_by: str | None = None
+    elapsed_seconds: float = field(default=0.0, compare=False)
 
     @property
     def giant_size(self) -> int:
@@ -128,8 +141,17 @@ class GeneticAlgorithm:
         initializer: PopulationInitializer,
         rng: np.random.Generator,
         fitness_target: float | None = None,
+        deadline: "Deadline | None" = None,
     ) -> GAResult:
-        """Evolve from ``initializer``'s population; returns best + trace."""
+        """Evolve from ``initializer``'s population; returns best + trace.
+
+        ``deadline`` is polled once per generation boundary (cooperative
+        cancellation): when it fires the run stops and returns the best
+        individual so far with ``stopped_by`` set.  An already-expired
+        deadline still evaluates the initial population, so the result
+        is always a valid evaluated solution.
+        """
+        started = time.perf_counter()
         config = self.config
         evaluations_before = evaluator.n_evaluations
         placements = initializer.generate(
@@ -144,7 +166,13 @@ class GeneticAlgorithm:
         self._record(trace, 0, population, best, evaluator, evaluations_before)
 
         generation = 0
-        for generation in range(1, config.n_generations + 1):
+        stopped_by: str | None = None
+        for next_generation in range(1, config.n_generations + 1):
+            if deadline is not None:
+                stopped_by = deadline.stop_reason()
+                if stopped_by is not None:
+                    break
+            generation = next_generation
             population = self._next_generation(population, evaluator, rng)
             generation_best = population.best().evaluation
             assert generation_best is not None
@@ -160,6 +188,8 @@ class GeneticAlgorithm:
             trace=trace,
             n_generations=generation,
             n_evaluations=evaluator.n_evaluations - evaluations_before,
+            stopped_by=stopped_by,
+            elapsed_seconds=time.perf_counter() - started,
         )
 
     # ------------------------------------------------------------------

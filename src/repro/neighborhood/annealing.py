@@ -22,7 +22,9 @@ results and evaluation counts bit-identical to the scalar path.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -32,6 +34,9 @@ from repro.core.solution import Placement
 from repro.neighborhood.movements import MovementType
 from repro.neighborhood.search import SearchResult
 from repro.neighborhood.trace import SearchTrace
+
+if TYPE_CHECKING:
+    from repro.anytime.deadline import Deadline
 
 __all__ = ["AnnealingSchedule", "SimulatedAnnealing"]
 
@@ -106,8 +111,14 @@ class SimulatedAnnealing:
         rng: np.random.Generator,
         engine_cache=None,
         track_cache: bool = False,
+        deadline: "Deadline | None" = None,
     ) -> SearchResult:
         """Anneal from ``initial``; returns the best solution and trace.
+
+        ``deadline`` is polled once per phase boundary (cooperative
+        cancellation, never mid-phase): when it fires the run stops and
+        returns the tracked best with ``stopped_by`` set — always a
+        valid evaluated incumbent, even for an already-expired deadline.
 
         ``engine_cache`` is an optional
         :class:`~repro.core.engine.handoff.IncumbentCache` from a prior
@@ -119,6 +130,7 @@ class SimulatedAnnealing:
         warm-starts from.  Off by default: callers that never hand off
         (plain replication loops) pay no copies.
         """
+        started = time.perf_counter()
         evaluations_before = evaluator.n_evaluations
         # The delta engine follows the evaluator's resolved engine, so a
         # forced dense/sparse choice applies to the whole run.
@@ -133,7 +145,14 @@ class SimulatedAnnealing:
             improved=False,
             n_evaluations=evaluator.n_evaluations - evaluations_before,
         )
+        phases_done = 0
+        stopped_by: str | None = None
         for phase in range(1, self.max_phases + 1):
+            if deadline is not None:
+                stopped_by = deadline.stop_reason()
+                if stopped_by is not None:
+                    break
+            phases_done = phase
             temperature = self.schedule.temperature_at(phase)
             improved_this_phase = False
             for _ in range(self.moves_per_phase):
@@ -165,9 +184,11 @@ class SimulatedAnnealing:
         return SearchResult(
             best=best,
             trace=trace,
-            n_phases=self.max_phases,
+            n_phases=phases_done,
             n_evaluations=evaluator.n_evaluations - evaluations_before,
             engine_cache=best_cache,
+            stopped_by=stopped_by,
+            elapsed_seconds=time.perf_counter() - started,
         )
 
     def __repr__(self) -> str:

@@ -56,8 +56,9 @@ and because of the stream contract the results are identical to
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
@@ -73,6 +74,9 @@ from repro.neighborhood.movements import MovementType
 from repro.neighborhood.search import SearchResult
 from repro.neighborhood.trace import SearchTrace
 from repro.parallel import run_tasks, shard_slices
+
+if TYPE_CHECKING:
+    from repro.anytime.deadline import Deadline
 
 __all__ = [
     "chain_generators",
@@ -124,6 +128,7 @@ class _ChainState:
     stall: int = 0
     last_phase: int = 0
     active: bool = True
+    stopped_by: str | None = None
 
 
 #: Tags of :func:`_classify_move`.
@@ -234,6 +239,7 @@ class MultiChainSearch:
         fitness: FitnessFunction | None = None,
         fitness_target: float | None = None,
         workers: int | None = None,
+        deadline: "Deadline | None" = None,
     ) -> list[SearchResult]:
         """Search all chains; one :class:`SearchResult` per chain, in order.
 
@@ -242,6 +248,14 @@ class MultiChainSearch:
         contiguous chain shards run in a process pool — bit-identical
         results, less wall-clock; the problem, movement, placements and
         generators must then be picklable (all built-ins are).
+
+        ``deadline`` is polled once per lockstep phase (cooperative
+        cancellation): when it fires, every still-active chain is
+        masked out with ``stopped_by`` set and its best-so-far kept —
+        chains that already converged keep their own results and traces
+        untouched (mask-out-and-finish).  A deadline forces the serial
+        lockstep path (``workers`` is ignored — results are identical
+        by the stream contract; cancel tokens cannot cross processes).
         """
         if not initials:
             raise ValueError("a portfolio needs at least one chain")
@@ -251,10 +265,16 @@ class MultiChainSearch:
             )
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be a positive int or None, got {workers}")
-        if workers is not None and workers > 1 and len(initials) > 1:
+        if (
+            workers is not None
+            and workers > 1
+            and len(initials) > 1
+            and deadline is None
+        ):
             return self._run_parallel(
                 problem, initials, rngs, fitness, fitness_target, workers
             )
+        started = time.perf_counter()
         movement = self._resolve_movement()
         engine = StackedEngine(
             problem, fitness, engine=self.engine, max_chunk=self.max_chunk
@@ -289,6 +309,16 @@ class MultiChainSearch:
                 active = [r for r, state in enumerate(states) if state.active]
                 if not active:
                     break
+                if deadline is not None:
+                    reason = deadline.stop_reason()
+                    if reason is not None:
+                        # Mask-out-and-finish: surviving chains stop at
+                        # their tracked best; converged chains keep
+                        # their own (deadline-free) results and traces.
+                        for r in active:
+                            states[r].active = False
+                            states[r].stopped_by = reason
+                        break
                 self._advance_phase(
                     phase, states, active, movement, engine, delta,
                     fitness_target,
@@ -297,12 +327,15 @@ class MultiChainSearch:
             # Shared movement instances must not pin this run's
             # incumbents after the portfolio finishes.
             movement.release_proposal_caches()
+        elapsed = time.perf_counter() - started
         return [
             SearchResult(
                 best=state.best,
                 trace=state.trace,
                 n_phases=state.last_phase,
                 n_evaluations=state.n_evaluations,
+                stopped_by=state.stopped_by,
+                elapsed_seconds=elapsed,
             )
             for state in states
         ]
@@ -690,12 +723,15 @@ class MultiStartSearch:
         fitness: FitnessFunction | None = None,
         fitness_target: float | None = None,
         workers: int | None = None,
+        deadline: "Deadline | None" = None,
     ) -> MultiStartResult:
         """Run the restart portfolio; ``seed`` follows :func:`chain_generators`.
 
         Pass a parent seed (int / entropy sequence / ``SeedSequence``)
         for the documented spawn contract, or one pre-seeded
         ``Generator`` per restart to control each stream directly.
+        ``deadline`` follows :meth:`MultiChainSearch.run` (cooperative,
+        mask-out-and-finish across the restart chains).
         """
         rngs = self._resolve_generators(seed)
         initials = [
@@ -708,6 +744,7 @@ class MultiStartSearch:
             fitness=fitness,
             fitness_target=fitness_target,
             workers=workers,
+            deadline=deadline,
         )
         fitnesses = np.array([result.best.fitness for result in results])
         return MultiStartResult(

@@ -19,6 +19,7 @@ an optional fitness target.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -31,6 +32,7 @@ from repro.neighborhood.movements import MovementType
 from repro.neighborhood.trace import SearchTrace
 
 if TYPE_CHECKING:
+    from repro.anytime.deadline import Deadline
     from repro.core.engine.handoff import IncumbentCache
 
 __all__ = ["SearchResult", "NeighborhoodSearch"]
@@ -45,6 +47,13 @@ class SearchResult:
     annealing and tabu search with ``track_cache=True``), exported for
     warm-start handoff into a follow-up run (see
     :mod:`repro.core.engine.handoff`); ``None`` otherwise.
+
+    ``stopped_by`` is ``None`` for a run that exhausted its budget (or
+    met its stall/target condition) and ``"deadline"``/``"cancelled"``
+    when a :class:`~repro.anytime.deadline.Deadline` stopped it early —
+    the returned ``best`` is still a fully evaluated incumbent either
+    way.  ``elapsed_seconds`` is wall-clock (excluded from equality:
+    two bit-identical runs never have identical timings).
     """
 
     best: Evaluation
@@ -54,6 +63,8 @@ class SearchResult:
     engine_cache: "IncumbentCache | None" = field(
         default=None, compare=False, repr=False
     )
+    stopped_by: str | None = None
+    elapsed_seconds: float = field(default=0.0, compare=False)
 
     @property
     def giant_size(self) -> int:
@@ -115,8 +126,19 @@ class NeighborhoodSearch:
         initial: Placement,
         rng: np.random.Generator,
         fitness_target: float | None = None,
+        deadline: "Deadline | None" = None,
     ) -> SearchResult:
-        """Search from ``initial``; returns best solution and trace."""
+        """Search from ``initial``; returns best solution and trace.
+
+        ``deadline`` is polled once per phase boundary (cooperative
+        cancellation): when it fires the loop stops *before* the next
+        phase and returns the best incumbent so far with
+        ``stopped_by`` set.  An already-expired deadline still
+        evaluates the initial placement, so the result is always a
+        valid evaluated solution.  With ``deadline=None`` the run is
+        bit-identical to one without deadline support.
+        """
+        started = time.perf_counter()
         evaluations_before = evaluator.n_evaluations
         # One capability probe per run instead of one per phase.
         evaluate_many = getattr(evaluator, "evaluate_many", None)
@@ -131,7 +153,13 @@ class NeighborhoodSearch:
         )
         stall = 0
         phase = 0
-        for phase in range(1, self.max_phases + 1):
+        stopped_by: str | None = None
+        for next_phase in range(1, self.max_phases + 1):
+            if deadline is not None:
+                stopped_by = deadline.stop_reason()
+                if stopped_by is not None:
+                    break
+            phase = next_phase
             candidate = best_neighbor(
                 evaluator,
                 current,
@@ -166,6 +194,8 @@ class NeighborhoodSearch:
             trace=trace,
             n_phases=phase,
             n_evaluations=evaluator.n_evaluations - evaluations_before,
+            stopped_by=stopped_by,
+            elapsed_seconds=time.perf_counter() - started,
         )
 
     def __repr__(self) -> str:

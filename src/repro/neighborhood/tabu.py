@@ -19,7 +19,9 @@ scalar path.
 
 from __future__ import annotations
 
+import time
 from collections import deque
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -30,6 +32,9 @@ from repro.neighborhood.moves import Move, RelocateMove, SwapMove
 from repro.neighborhood.movements import MovementType
 from repro.neighborhood.search import SearchResult
 from repro.neighborhood.trace import SearchTrace
+
+if TYPE_CHECKING:
+    from repro.anytime.deadline import Deadline
 
 __all__ = ["TabuSearch"]
 
@@ -71,8 +76,14 @@ class TabuSearch:
         rng: np.random.Generator,
         engine_cache=None,
         track_cache: bool = False,
+        deadline: "Deadline | None" = None,
     ) -> SearchResult:
         """Search from ``initial``; returns the best solution and trace.
+
+        ``deadline`` is polled once per phase boundary (cooperative
+        cancellation, never mid-phase): when it fires the run stops and
+        returns the tracked best with ``stopped_by`` set — always a
+        valid evaluated incumbent, even for an already-expired deadline.
 
         ``engine_cache`` follows the warm-start handoff protocol of
         :meth:`SimulatedAnnealing.run`: valid pieces of a prior run's
@@ -82,6 +93,7 @@ class TabuSearch:
         best, so the final incumbent is the wrong placement to export);
         off by default so non-handoff callers pay no copies.
         """
+        started = time.perf_counter()
         evaluations_before = evaluator.n_evaluations
         # The delta engine follows the evaluator's resolved engine, so a
         # forced dense/sparse choice applies to the whole run.
@@ -101,7 +113,14 @@ class TabuSearch:
         tabu_until: dict[int, int] = {}
         expiry_queue: deque[tuple[int, int]] = deque()
 
+        phases_done = 0
+        stopped_by: str | None = None
         for phase in range(1, self.max_phases + 1):
+            if deadline is not None:
+                stopped_by = deadline.stop_reason()
+                if stopped_by is not None:
+                    break
+            phases_done = phase
             while expiry_queue and expiry_queue[0][1] <= phase:
                 router, expiry = expiry_queue.popleft()
                 if tabu_until.get(router) == expiry:
@@ -155,9 +174,11 @@ class TabuSearch:
         return SearchResult(
             best=best,
             trace=trace,
-            n_phases=self.max_phases,
+            n_phases=phases_done,
             n_evaluations=evaluator.n_evaluations - evaluations_before,
             engine_cache=best_cache,
+            stopped_by=stopped_by,
+            elapsed_seconds=time.perf_counter() - started,
         )
 
     def __repr__(self) -> str:

@@ -236,13 +236,18 @@ class CheckpointStore:
         )
 
 
+#: Wall-clock fields: legitimately different between executions of
+#: identical work, so the resume-parity comparisons must ignore them.
+_VOLATILE_KEYS = frozenset({"seconds", "elapsed_seconds"})
+
+
 def _stable(payload):
-    """A copy with volatile fields (per-step ``seconds``) removed."""
+    """A copy with volatile wall-clock fields removed."""
     if isinstance(payload, dict):
         return {
             key: _stable(value)
             for key, value in payload.items()
-            if key != "seconds"
+            if key not in _VOLATILE_KEYS
         }
     if isinstance(payload, list):
         return [_stable(value) for value in payload]
@@ -283,6 +288,8 @@ def solve_result_to_dict(result: SolveResult) -> dict:
         "n_evaluations": int(result.n_evaluations),
         "n_phases": int(result.n_phases),
         "warm_started": bool(result.warm_started),
+        "stopped_by": result.stopped_by,
+        "elapsed_seconds": float(result.elapsed_seconds),
         "fitness": float(best.fitness),
         "placement": placement_to_dict(best.placement),
         "metrics": {
@@ -332,6 +339,9 @@ def solve_result_from_dict(payload: dict) -> SolveResult:
         n_evaluations=int(payload["n_evaluations"]),
         n_phases=int(payload["n_phases"]),
         warm_started=bool(payload["warm_started"]),
+        # Absent in pre-deadline documents — restore as "ran to budget".
+        stopped_by=payload.get("stopped_by"),
+        elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
     )
 
 

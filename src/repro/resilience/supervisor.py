@@ -41,6 +41,7 @@ deterministically.
 
 from __future__ import annotations
 
+import inspect
 import os
 import time
 import warnings
@@ -72,8 +73,14 @@ class RetryPolicy:
 
     ``max_retries`` bounds the *extra* attempts per task (0 disables
     retry entirely).  ``timeout`` is the per-task wall-clock budget in
-    seconds under a pool (``None`` waits forever; ignored when running
-    serially, which cannot preempt).  Backoff before retry round ``k``
+    seconds (``None`` waits forever).  Under a pool an overrunning task
+    is abandoned and retried in a fresh pool; serially it is enforced
+    *cooperatively* — when the callable accepts a ``deadline=`` keyword
+    it receives ``Deadline.after(timeout)`` per attempt and stops
+    itself at the next phase boundary, returning its best-so-far (see
+    :func:`retry_call`; a callable without the keyword cannot be
+    preempted and keeps the old unbounded behavior).  Backoff before
+    retry round ``k``
     sleeps ``backoff * backoff_factor**k`` seconds, capped at
     ``max_backoff`` and stretched by up to ``jitter`` (fractional),
     drawn deterministically from ``seed`` — supervision never perturbs
@@ -287,8 +294,25 @@ def _mark_degraded(
     )
 
 
+def _accepts_deadline(fn: Callable) -> bool:
+    """Whether ``fn`` can receive a ``deadline=`` keyword argument."""
+    try:
+        signature = inspect.signature(fn)
+    except (TypeError, ValueError):
+        return False
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if parameter.name == "deadline" and parameter.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            return True
+    return False
+
+
 def retry_call(
-    fn: Callable[[], object],
+    fn: Callable[..., object],
     *,
     task: int = 0,
     policy: "RetryPolicy | None" = None,
@@ -303,14 +327,31 @@ def retry_call(
     fires per attempt (``task`` keys the fault plan), injected crashes
     degrade to the numpy engines exactly like real pool crashes, and
     exhaustion raises :class:`RetryExhaustedError` with the label.
+
+    ``policy.timeout`` is enforced cooperatively: when ``fn`` accepts a
+    ``deadline=`` keyword, every attempt receives a fresh
+    ``Deadline.after(policy.timeout)`` and is expected to stop itself
+    at its next phase boundary (an anytime solve returns its tracked
+    best with ``stopped_by="deadline"`` — a *successful* attempt, so no
+    retry fires).  This makes the serial path honor the same budget the
+    pool path enforces by abandoning workers; the semantic difference —
+    truncate-and-keep versus abandon-and-retry — is inherent to
+    cooperative cancellation.
     """
     policy = policy if policy is not None else RetryPolicy()
+    pass_deadline = policy.timeout is not None and _accepts_deadline(fn)
     attempt = 0
     degraded = False
     while True:
         try:
             with _degraded_env(degraded):
                 inject(task, attempt, degraded=degraded, in_process=True)
+                if pass_deadline:
+                    # Deferred import: repro.anytime is a leaf package,
+                    # but keep the hot no-timeout path import-free.
+                    from repro.anytime.deadline import Deadline
+
+                    return fn(deadline=Deadline.after(policy.timeout))
                 return fn()
         except Exception as exc:  # noqa: BLE001 — supervision boundary
             kind = "crash" if isinstance(exc, InjectedCrash) else "error"

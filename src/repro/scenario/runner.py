@@ -149,6 +149,11 @@ class ScenarioResult:
         """The last step's solve outcome."""
         return self.steps[-1].result
 
+    @property
+    def deadline_hits(self) -> int:
+        """Steps whose solve was stopped by a deadline or cancellation."""
+        return sum(1 for step in self.steps if step.result.stopped_by)
+
     def reopt_seconds(self) -> float:
         """Wall-clock spent on steps 1..n (the re-optimizations).
 
@@ -183,6 +188,7 @@ class ScenarioResult:
                 "evaluations": step.result.n_evaluations,
                 "seconds": step.seconds,
                 "warm": step.result.warm_started,
+                "stopped_by": step.result.stopped_by,
             }
             for step in self.steps
         ]
@@ -191,12 +197,14 @@ class ScenarioResult:
         """One-line account of the whole run."""
         start = "warm" if self.warm else "cold"
         provenance = "" if self.seed is None else f" seed={self.seed},"
+        hits = self.deadline_hits
+        deadline = f", {hits} deadline-stopped step(s)" if hits else ""
         return (
             f"[{self.scenario_name} / {self.solver_name} / {start}]"
             f"{provenance} "
             f"{self.n_steps} steps, {self.total_evaluations} evaluations, "
             f"{sum(s.seconds for s in self.steps):.2f}s, "
-            f"mean fitness {self.mean_fitness():.4f}"
+            f"mean fitness {self.mean_fitness():.4f}{deadline}"
         )
 
 
@@ -379,12 +387,17 @@ class ScenarioRunner:
                 budget = (
                     self.budget if warm_start is None else self.warm_budget
                 )
+                # ``deadline`` makes the step cooperatively preemptible:
+                # retry_call passes Deadline.after(policy.timeout) when
+                # the policy carries one, so RetryPolicy(timeout=) now
+                # bounds serial steps exactly like pooled tasks.
                 def solve_step(
                     step=step,
                     step_seed=step_seed,
                     budget=budget,
                     warm_start=warm_start,
                     engine_cache=engine_cache,
+                    deadline=None,
                 ):
                     return self.solver.solve(
                         step.problem,
@@ -394,6 +407,7 @@ class ScenarioRunner:
                         engine=self.engine,
                         fitness=self.fitness,
                         engine_cache=engine_cache,
+                        deadline=deadline,
                     )
 
                 began = time.perf_counter()

@@ -20,6 +20,7 @@ into the family's native run call.  The shared conventions:
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace as dataclass_replace
 from typing import TYPE_CHECKING
 
@@ -39,6 +40,7 @@ from repro.neighborhood.tabu import TabuSearch
 from repro.solvers.base import SolveResult, Solver, _check_batch, solver_streams
 
 if TYPE_CHECKING:
+    from repro.anytime.deadline import Deadline
     from repro.core.engine.handoff import IncumbentCache
     from repro.core.fitness import FitnessFunction
 
@@ -88,13 +90,19 @@ class AdHocSolver(Solver):
         engine: str = "auto",
         fitness=None,
         engine_cache=None,
+        deadline: "Deadline | None" = None,
     ) -> SolveResult:
+        # ``deadline`` is accepted for contract uniformity but has no
+        # phase boundaries to poll: a constructive method is one atomic
+        # build-and-evaluate, which even an expired deadline must allow
+        # (the anytime contract requires a valid evaluated result).
         _check_budget(budget)
         if warm_start is not None:
             raise ValueError(
                 f"{self.name} is a constructive method and does not accept "
                 "a warm start (it always builds from scratch)"
             )
+        started = time.perf_counter()
         rng_init, _ = solver_streams(seed)
         placement = self._method.place(problem, rng_init)
         evaluator = Evaluator(problem, fitness, engine=engine)
@@ -105,6 +113,7 @@ class AdHocSolver(Solver):
             n_evaluations=1,
             n_phases=0,
             warm_started=False,
+            elapsed_seconds=time.perf_counter() - started,
         )
 
 
@@ -183,6 +192,7 @@ class NeighborhoodSolver(_InitializedSolver):
         engine: str = "auto",
         fitness=None,
         engine_cache=None,
+        deadline: "Deadline | None" = None,
     ) -> SolveResult:
         _check_budget(budget)
         initial, rng_run, warm = self._resolve_start(problem, seed, warm_start)
@@ -194,7 +204,7 @@ class NeighborhoodSolver(_InitializedSolver):
             stall_phases=self.stall_phases,
             accept_equal=self.accept_equal,
         )
-        result = search.run(evaluator, initial, rng_run)
+        result = search.run(evaluator, initial, rng_run, deadline=deadline)
         return SolveResult(
             solver=self.name,
             best=result.best,
@@ -203,6 +213,8 @@ class NeighborhoodSolver(_InitializedSolver):
             warm_started=warm,
             trace=result.trace,
             engine_cache=result.engine_cache,
+            stopped_by=result.stopped_by,
+            elapsed_seconds=result.elapsed_seconds,
         )
 
     def solve_batch(
@@ -215,6 +227,7 @@ class NeighborhoodSolver(_InitializedSolver):
         engine: str = "auto",
         fitness=None,
         engine_caches=None,
+        deadline: "Deadline | None" = None,
     ) -> list[SolveResult]:
         """All seeds as one lockstep multi-chain portfolio.
 
@@ -249,7 +262,9 @@ class NeighborhoodSolver(_InitializedSolver):
             accept_equal=self.accept_equal,
             engine=engine,
         )
-        results = search.run(problem, initials, rngs, fitness=fitness)
+        results = search.run(
+            problem, initials, rngs, fitness=fitness, deadline=deadline
+        )
         return [
             SolveResult(
                 solver=self.name,
@@ -259,6 +274,8 @@ class NeighborhoodSolver(_InitializedSolver):
                 warm_started=warm,
                 trace=result.trace,
                 engine_cache=result.engine_cache,
+                stopped_by=result.stopped_by,
+                elapsed_seconds=result.elapsed_seconds,
             )
             for result, warm in zip(results, warm_flags)
         ]
@@ -303,6 +320,7 @@ class AnnealingSolver(_InitializedSolver):
         engine: str = "auto",
         fitness=None,
         engine_cache=None,
+        deadline: "Deadline | None" = None,
     ) -> SolveResult:
         _check_budget(budget)
         initial, rng_run, warm = self._resolve_start(problem, seed, warm_start)
@@ -319,6 +337,7 @@ class AnnealingSolver(_InitializedSolver):
             rng_run,
             engine_cache=engine_cache,
             track_cache=self.track_cache,
+            deadline=deadline,
         )
         return SolveResult(
             solver=self.name,
@@ -328,6 +347,8 @@ class AnnealingSolver(_InitializedSolver):
             warm_started=warm,
             trace=result.trace,
             engine_cache=result.engine_cache,
+            stopped_by=result.stopped_by,
+            elapsed_seconds=result.elapsed_seconds,
         )
 
 
@@ -367,6 +388,7 @@ class TabuSolver(_InitializedSolver):
         engine: str = "auto",
         fitness=None,
         engine_cache=None,
+        deadline: "Deadline | None" = None,
     ) -> SolveResult:
         _check_budget(budget)
         initial, rng_run, warm = self._resolve_start(problem, seed, warm_start)
@@ -383,6 +405,7 @@ class TabuSolver(_InitializedSolver):
             rng_run,
             engine_cache=engine_cache,
             track_cache=self.track_cache,
+            deadline=deadline,
         )
         return SolveResult(
             solver=self.name,
@@ -392,6 +415,8 @@ class TabuSolver(_InitializedSolver):
             warm_started=warm,
             trace=result.trace,
             engine_cache=result.engine_cache,
+            stopped_by=result.stopped_by,
+            elapsed_seconds=result.elapsed_seconds,
         )
 
 
@@ -439,6 +464,7 @@ class MultiStartSolver(Solver):
         engine: str = "auto",
         fitness=None,
         engine_cache=None,
+        deadline: "Deadline | None" = None,
     ) -> SolveResult:
         _check_budget(budget)
         self.check_warm_start(problem, warm_start)
@@ -458,9 +484,17 @@ class MultiStartSolver(Solver):
             accept_equal=self.accept_equal,
             engine=engine,
         )
-        results = search.run(problem, initials, rngs, fitness=fitness)
+        results = search.run(
+            problem, initials, rngs, fitness=fitness, deadline=deadline
+        )
         fitnesses = np.array([result.best.fitness for result in results])
         winner = results[int(np.argmax(fitnesses))]
+        # The portfolio was cut short if *any* restart chain was masked
+        # out, even when the winning chain had already converged.
+        stopped_by = next(
+            (result.stopped_by for result in results if result.stopped_by),
+            None,
+        )
         return SolveResult(
             solver=self.name,
             best=winner.best,
@@ -468,6 +502,8 @@ class MultiStartSolver(Solver):
             n_phases=winner.n_phases,
             warm_started=warm,
             trace=winner.trace,
+            stopped_by=stopped_by,
+            elapsed_seconds=winner.elapsed_seconds,
         )
 
 
@@ -529,6 +565,7 @@ class GeneticSolver(Solver):
         engine: str = "auto",
         fitness=None,
         engine_cache=None,
+        deadline: "Deadline | None" = None,
     ) -> SolveResult:
         _check_budget(budget)
         self.check_warm_start(problem, warm_start)
@@ -544,7 +581,9 @@ class GeneticSolver(Solver):
         if warm:
             initializer = WarmStartInitializer(initializer, warm_start)
         evaluator = Evaluator(problem, fitness, engine=engine)
-        result = GeneticAlgorithm(config).run(evaluator, initializer, rng_run)
+        result = GeneticAlgorithm(config).run(
+            evaluator, initializer, rng_run, deadline=deadline
+        )
         return SolveResult(
             solver=self.name,
             best=result.best,
@@ -552,4 +591,6 @@ class GeneticSolver(Solver):
             n_phases=result.n_generations,
             warm_started=warm,
             trace=result.trace,
+            stopped_by=result.stopped_by,
+            elapsed_seconds=result.elapsed_seconds,
         )

@@ -50,6 +50,7 @@ from repro.core.problem import ProblemInstance
 from repro.core.solution import Placement
 
 if TYPE_CHECKING:
+    from repro.anytime.deadline import Deadline
     from repro.core.engine.handoff import IncumbentCache
     from repro.core.fitness import FitnessFunction
 
@@ -101,6 +102,13 @@ class SolveResult:
     (phases or generations; 0 for constructive methods).  ``trace`` is
     the family's own record type (``SearchTrace``, ``GATrace`` or
     ``None``) — uniform access to the best solution never requires it.
+
+    ``stopped_by`` is ``None`` for a run that spent its whole budget
+    and ``"deadline"``/``"cancelled"`` when a
+    :class:`~repro.anytime.deadline.Deadline` stopped it early (the
+    anytime contract: ``best`` is a fully evaluated incumbent either
+    way).  ``elapsed_seconds`` is the run's wall-clock time, excluded
+    from equality — bit-identical runs never share timings.
     """
 
     solver: str
@@ -112,6 +120,8 @@ class SolveResult:
     engine_cache: "IncumbentCache | None" = field(
         default=None, compare=False, repr=False
     )
+    stopped_by: str | None = None
+    elapsed_seconds: float = field(default=0.0, compare=False)
 
     @property
     def giant_size(self) -> int:
@@ -126,10 +136,11 @@ class SolveResult:
     def summary(self) -> str:
         """One-line human-readable summary."""
         start = "warm" if self.warm_started else "cold"
+        stopped = f", stopped by {self.stopped_by}" if self.stopped_by else ""
         return (
             f"[{self.solver}] {self.best.summary()} "
             f"({self.n_phases} phases, {self.n_evaluations} evaluations, "
-            f"{start} start)"
+            f"{start} start{stopped})"
         )
 
 
@@ -156,8 +167,16 @@ class Solver(abc.ABC):
         engine: str = "auto",
         fitness: "FitnessFunction | None" = None,
         engine_cache: "IncumbentCache | None" = None,
+        deadline: "Deadline | None" = None,
     ) -> SolveResult:
-        """Optimize ``problem``; see the module docstring for the contract."""
+        """Optimize ``problem``; see the module docstring for the contract.
+
+        ``deadline`` is an optional
+        :class:`~repro.anytime.deadline.Deadline` polled cooperatively
+        at the family's phase boundaries; with ``deadline=None`` (or a
+        deadline that never fires) results are bit-identical to a run
+        without one.
+        """
 
     def solve_batch(
         self,
@@ -169,6 +188,7 @@ class Solver(abc.ABC):
         engine: str = "auto",
         fitness: "FitnessFunction | None" = None,
         engine_caches: "list[IncumbentCache | None] | None" = None,
+        deadline: "Deadline | None" = None,
     ) -> list[SolveResult]:
         """Solve one problem under many seeds; one result per seed, in order.
 
@@ -180,6 +200,11 @@ class Solver(abc.ABC):
         with a vectorized path whose per-seed results are **bit-identical**
         to this loop (asserted by ``tests/solvers/test_adapters.py``), so
         callers may treat the two as interchangeable.
+
+        ``deadline`` is shared by the whole batch: each seed's solve
+        polls the same deadline, so once it fires every remaining seed
+        returns its evaluated start immediately (the lockstep override
+        masks the still-running chains instead — same semantics).
         """
         warm_starts, engine_caches = _check_batch(
             seeds, warm_starts, engine_caches
@@ -193,6 +218,7 @@ class Solver(abc.ABC):
                 engine=engine,
                 fitness=fitness,
                 engine_cache=engine_cache,
+                deadline=deadline,
             )
             for seed, warm_start, engine_cache in zip(
                 seeds, warm_starts, engine_caches

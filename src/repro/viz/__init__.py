@@ -5,6 +5,7 @@ from repro.viz.ascii_map import render_evaluation, render_placement
 from repro.viz.timeline import (
     render_fitness_chart,
     render_fleet_report,
+    render_live_report,
     render_timeline,
 )
 
@@ -13,6 +14,7 @@ __all__ = [
     "render_evaluation",
     "render_fitness_chart",
     "render_fleet_report",
+    "render_live_report",
     "render_placement",
     "render_timeline",
 ]

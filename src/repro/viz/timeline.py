@@ -17,7 +17,12 @@ from typing import Iterable
 
 from repro.viz.ascii_chart import render_chart
 
-__all__ = ["render_timeline", "render_fitness_chart", "render_fleet_report"]
+__all__ = [
+    "render_timeline",
+    "render_fitness_chart",
+    "render_fleet_report",
+    "render_live_report",
+]
 
 #: Width of the inline fitness bar, in characters.
 _BAR_WIDTH = 20
@@ -44,12 +49,15 @@ def render_timeline(result) -> str:
     lines = [result.summary(), header, "-" * len(header)]
     for row in rows:
         start = "warm" if row["warm"] else "cold"
+        # Deadline-truncated steps are flagged inline (the row is still
+        # a well-formed incumbent — that's the anytime contract).
+        stopped = f" [{row['stopped_by']}]" if row.get("stopped_by") else ""
         lines.append(
             f"{row['step']:4d}  {start:5s} "
             f"{row['giant']:4d}/{row['n_routers']:<4d} "
             f"{row['coverage']:4d}/{row['n_clients']:<4d} "
             f"{row['fitness']:8.4f} {_bar(row['fitness'])} "
-            f"{row['phases']:6d} {row['evaluations']:7d}  {row['event']}"
+            f"{row['phases']:6d} {row['evaluations']:7d}  {row['event']}{stopped}"
         )
     return "\n".join(lines) + "\n"
 
@@ -148,4 +156,61 @@ def render_fleet_report(report, chart: bool = False, **chart_kwargs) -> str:
                     **chart_kwargs,
                 )
             )
+    return "\n".join(lines) + "\n"
+
+
+def render_live_report(report, baseline=None) -> str:
+    """The SLA account of a live run, one aligned row per event.
+
+    ``report`` is a :class:`~repro.anytime.live.LiveReport`.  Columns:
+    event index, arrival time, response latency against the SLA, the
+    ladder rung that served it, fitness with a bar, and the event label.
+    Shed events render as ``-> coalesced into step N``.  With
+    ``baseline`` (the unbounded
+    :class:`~repro.scenario.runner.ScenarioResult` of the same scenario
+    and seed) a fitness-regret column is added and the mean regret is
+    appended to the footer.
+    """
+    regret_by_step = {}
+    if baseline is not None:
+        regret_by_step = dict(report.regret_curve(baseline))
+    header = (
+        f"{'step':>4s} {'arrival':>9s} {'latency':>9s} {'sla':>4s} "
+        f"{'rung':17s} {'fitness':>8s} {'':{_BAR_WIDTH}s}"
+    )
+    if baseline is not None:
+        header += f" {'regret':>8s}"
+    header += "  event"
+    lines = [report.summary(), header, "-" * len(header)]
+    for row in report.timeline():
+        prefix = (
+            f"{row['step']:4d} {row['arrival']:9.3f} "
+        )
+        if row["shed"]:
+            lines.append(
+                f"{prefix}{'-':>9s} {'-':>4s} {row['rung']:17s} "
+                f"{'':>8s} {'':{_BAR_WIDTH}s}"
+                + (f" {'-':>8s}" if baseline is not None else "")
+                + f"  {row['event']} -> coalesced into step "
+                f"{row['coalesced_into']}"
+            )
+            continue
+        sla_flag = "ok" if row["sla_met"] else "MISS"
+        stopped = f" [{row['stopped_by']}]" if row.get("stopped_by") else ""
+        line = (
+            f"{prefix}{row['latency']:9.3f} {sla_flag:>4s} "
+            f"{row['rung']:17s} {row['fitness']:8.4f} {_bar(row['fitness'])}"
+        )
+        if baseline is not None:
+            regret = regret_by_step.get(row["step"])
+            line += f" {regret:8.4f}" if regret is not None else f" {'-':>8s}"
+        line += f"  {row['event']}{stopped}"
+        lines.append(line)
+    footer = (
+        f"rungs: "
+        + ", ".join(f"{name} x{count}" for name, count in report.rung_counts().items())
+    )
+    if baseline is not None:
+        footer += f"; mean regret vs unbounded {report.mean_regret(baseline):+.4f}"
+    lines.append(footer)
     return "\n".join(lines) + "\n"

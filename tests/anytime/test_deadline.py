@@ -1,0 +1,116 @@
+"""The cooperative cancellation protocol: clocks, tokens, deadlines."""
+
+from __future__ import annotations
+
+import math
+import time
+
+import pytest
+
+from repro.anytime import (
+    CancelToken,
+    Deadline,
+    MonotonicClock,
+    SimulatedClock,
+    SteppingClock,
+)
+
+
+class TestClocks:
+    def test_monotonic_clock_advances(self):
+        clock = MonotonicClock()
+        first = clock.now()
+        time.sleep(0.001)
+        assert clock.now() > first
+
+    def test_simulated_clock_only_moves_on_advance(self):
+        clock = SimulatedClock(start=10.0)
+        assert clock.now() == 10.0
+        assert clock.now() == 10.0
+        clock.advance(2.5)
+        assert clock.now() == 12.5
+
+    def test_simulated_clock_rejects_backward_steps(self):
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_stepping_clock_ticks_per_read(self):
+        clock = SteppingClock(dt=1.0)
+        assert clock.now() == 0.0
+        assert clock.now() == 1.0
+        assert clock.now() == 2.0
+
+
+class TestCancelToken:
+    def test_starts_uncancelled(self):
+        assert not CancelToken().cancelled
+
+    def test_cancel_is_sticky(self):
+        token = CancelToken()
+        token.cancel()
+        token.cancel()
+        assert token.cancelled
+
+
+class TestDeadline:
+    def test_after_fires_when_clock_passes_expiry(self):
+        clock = SimulatedClock()
+        deadline = Deadline.after(5.0, clock=clock)
+        assert deadline.stop_reason() is None
+        assert not deadline.expired()
+        clock.advance(5.0)
+        assert deadline.stop_reason() == "deadline"
+        assert deadline.expired()
+
+    def test_at_absolute_expiry(self):
+        clock = SimulatedClock(start=100.0)
+        deadline = Deadline.at(101.0, clock=clock)
+        assert deadline.stop_reason() is None
+        clock.advance(1.5)
+        assert deadline.stop_reason() == "deadline"
+
+    def test_after_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            Deadline.after(math.nan)
+
+    def test_cancellable_reports_cancelled(self):
+        token = CancelToken()
+        deadline = Deadline.cancellable(token)
+        assert deadline.stop_reason() is None
+        token.cancel()
+        assert deadline.stop_reason() == "cancelled"
+
+    def test_conjunction_fires_on_earliest_limit(self):
+        clock = SimulatedClock()
+        both = Deadline.after(2.0, clock=clock) & Deadline.after(
+            10.0, clock=clock
+        )
+        clock.advance(3.0)
+        assert both.stop_reason() == "deadline"
+
+    def test_cancellation_takes_precedence_over_expiry(self):
+        clock = SimulatedClock()
+        token = CancelToken()
+        deadline = Deadline.after(1.0, clock=clock).with_token(token)
+        clock.advance(2.0)
+        token.cancel()
+        assert deadline.stop_reason() == "cancelled"
+
+    def test_remaining_is_min_over_limits(self):
+        clock = SimulatedClock()
+        deadline = Deadline.after(2.0, clock=clock) & Deadline.after(
+            7.0, clock=clock
+        )
+        assert deadline.remaining() == pytest.approx(2.0)
+        clock.advance(3.0)
+        assert deadline.remaining() == 0.0
+
+    def test_remaining_unbounded_without_limits(self):
+        assert Deadline.cancellable(CancelToken()).remaining() == math.inf
+
+    def test_remaining_zero_once_cancelled(self):
+        token = CancelToken()
+        deadline = Deadline.after(100.0).with_token(token)
+        token.cancel()
+        assert deadline.remaining() == 0.0

@@ -1,0 +1,106 @@
+"""Non-finite input gates: NaN/inf must fail loudly, never flow through.
+
+NaN compares false with everything, so a non-finite radius or client
+position would silently pass every range check and come back as garbage
+fitness from whichever engine tier evaluates it.  Two gates reject such
+inputs with a clear ``ValueError``:
+
+* :class:`ProblemInstance` construction — the choke point every
+  instance passes through, naming the offending ids.
+* :class:`Evaluator` construction — re-checked per engine tier, which
+  also catches arrays mutated *after* instance validation (the frozen
+  dataclasses hold numpy arrays; ``object.__setattr__`` can swap them).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.engine import compiled
+from repro.core.evaluation import Evaluator
+from repro.core.problem import ProblemInstance
+
+needs_compiled = pytest.mark.skipif(
+    not compiled.is_available(),
+    reason="compiled kernels not available (no C toolchain?)",
+)
+
+ENGINE_TIERS = [
+    "dense",
+    "sparse",
+    pytest.param("compiled", marks=needs_compiled),
+]
+
+
+def with_nan_radius(problem, router_id=2):
+    """The problem with one radius swapped to NaN, bypassing the
+    construction gate (mutation after validation)."""
+    bad = problem.fleet.radii.copy()
+    bad[router_id] = np.nan
+    object.__setattr__(problem.fleet, "_radii", bad)
+    return problem
+
+
+def with_inf_position(problem, client_id=1):
+    bad = problem.clients.positions.copy()
+    bad[client_id, 0] = np.inf
+    object.__setattr__(problem.clients, "_positions", bad)
+    return problem
+
+
+class TestProblemGate:
+    def test_nan_radius_rejected_with_router_id(self, tiny_problem):
+        fleet = with_nan_radius(tiny_problem, router_id=3).fleet
+        with pytest.raises(ValueError, match=r"radii must be finite.*\[3\]"):
+            dataclasses.replace(tiny_problem, fleet=fleet)
+
+    def test_inf_radius_rejected(self, tiny_problem):
+        bad = tiny_problem.fleet.radii.copy()
+        bad[0] = np.inf
+        object.__setattr__(tiny_problem.fleet, "_radii", bad)
+        with pytest.raises(ValueError, match="radii must be finite"):
+            dataclasses.replace(tiny_problem, fleet=tiny_problem.fleet)
+
+    def test_nan_client_position_rejected_with_client_id(self, tiny_problem):
+        bad = tiny_problem.clients.positions.copy()
+        bad[5] = np.nan
+        object.__setattr__(tiny_problem.clients, "_positions", bad)
+        with pytest.raises(
+            ValueError, match=r"positions must be finite.*\[5\]"
+        ):
+            dataclasses.replace(tiny_problem, clients=tiny_problem.clients)
+
+    def test_finite_instance_constructs(self, tiny_problem):
+        rebuilt = dataclasses.replace(tiny_problem)
+        assert rebuilt.n_routers == tiny_problem.n_routers
+
+
+class TestEvaluatorGate:
+    """The per-tier re-check: post-validation mutations are caught
+    before any engine sees them."""
+
+    @pytest.mark.parametrize("engine", ENGINE_TIERS)
+    def test_nan_radius_rejected_per_tier(self, tiny_problem, engine):
+        problem = with_nan_radius(tiny_problem)
+        with pytest.raises(ValueError, match="radii must be finite"):
+            Evaluator(problem, engine=engine)
+
+    @pytest.mark.parametrize("engine", ENGINE_TIERS)
+    def test_inf_position_rejected_per_tier(self, tiny_problem, engine):
+        problem = with_inf_position(tiny_problem)
+        with pytest.raises(ValueError, match="positions must be finite"):
+            Evaluator(problem, engine=engine)
+
+    @pytest.mark.parametrize("engine", ENGINE_TIERS)
+    def test_finite_instance_evaluates_per_tier(self, tiny_problem, engine):
+        evaluator = Evaluator(tiny_problem, engine=engine)
+        from repro.core.solution import Placement
+
+        rng = np.random.default_rng(1)
+        placement = Placement.random(
+            tiny_problem.grid, tiny_problem.n_routers, rng
+        )
+        assert np.isfinite(evaluator.evaluate(placement).fitness)
