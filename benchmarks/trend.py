@@ -1,0 +1,174 @@
+"""Aggregate the committed ``BENCH_*.json`` records into one trend table.
+
+Every benchmark leaves a machine-readable ``BENCH_<name>.json`` at the
+repository root (see ``_common.write_bench_json``), and successive PRs
+overwrite those files in place — so the perf *trajectory* lives in git
+history, one version per commit that touched a record.  This helper
+walks that history and renders a single markdown table
+(``results/BENCH_TREND.md``): one row per (bench, metric, PR), newest
+first, so the perf story reads in one place instead of seven files.
+
+Headline metrics are selected by key name: anything that looks like a
+claim (``*speedup*``, ``*ratio*``, ``*reduction*``, ``*regret*``,
+``p50``/``p95``, ``*overhead*``) rather than a workload knob.  Raw
+wall-clock seconds are deliberately excluded — records from different
+hosts must not be compared (schema v2 stamps the host for exactly this
+reason), while the selected metrics are all same-run ratios.
+
+Run standalone::
+
+    python benchmarks/trend.py [--out results/BENCH_TREND.md]
+
+No src/ imports: the script only needs git and the JSON records, so it
+works from a bare checkout without ``PYTHONPATH``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Keys that state a result.  Everything else in a record is either the
+#: envelope, a workload knob, or a host-bound wall-clock number.
+HEADLINE = re.compile(
+    r"(speedup|ratio|reduction|regret|overhead|^p\d{2}(_|$))", re.I
+)
+
+#: Envelope/counter keys that match HEADLINE lexically but are not
+#: trajectory claims.
+EXCLUDE = {"schema_version"}
+
+
+def git(*argv: str) -> str:
+    return subprocess.run(
+        ["git", "-C", str(REPO_ROOT), *argv],
+        check=True,
+        capture_output=True,
+        text=True,
+    ).stdout
+
+
+def record_versions(path: Path) -> list[dict]:
+    """Every committed version of one record, oldest first.
+
+    Each entry: ``{"sha", "subject", "date", "record"}``.  The working
+    tree copy is appended as a final pseudo-commit when it differs from
+    HEAD, so an uncommitted bench run still shows up in the table.
+    """
+    rel = path.relative_to(REPO_ROOT).as_posix()
+    versions = []
+    try:
+        log = git(
+            "log", "--follow", "--format=%H\x1f%s\x1f%cs", "--", rel
+        ).strip()
+    except subprocess.CalledProcessError:
+        log = ""
+    for line in reversed(log.splitlines()):
+        sha, subject, date = line.split("\x1f")
+        try:
+            record = json.loads(git("show", f"{sha}:{rel}"))
+        except (subprocess.CalledProcessError, json.JSONDecodeError):
+            continue
+        versions.append(
+            {"sha": sha[:7], "subject": subject, "date": date,
+             "record": record}
+        )
+    try:
+        worktree = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        worktree = None
+    if worktree is not None and (
+        not versions or versions[-1]["record"] != worktree
+    ):
+        stamp = worktree.get("timestamp")
+        date = (
+            datetime.fromtimestamp(stamp, tz=timezone.utc).date().isoformat()
+            if isinstance(stamp, (int, float))
+            else "-"
+        )
+        versions.append(
+            {"sha": "worktree", "subject": "(uncommitted)", "date": date,
+             "record": worktree}
+        )
+    return versions
+
+
+def headline_metrics(record: dict) -> dict[str, float]:
+    return {
+        key: value
+        for key, value in sorted(record.items())
+        if key not in EXCLUDE
+        and HEADLINE.search(key)
+        and isinstance(value, (int, float))
+        and not isinstance(value, bool)
+    }
+
+
+def fmt(value: float) -> str:
+    if value and abs(value) < 0.01:
+        return f"{value:.2e}"
+    return f"{value:,.2f}".rstrip("0").rstrip(".")
+
+
+def render(root: Path) -> str:
+    lines = [
+        "# Benchmark trend",
+        "",
+        "One row per (bench, metric, PR), newest PR first, regenerated "
+        "by `python benchmarks/trend.py`.  Metrics are same-run ratios "
+        "(speedups, reductions, regrets) — host-bound wall-clock "
+        "numbers are deliberately not tracked across commits.",
+        "",
+        "| bench | metric | value | PR | date |",
+        "|---|---|---:|---|---|",
+    ]
+    n_rows = 0
+    for path in sorted(root.glob("BENCH_*.json")):
+        bench = path.stem.removeprefix("BENCH_")
+        for version in reversed(record_versions(path)):
+            subject = version["subject"]
+            if len(subject) > 60:
+                subject = subject[:57] + "..."
+            pr = (
+                subject
+                if version["sha"] == "worktree"
+                else f"`{version['sha']}` {subject}"
+            )
+            for key, value in headline_metrics(version["record"]).items():
+                lines.append(
+                    f"| {bench} | {key} | {fmt(value)} | {pr} "
+                    f"| {version['date']} |"
+                )
+                n_rows += 1
+    if not n_rows:
+        lines.append("| _no records found_ | | | | |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "results" / "BENCH_TREND.md",
+        help="destination markdown file (default results/BENCH_TREND.md)",
+    )
+    args = parser.parse_args(argv)
+    text = render(REPO_ROOT)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(text)
+    n_rows = text.count("\n|") - 2
+    print(f"wrote {args.out} ({max(n_rows, 0)} rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,7 @@ Two clock modes:
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import time
 from contextlib import contextmanager
@@ -47,6 +48,12 @@ from repro.anytime.deadline import (
     Deadline,
     MonotonicClock,
     SimulatedClock,
+)
+from repro.parallel import (
+    get_runtime,
+    resolve_task_problem,
+    run_tasks,
+    runtime_enabled,
 )
 from repro.scenario.runner import _cache_tracking, _validate_budgets
 from repro.scenario.scenario import Scenario, ScenarioStep, _root_sequence
@@ -158,6 +165,58 @@ def _scaled_solver(solver: Solver, rung: LadderRung):
     finally:
         for name, value in prior.items():
             setattr(solver, name, value)
+
+
+#: Worker request used by the offload path.  ``run_supervised`` treats
+#: ``workers <= 1`` as "run in-process", so the single-event solve asks
+#: for 2; the persistent pool then sizes itself to the actual task count
+#: (:func:`repro.parallel.effective_pool_size` → one process).
+_OFFLOAD_WORKERS = 2
+
+
+def _solve_offloaded(task):
+    """Pool-side solve of one live event (the ``offload=True`` path).
+
+    The task carries everything a worker needs to reproduce the
+    in-process solve bit-for-bit: the solver (with its *unscaled*
+    knobs), the problem payload (a broadcast handle or the instance
+    itself), the event's seed/budget/warm start, and the rung plus
+    deadline budget to re-derive the solver deadline locally.  The
+    deadline is rebuilt on a worker-local clock: a fresh
+    :class:`~repro.anytime.deadline.SimulatedClock` never advances
+    mid-solve — exactly like the parent's, which only advances *between*
+    solves — and a fresh monotonic deadline counts from solve start just
+    as the parent's did.  The incumbent cache is a same-process perf
+    hint (never a result change — the handoff parity tests), so it is
+    neither shipped nor returned.
+    """
+    (
+        solver,
+        problem,
+        seed,
+        budget,
+        warm_start,
+        engine,
+        fitness,
+        solve_budget,
+        simulated,
+        rung,
+    ) = task
+    problem = resolve_task_problem(problem)
+    clock = SimulatedClock() if simulated else MonotonicClock()
+    event_deadline = Deadline.after(solve_budget, clock=clock)
+    with _scaled_solver(solver, rung):
+        result = solver.solve(
+            problem,
+            seed=seed,
+            budget=budget,
+            warm_start=warm_start,
+            engine=engine,
+            fitness=fitness,
+            engine_cache=None,
+            deadline=event_deadline,
+        )
+    return (dataclasses.replace(result, engine_cache=None),)
 
 
 @dataclass(frozen=True)
@@ -380,6 +439,20 @@ class LiveRunner:
         so the slack (default 10%) absorbs the final phase in flight.
     ladder:
         The degradation rungs (:data:`DEFAULT_LADDER` by default).
+    offload:
+        When true, each event's solve runs on the process-wide
+        persistent worker pool (:mod:`repro.parallel`) instead of
+        in-process: the step's problem travels by shared-memory
+        broadcast, the solver and warm start by pickle, and the event
+        deadline is re-derived worker-side from the same budget —
+        reports are bit-identical to in-process runs in simulated-clock
+        mode.  This is the service shape: the event loop stays
+        responsive while solves occupy a warm worker, and a worker
+        crash is retried by the supervisor without republishing the
+        broadcast.  Requires a picklable solver/fitness; runs with an
+        external run ``deadline`` (a shared clock or cancel token
+        cannot cross a process boundary) and ``REPRO_RUNTIME=0`` runs
+        fall back in-process.
     """
 
     def __init__(
@@ -398,6 +471,7 @@ class LiveRunner:
         seconds_per_evaluation: "float | None" = None,
         deadline_fraction: float = 0.9,
         ladder: Sequence[LadderRung] = DEFAULT_LADDER,
+        offload: bool = False,
         **solver_kwargs,
     ) -> None:
         if isinstance(solver, str):
@@ -444,6 +518,7 @@ class LiveRunner:
         self.clock = clock
         self.deadline_fraction = deadline_fraction
         self.ladder = tuple(ladder)
+        self.offload = bool(offload)
 
     # ------------------------------------------------------------------
     # Entry points
@@ -500,6 +575,10 @@ class LiveRunner:
         step_seeds = solve_seq.spawn(len(steps))
         warm_capable = self.warm and self.solver.supports_warm_start
         simulated = self.seconds_per_evaluation is not None
+        # Offloading needs the persistent runtime and a per-event-only
+        # deadline: an external run deadline shares a clock (or cancel
+        # token) with the caller, which a forked worker cannot observe.
+        offload = self.offload and deadline is None and runtime_enabled()
 
         origin = self.clock.now()
         now = 0.0  # run-relative timeline, seconds
@@ -585,17 +664,38 @@ class LiveRunner:
 
                 started = now
                 wall_before = time.perf_counter()
-                with _scaled_solver(self.solver, rung):
-                    result = self.solver.solve(
-                        step.problem,
-                        seed=step_seeds[step.index],
-                        budget=budget,
-                        warm_start=warm_start,
-                        engine=self.engine,
-                        fitness=self.fitness,
-                        engine_cache=engine_cache,
-                        deadline=event_deadline,
+                if offload:
+                    payload = get_runtime().broadcast(step.problem)
+                    task = (
+                        self.solver,
+                        payload,
+                        step_seeds[step.index],
+                        budget,
+                        warm_start,
+                        self.engine,
+                        self.fitness,
+                        solve_budget,
+                        simulated,
+                        rung,
                     )
+                    [result] = run_tasks(
+                        _solve_offloaded,
+                        [task],
+                        workers=_OFFLOAD_WORKERS,
+                        labels=[f"event {step.index} ({step.event})"],
+                    )
+                else:
+                    with _scaled_solver(self.solver, rung):
+                        result = self.solver.solve(
+                            step.problem,
+                            seed=step_seeds[step.index],
+                            budget=budget,
+                            warm_start=warm_start,
+                            engine=self.engine,
+                            fitness=self.fitness,
+                            engine_cache=engine_cache,
+                            deadline=event_deadline,
+                        )
                 if simulated:
                     duration = result.n_evaluations * self.seconds_per_evaluation
                     self.clock.advance(duration)

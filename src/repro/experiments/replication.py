@@ -46,9 +46,16 @@ from repro.adhoc.registry import PAPER_METHOD_ORDER, make_method
 from repro.core.evaluation import Evaluator
 from repro.core.fitness import FitnessFunction
 from repro.instances.generator import InstanceSpec
+from repro.instances.shm import ProblemRef
 from repro.neighborhood.movements import MovementType
 from repro.neighborhood.multichain import MultiChainSearch
-from repro.parallel import run_tasks, seed_shards
+from repro.parallel import (
+    get_runtime,
+    resolve_task_problem,
+    run_tasks,
+    runtime_enabled,
+    seed_shards,
+)
 from repro.resilience.checkpoint import open_store
 from repro.resilience.supervisor import RetryPolicy, SupervisionReport
 
@@ -67,13 +74,34 @@ __all__ = [
 _PROBLEM_CACHE: dict[str, "object"] = {}
 
 
-def _cached_problem(spec: InstanceSpec):
-    key = repr(spec)
+def _cached_problem(source):
+    """The instance behind a task's problem payload.
+
+    ``source`` is an :class:`InstanceSpec` (regenerate once per process,
+    the pickle path) or a :class:`~repro.instances.shm.ProblemRef`
+    (attach the broadcast shared-memory payload, cached per process by
+    content hash).
+    """
+    if isinstance(source, ProblemRef):
+        return resolve_task_problem(source)
+    key = repr(source)
     problem = _PROBLEM_CACHE.get(key)
     if problem is None:
-        problem = spec.generate()
+        problem = source.generate()
         _PROBLEM_CACHE[key] = problem
     return problem
+
+
+def _problem_source(spec: InstanceSpec, workers: "int | None"):
+    """What shard tasks carry for ``spec``: a broadcast handle when the
+    fan-out is real and the instance is big enough, the spec otherwise
+    (a spec pickles smaller than any instance, so the legacy path keeps
+    shipping the recipe and regenerating per worker).
+    """
+    if workers is None or workers <= 1 or not runtime_enabled():
+        return spec
+    payload = get_runtime().broadcast(_cached_problem(spec))
+    return payload if isinstance(payload, ProblemRef) else spec
 
 
 def label_key(name: str) -> int:
@@ -331,9 +359,11 @@ def replicate_standalone(
         resume_from=resume_from,
     )
 
+    source = _problem_source(spec, workers)
+
     def make_task(name, seeds):
         return (
-            spec,
+            source,
             name,
             fitness,
             engine,
@@ -413,9 +443,11 @@ def replicate_movements(
         resume_from=resume_from,
     )
 
+    source = _problem_source(spec, workers)
+
     def make_task(label, seeds):
         return (
-            spec,
+            source,
             movements[label],
             n_candidates,
             max_phases,

@@ -73,10 +73,17 @@ from repro.neighborhood.moves import RelocateMove, SwapMove
 from repro.neighborhood.movements import MovementType
 from repro.neighborhood.search import SearchResult
 from repro.neighborhood.trace import SearchTrace
-from repro.parallel import run_tasks, shard_slices
+from repro.parallel import (
+    get_runtime,
+    resolve_task_problem,
+    run_tasks,
+    runtime_enabled,
+    shard_slices,
+)
 
 if TYPE_CHECKING:
     from repro.anytime.deadline import Deadline
+    from repro.resilience.supervisor import RetryPolicy, SupervisionReport
 
 __all__ = [
     "chain_generators",
@@ -179,8 +186,14 @@ _shard_slices = shard_slices
 
 
 def _run_shard(task) -> list[SearchResult]:
-    """One contiguous chain shard in a worker process (top-level: pickling)."""
+    """One contiguous chain shard in a worker process (top-level: pickling).
+
+    The problem payload is either the instance itself (pickle path) or a
+    broadcast handle resolved against this process's attached shared
+    memory (see :mod:`repro.parallel.runtime`).
+    """
     (parameters, problem, movement, initials, rngs, fitness, target) = task
+    problem = resolve_task_problem(problem)
     search = MultiChainSearch(movement, **parameters)
     return search.run(problem, initials, rngs, fitness=fitness, fitness_target=target)
 
@@ -240,6 +253,8 @@ class MultiChainSearch:
         fitness_target: float | None = None,
         workers: int | None = None,
         deadline: "Deadline | None" = None,
+        policy: "RetryPolicy | None" = None,
+        report: "SupervisionReport | None" = None,
     ) -> list[SearchResult]:
         """Search all chains; one :class:`SearchResult` per chain, in order.
 
@@ -247,7 +262,12 @@ class MultiChainSearch:
         module docstring for the stream contract).  With ``workers > 1``
         contiguous chain shards run in a process pool — bit-identical
         results, less wall-clock; the problem, movement, placements and
-        generators must then be picklable (all built-ins are).
+        generators must then be picklable (all built-ins are).  Shard
+        execution is supervised exactly like the fleet path: ``policy``
+        governs retry/backoff/degradation, ``report`` collects recovery
+        activity, and every shard task carries a label naming its chain
+        range so a :class:`~repro.resilience.supervisor.RetryExhaustedError`
+        says which chains were lost.
 
         ``deadline`` is polled once per lockstep phase (cooperative
         cancellation): when it fires, every still-active chain is
@@ -272,7 +292,14 @@ class MultiChainSearch:
             and deadline is None
         ):
             return self._run_parallel(
-                problem, initials, rngs, fitness, fitness_target, workers
+                problem,
+                initials,
+                rngs,
+                fitness,
+                fitness_target,
+                workers,
+                policy=policy,
+                report=report,
             )
         started = time.perf_counter()
         movement = self._resolve_movement()
@@ -613,6 +640,8 @@ class MultiChainSearch:
         fitness: FitnessFunction | None,
         fitness_target: float | None,
         workers: int,
+        policy: "RetryPolicy | None" = None,
+        report: "SupervisionReport | None" = None,
     ) -> list[SearchResult]:
         parameters = dict(
             n_candidates=self.n_candidates,
@@ -622,22 +651,42 @@ class MultiChainSearch:
             engine=self.engine,
             max_chunk=self.max_chunk,
         )
+        # Publish the instance once; every shard task carries the small
+        # broadcast handle (or the instance itself when it is below the
+        # broadcast threshold / the runtime is disabled).
+        payload = (
+            get_runtime().broadcast(problem) if runtime_enabled() else problem
+        )
+        parts = _shard_slices(len(initials), workers)
         tasks = [
             (
                 parameters,
-                problem,
+                payload,
                 self.movement,
                 list(initials[part]),
                 list(rngs[part]),
                 fitness,
                 fitness_target,
             )
-            for part in _shard_slices(len(initials), workers)
+            for part in parts
+        ]
+        labels = [
+            f"chain {part.start}"
+            if part.stop - part.start == 1
+            else f"chains {part.start}..{part.stop - 1}"
+            for part in parts
         ]
         # The shared supervised pool pins worker threads (OMP) and
         # retries crashed shards; a raw ProcessPoolExecutor here used to
         # skip both.
-        return run_tasks(_run_shard, tasks, workers)
+        return run_tasks(
+            _run_shard,
+            tasks,
+            workers,
+            policy=policy,
+            labels=labels,
+            report=report,
+        )
 
     def __repr__(self) -> str:
         return (

@@ -24,6 +24,14 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.parallel.runtime import (
+    ParallelRuntime,
+    effective_pool_size,
+    get_runtime,
+    resolve_task_problem,
+    runtime_enabled,
+    shutdown_runtime,
+)
 from repro.resilience.supervisor import (
     RetryPolicy,
     SupervisionReport,
@@ -31,7 +39,17 @@ from repro.resilience.supervisor import (
     run_supervised,
 )
 
-__all__ = ["shard_slices", "seed_shards", "run_tasks"]
+__all__ = [
+    "shard_slices",
+    "seed_shards",
+    "run_tasks",
+    "ParallelRuntime",
+    "effective_pool_size",
+    "get_runtime",
+    "resolve_task_problem",
+    "runtime_enabled",
+    "shutdown_runtime",
+]
 
 # Pool-worker bootstrap (OMP pinning) now lives with the supervisor; the
 # old name stays importable for anything that referenced it here.
@@ -39,7 +57,16 @@ _limit_worker_threads = _worker_init
 
 
 def shard_slices(count: int, shards: int) -> list[slice]:
-    """Contiguous, order-preserving split of ``count`` items."""
+    """Contiguous, order-preserving split of ``count`` items.
+
+    Layout depends on ``shards`` (the caller's ``workers=`` request)
+    alone — never on the machine — so which seed lands in which shard is
+    reproducible everywhere.  How many *processes* actually serve those
+    shards is a separate, runtime-aware decision:
+    :func:`repro.parallel.runtime.effective_pool_size` caps the pool at
+    ``min(workers, n_tasks, cpu count)`` so a request larger than the
+    shard count (or the machine) never holds idle workers alive.
+    """
     shards = min(shards, count)
     bounds = np.linspace(0, count, shards + 1).astype(int)
     return [
@@ -50,7 +77,14 @@ def shard_slices(count: int, shards: int) -> list[slice]:
 
 
 def seed_shards(n_seeds: int, workers: "int | None") -> list[range]:
-    """Contiguous seed ranges: one per worker slot (one total when serial)."""
+    """Contiguous seed ranges: one per worker slot (one total when serial).
+
+    Like :func:`shard_slices`, the *layout* uses the requested
+    ``workers`` so seed ownership is machine-independent; the persistent
+    pool then sizes itself to ``min(workers, n_shards, cpu count)``
+    (:func:`repro.parallel.runtime.effective_pool_size`), so asking for
+    more workers than seeds or cores costs nothing but the request.
+    """
     if workers is None or workers <= 1 or n_seeds <= 1:
         return [range(n_seeds)]
     return [
@@ -67,6 +101,7 @@ def run_tasks(
     labels: "Sequence[str] | None" = None,
     on_shard: "Callable[[int, Sequence], None] | None" = None,
     report: "SupervisionReport | None" = None,
+    on_retry: "Callable | None" = None,
 ) -> list:
     """Run shard tasks serially or over a supervised pool, flat, in order.
 
@@ -82,7 +117,15 @@ def run_tasks(
     :class:`~repro.resilience.supervisor.RetryExhaustedError` says which
     seeds were lost.  ``on_shard(index, rows)`` fires in the parent as
     each shard completes (the checkpoint persistence hook); ``report``
-    collects recovery activity for the caller to surface.
+    collects recovery activity for the caller to surface; ``on_retry``
+    may rewrite a failed task before resubmission (the broadcast
+    fallback hook — defaults to the global runtime's
+    :meth:`~repro.parallel.runtime.ParallelRuntime.task_fallback`).
+
+    Pools are warm by default: execution goes through the process-wide
+    :class:`~repro.parallel.runtime.ParallelRuntime`, which keeps its
+    worker pool alive between calls (``REPRO_RUNTIME=0`` restores the
+    legacy pool-per-call behavior).
     """
     shards = run_supervised(
         runner,
@@ -92,5 +135,6 @@ def run_tasks(
         labels=labels,
         on_result=on_shard,
         report=report,
+        on_retry=on_retry,
     )
     return [row for shard in shards for row in shard]

@@ -54,7 +54,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.resilience.faults import InjectedCrash, inject
+from repro.resilience.faults import FAULT_ENV, InjectedCrash, inject
 
 __all__ = [
     "RetryPolicy",
@@ -262,10 +262,44 @@ def _worker_init() -> None:
         pass
 
 
+#: Environment the parent snapshots into every task payload.  Persistent
+#: pool workers fork *once* and are reused across calls, so variables
+#: the caller (or a test) flips after pool creation — fault plans, the
+#: compiled-tier gate — would otherwise be stale inside the worker.
+_SNAPSHOT_VARS = (FAULT_ENV, "REPRO_COMPILED")
+
+
+def _env_snapshot() -> dict:
+    """The parent-side values of :data:`_SNAPSHOT_VARS`, at submit time."""
+    return {name: os.environ.get(name) for name in _SNAPSHOT_VARS}
+
+
+@contextmanager
+def _applied_env(snapshot: "dict | None"):
+    """Impose the parent's env snapshot for one task attempt."""
+    if not snapshot:
+        yield
+        return
+    prior = {name: os.environ.get(name) for name in snapshot}
+    for name, value in snapshot.items():
+        if value is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = value
+    try:
+        yield
+    finally:
+        for name, value in prior.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
 def _supervised_call(payload):
     """One task attempt inside a pool worker (top-level: pickling)."""
-    runner, task, index, attempt, degraded = payload
-    with _degraded_env(degraded):
+    runner, task, index, attempt, degraded, env = payload
+    with _applied_env(env), _degraded_env(degraded):
         inject(index, attempt, degraded=degraded, in_process=False)
         return runner(task)
 
@@ -386,6 +420,11 @@ def retry_call(
                 time.sleep(delay)
 
 
+#: Sentinel distinguishing "use the global runtime" (the default) from an
+#: explicit ``pool_provider=None`` (force the legacy pool-per-round path).
+_USE_DEFAULT_PROVIDER = object()
+
+
 def _close_pool(pool: ProcessPoolExecutor, force: bool) -> None:
     """Shut a round's pool down; ``force`` abandons hung/dead workers."""
     if not force:
@@ -400,6 +439,19 @@ def _close_pool(pool: ProcessPoolExecutor, force: bool) -> None:
             pass
 
 
+def _default_pool_provider():
+    """The global persistent runtime, unless ``REPRO_RUNTIME`` disables it.
+
+    Deferred import: :mod:`repro.parallel` imports this module at load
+    time, so the runtime can only be reached lazily from here.
+    """
+    from repro.parallel.runtime import get_runtime, runtime_enabled
+
+    if not runtime_enabled():
+        return None
+    return get_runtime()
+
+
 def run_supervised(
     runner: Callable[[object], object],
     tasks: Sequence,
@@ -409,6 +461,8 @@ def run_supervised(
     labels: "Sequence[str] | None" = None,
     on_result: "Callable[[int, object], None] | None" = None,
     report: "SupervisionReport | None" = None,
+    pool_provider: object = _USE_DEFAULT_PROVIDER,
+    on_retry: "Callable | None" = None,
 ) -> list:
     """Run every task to completion (or exhaustion); results in order.
 
@@ -422,8 +476,24 @@ def run_supervised(
     recomputed.  Raises :class:`RetryExhaustedError` when a task runs
     out of attempts (results completed by then have already been
     delivered to ``on_result``).
+
+    ``pool_provider`` supplies executors (``acquire_pool(workers)`` /
+    ``release_pool(pool, dirty=...)``).  By default the process-wide
+    :class:`~repro.parallel.runtime.ParallelRuntime` keeps one warm pool
+    across calls; a crash or timeout releases the pool *dirty* — its
+    processes are terminated and the next round rebuilds — so no broken
+    worker is ever reused.  Pass ``None`` (or set ``REPRO_RUNTIME=0``)
+    for the legacy pool-per-round behavior.  ``on_retry(index, task,
+    kind, error)`` may return a replacement payload for a failed task
+    before it is resubmitted — the broadcast-loss fallback hook; it
+    defaults to the provider's ``task_fallback`` when the provider has
+    one.
     """
     policy = policy if policy is not None else RetryPolicy()
+    if pool_provider is _USE_DEFAULT_PROVIDER:
+        pool_provider = _default_pool_provider()
+    if on_retry is None and pool_provider is not None:
+        on_retry = getattr(pool_provider, "task_fallback", None)
     if workers is not None and workers < 1:
         raise ValueError(
             f"workers must be a positive int or None, got {workers}"
@@ -452,27 +522,42 @@ def run_supervised(
                 on_result(index, value)
         return results
 
+    tasks = list(tasks)
     attempts = [0] * n
     degraded = [False] * n
     pending = list(range(n))
     round_index = 0
     while pending:
-        pool = ProcessPoolExecutor(
-            max_workers=min(workers, len(pending)), initializer=_worker_init
-        )
-        futures = [
-            (
-                index,
-                pool.submit(
-                    _supervised_call,
-                    (runner, tasks[index], index, attempts[index],
-                     degraded[index]),
-                ),
+        if pool_provider is not None:
+            pool = pool_provider.acquire_pool(min(workers, len(pending)))
+        else:
+            pool = ProcessPoolExecutor(
+                max_workers=min(workers, len(pending)),
+                initializer=_worker_init,
             )
-            for index in pending
-        ]
+        env = _env_snapshot()
+        futures = []
+        unsubmitted: list[int] = []
+        for position, index in enumerate(pending):
+            try:
+                futures.append(
+                    (
+                        index,
+                        pool.submit(
+                            _supervised_call,
+                            (runner, tasks[index], index, attempts[index],
+                             degraded[index], env),
+                        ),
+                    )
+                )
+            except BrokenProcessPool:
+                # A warm pool can lose a worker between calls and only
+                # reveal it at submit time; classify the unsubmitted
+                # tail as crashed and let the retry round rebuild.
+                unsubmitted = pending[position:]
+                break
         failed: list[tuple[int, str, str]] = []
-        dirty = False
+        dirty = bool(unsubmitted)
         for index, future in futures:
             try:
                 value = future.result(timeout=policy.timeout)
@@ -502,7 +587,14 @@ def run_supervised(
             results[index] = value
             if on_result is not None:
                 on_result(index, value)
-        _close_pool(pool, force=dirty)
+        for index in unsubmitted:
+            failed.append(
+                (index, "crash", "worker process died (BrokenProcessPool)")
+            )
+        if pool_provider is not None:
+            pool_provider.release_pool(pool, dirty=dirty)
+        else:
+            _close_pool(pool, force=dirty)
 
         pending = []
         for index, kind, error in failed:
@@ -532,6 +624,10 @@ def run_supervised(
             ):
                 degraded[index] = True
                 _mark_degraded(report, index, label_of(index), kind)
+            if on_retry is not None:
+                replacement = on_retry(index, tasks[index], kind, error)
+                if replacement is not None:
+                    tasks[index] = replacement
             pending.append(index)
         if pending:
             delay = backoff_seconds(policy, round_index)

@@ -39,13 +39,21 @@ the aggregation layer the CLI ``scenario-fleet`` subcommand and
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.parallel import run_tasks, seed_shards
+from repro.instances.shm import ProblemRef
+from repro.parallel import (
+    get_runtime,
+    resolve_task_problem,
+    run_tasks,
+    runtime_enabled,
+    seed_shards,
+)
 from repro.resilience.checkpoint import (
+    RestoredStep,
     entropy_payload,
     open_store,
     scenario_result_from_dict,
@@ -388,6 +396,55 @@ def _shard_label(entry) -> str:
     return f"{scenario_label}/{solver_label} ({arm}) {seeds}"
 
 
+@dataclass(frozen=True)
+class _ScenarioRef:
+    """A scenario whose base instance travels as a broadcast handle.
+
+    The perturbation list and name pickle inline (they are small); the
+    base — the only array-heavy payload — rides shared memory.  Workers
+    rebuild the :class:`Scenario` around the attached instance and
+    re-unfold from the deterministic unfold stream as before.
+    """
+
+    name: str
+    base: ProblemRef
+    perturbations: tuple
+
+    def unpack(self) -> Scenario:
+        return Scenario(
+            name=self.name,
+            base=resolve_task_problem(self.base),
+            perturbations=self.perturbations,
+        )
+
+    def swap_broadcast(self, lookup) -> "Scenario | None":
+        """The pickled form, for the supervisor's broadcast-loss retry."""
+        problem = lookup(self.base.token)
+        if problem is None:
+            return None
+        return Scenario(
+            name=self.name, base=problem, perturbations=self.perturbations
+        )
+
+
+def _pack_scenario(scenario: Scenario):
+    """Broadcast a scenario's base instance when it is worth it."""
+    if not runtime_enabled():
+        return scenario
+    payload = get_runtime().broadcast(scenario.base)
+    if not isinstance(payload, ProblemRef):
+        return scenario
+    return _ScenarioRef(
+        name=scenario.name,
+        base=payload,
+        perturbations=scenario.perturbations,
+    )
+
+
+def _unpack_scenario(payload) -> Scenario:
+    return payload.unpack() if isinstance(payload, _ScenarioRef) else payload
+
+
 def _resolve_solver(payload) -> Solver:
     """A per-process solver from its picklable description."""
     if isinstance(payload, Solver):
@@ -474,6 +531,30 @@ def _solve_portfolio(
     ]
 
 
+def _compact_results(results: list[ScenarioResult]) -> list[ScenarioResult]:
+    """Shed the per-step problem instances from a shard's return payload.
+
+    A fan-out shard's results would otherwise pickle every perturbed
+    instance back to the parent — at city scale, megabytes per step that
+    the broadcast just saved on the way *in*.  The steps are swapped for
+    the same :class:`~repro.resilience.checkpoint.RestoredStep` stand-ins
+    checkpoint restore produces: every aggregation downstream reads only
+    ``index``/``event`` off a completed step.
+    """
+    return [
+        replace(
+            result,
+            steps=tuple(
+                replace(
+                    item, step=RestoredStep(item.step.index, item.step.event)
+                )
+                for item in result.steps
+            ),
+        )
+        for result in results
+    ]
+
+
 def _run_fleet_shard(task) -> list[ScenarioResult]:
     """One (cell, arm, replicate-shard) task (top-level: pickling).
 
@@ -481,15 +562,22 @@ def _run_fleet_shard(task) -> list[ScenarioResult]:
     in-process (unfolded once per cell, shared by its arm/shard tasks)
     and ``None`` under ``workers=`` fan-out — there each worker
     re-unfolds from the deterministic unfold stream, which beats
-    pickling every step's problem across the process boundary.
+    pickling every step's problem across the process boundary, and the
+    returned rows carry step stand-ins instead of the instances
+    (:func:`_compact_results`).
     """
     (scenario, solver_payload, config, unfold_seq, steps, rep_seqs, warm) = task
+    scenario = _unpack_scenario(scenario)
     solver = _resolve_solver(solver_payload)
-    if steps is None:
+    fanned_out = steps is None
+    if fanned_out:
         steps = scenario.unfold(unfold_seq)
-    return _solve_portfolio(
+    results = _solve_portfolio(
         solver, scenario.name, steps, rep_seqs, warm=warm, **config
     )
+    if fanned_out and runtime_enabled():
+        results = _compact_results(results)
+    return results
 
 
 class ScenarioFleet:
@@ -616,8 +704,11 @@ class ScenarioFleet:
                 unfold_seq, rep_seqs = grid[cell]
                 # In-process execution unfolds each cell once and shares
                 # the steps across its arm/shard tasks; worker processes
-                # re-unfold from the seed instead (see _run_fleet_shard).
+                # re-unfold from the seed instead (see _run_fleet_shard),
+                # attaching the broadcast base rather than unpickling it
+                # (see _pack_scenario).
                 steps = scenario.unfold(unfold_seq) if serial else None
+                packed = scenario if serial else _pack_scenario(scenario)
                 for warm in self._arms:
                     for shard in shards:
                         keys = [
@@ -626,7 +717,7 @@ class ScenarioFleet:
                         ]
                         tasks.append(
                             (
-                                scenario,
+                                packed,
                                 payload,
                                 config,
                                 unfold_seq,
@@ -724,6 +815,7 @@ class ScenarioFleet:
         code drift that the manifest alone cannot.
         """
         scenario, payload, config, unfold_seq, steps, rep_seqs, warm = task
+        scenario = _unpack_scenario(scenario)
         keys = entry[4]
         if steps is None:
             steps = scenario.unfold(unfold_seq)

@@ -62,6 +62,61 @@ class TestNoPressureParity:
         ]
 
 
+class TestOffload:
+    def test_offloaded_run_is_bit_identical_in_simulated_mode(self, drift):
+        def run(offload):
+            return LiveRunner(
+                "search:swap", budget=3, n_candidates=4,
+                sla=0.05, interval=0.02, seconds_per_evaluation=0.004,
+                offload=offload,
+            ).run(drift, seed=7)
+
+        inproc, offloaded = run(False), run(True)
+        # The whole timeline — rungs, shedding, simulated latencies —
+        # matches, not just the solutions: the worker re-derives each
+        # event deadline from the same budget and the evaluation-charged
+        # clock advances identically.
+        assert inproc.events == offloaded.events
+        assert [fingerprint(e.result) for e in inproc.responded] == [
+            fingerprint(e.result) for e in offloaded.responded
+        ]
+        # The incumbent cache is a same-process perf hint; it never
+        # rides back across the pool boundary.
+        assert all(
+            e.result.engine_cache is None for e in offloaded.responded
+        )
+
+    def test_offload_respects_the_runtime_gate(self, drift, monkeypatch):
+        from repro.parallel.runtime import RUNTIME_ENV
+
+        monkeypatch.setenv(RUNTIME_ENV, "0")
+        gated = LiveRunner(
+            "search:swap", budget=3, n_candidates=4,
+            sla=0.05, interval=0.02, seconds_per_evaluation=0.004,
+            offload=True,
+        ).run(drift, seed=7)
+        monkeypatch.delenv(RUNTIME_ENV)
+        inproc = LiveRunner(
+            "search:swap", budget=3, n_candidates=4,
+            sla=0.05, interval=0.02, seconds_per_evaluation=0.004,
+        ).run(drift, seed=7)
+        assert gated.events == inproc.events
+
+    def test_offload_with_run_deadline_stays_in_process(self, drift):
+        # A run-level deadline shares a clock/token with the caller and
+        # cannot cross a process boundary: the runner solves in-process
+        # and still honors the external cancel.
+        token = CancelToken()
+        token.cancel()
+        report = LiveRunner(
+            "search:swap", budget=3, n_candidates=4,
+            sla=0.05, interval=0.02, seconds_per_evaluation=0.004,
+            offload=True,
+        ).run(drift, seed=7, deadline=Deadline.cancellable(token))
+        assert report.shed_count == len(report.events) - 1
+        assert all(e.rung == "cancelled" for e in report.events[1:])
+
+
 class TestOverloadShedding:
     def test_saturation_sheds_and_coalesces(self, drift):
         report = LiveRunner(

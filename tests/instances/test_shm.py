@@ -1,0 +1,191 @@
+"""The shared-memory broadcast codec: round trips, edges, collisions.
+
+The codec's contract is narrow but absolute: an attached instance is
+*equal* to the published one (same values, zero array copies), and every
+failure mode — missing segment, colliding name, stale bytes — is either
+survived or reported, never silently wrong.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+import repro.instances.shm as shm_mod
+from repro.core.clients import ClientSet
+from repro.core.grid import GridArea
+from repro.core.problem import ProblemInstance
+from repro.core.routers import MeshRouter, RouterFleet
+from repro.instances.shm import (
+    ArrayRef,
+    BroadcastLost,
+    attach_array,
+    attach_problem,
+    problem_nbytes,
+    publish_array,
+    publish_problem,
+)
+
+
+def _destroy(*segments) -> None:
+    for shm in segments:
+        if shm is None:
+            continue
+        try:
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+@pytest.fixture
+def published(tiny_problem):
+    ref, segments = publish_problem(tiny_problem)
+    yield tiny_problem, ref, segments
+    _destroy(*segments)
+
+
+class TestProblemRoundTrip:
+    def test_attach_rebuilds_an_equal_instance(self, published):
+        problem, ref, _ = published
+        attached = attach_problem(ref)
+        assert attached.grid.width == problem.grid.width
+        assert attached.grid.height == problem.grid.height
+        assert attached.link_rule == problem.link_rule
+        assert attached.coverage_rule == problem.coverage_rule
+        np.testing.assert_array_equal(attached.fleet.radii, problem.fleet.radii)
+        np.testing.assert_array_equal(
+            attached.clients.positions, problem.clients.positions
+        )
+        assert [c.cell for c in attached.clients] == [
+            c.cell for c in problem.clients
+        ]
+
+    def test_attached_arrays_are_shared_readonly_views(self, published):
+        _, ref, _ = published
+        attached = attach_problem(ref)
+        # Zero-copy: the hot arrays are backed by the mapped segments,
+        # not reserialized copies...
+        segments = attached._shm_segments
+        assert len(segments) == 2
+        # ...and read-only, so no worker can corrupt a shared payload.
+        with pytest.raises(ValueError):
+            attached.fleet.radii[0] = 99.0
+        with pytest.raises(ValueError):
+            attached.clients.positions[0, 0] = 99.0
+
+    def test_handle_is_small_and_content_addressed(self, published):
+        import pickle
+
+        problem, ref, _ = published
+        assert len(pickle.dumps(ref)) < 1024
+        ref2, segments2 = publish_problem(problem)
+        try:
+            # Same content, same token — but fresh segments under fresh
+            # names (the publisher, not the codec, is the dedupe layer).
+            assert ref2.token == ref.token
+            assert ref2.radii.name != ref.radii.name
+        finally:
+            _destroy(*segments2)
+
+    def test_nbytes_accounts_both_payloads(self, published):
+        problem, ref, _ = published
+        assert problem_nbytes(problem) == ref.radii.nbytes + ref.positions.nbytes
+
+
+class TestEdgeCases:
+    def test_zero_client_instance_round_trips(self):
+        fleet = RouterFleet(
+            tuple(MeshRouter(router_id=i, radius=3.0) for i in range(4))
+        )
+        problem = ProblemInstance(
+            grid=GridArea(16, 16), fleet=fleet, clients=ClientSet(())
+        )
+        ref, segments = publish_problem(problem)
+        try:
+            # An empty payload gets no segment (POSIX shm cannot be
+            # zero-sized); the handle alone rebuilds it.
+            assert ref.positions.name is None
+            assert len(segments) == 1
+            attached = attach_problem(ref)
+            assert len(attached.clients) == 0
+            assert attached.clients.positions.shape == (0, 2)
+            np.testing.assert_array_equal(
+                attached.fleet.radii, problem.fleet.radii
+            )
+        finally:
+            _destroy(*segments)
+
+    def test_non_contiguous_view_is_compacted(self):
+        base = np.arange(64, dtype=np.float64).reshape(8, 8)
+        view = base[::2, 1::3]
+        assert not view.flags["C_CONTIGUOUS"]
+        ref, shm = publish_array(view)
+        try:
+            assert ref.shape == view.shape
+            attached, attached_shm = attach_array(ref)
+            np.testing.assert_array_equal(attached, view)
+            assert attached.flags["C_CONTIGUOUS"]
+        finally:
+            _destroy(shm)
+
+    def test_empty_array_needs_no_segment(self):
+        ref, shm = publish_array(np.zeros((0, 2)))
+        assert shm is None and ref.name is None
+        attached, attached_shm = attach_array(ref)
+        assert attached_shm is None
+        assert attached.shape == (0, 2)
+        assert not attached.flags["WRITEABLE"]
+
+
+class TestFailureModes:
+    def test_attach_after_unlink_raises_broadcast_lost(self, tiny_problem):
+        ref, segments = publish_problem(tiny_problem)
+        _destroy(*segments)
+        with pytest.raises(BroadcastLost) as excinfo:
+            attach_problem(ref)
+        assert excinfo.value.segment == ref.radii.name
+
+    def test_publish_walks_past_a_colliding_name(self):
+        # Occupy the exact name the next publish would pick (a stale
+        # segment from a killed run, or a concurrent runtime that chose
+        # the same digest prefix): publish must retry past it.
+        array = np.arange(24, dtype=np.float64)
+        digest = shm_mod._digest(np.ascontiguousarray(array).tobytes())
+        blocked = (
+            f"repro-{digest[:12]}-{os.getpid()}-{shm_mod._serial + 1}"
+        )
+        blocker = shared_memory.SharedMemory(
+            name=blocked, create=True, size=8
+        )
+        try:
+            ref, shm = publish_array(array)
+            try:
+                assert ref.name != blocked
+                attached, _ = attach_array(ref)
+                np.testing.assert_array_equal(attached, array)
+            finally:
+                _destroy(shm)
+        finally:
+            _destroy(blocker)
+
+    def test_attach_refuses_mismatched_bytes(self):
+        # A handle pointing at a segment with *different* content (the
+        # misrouting a collision could cause) is rejected by the digest
+        # check rather than silently returning wrong data.
+        array = np.arange(16, dtype=np.float64)
+        ref, shm = publish_array(array)
+        try:
+            stale = ArrayRef(
+                name=ref.name,
+                shape=ref.shape,
+                dtype=ref.dtype,
+                digest="0" * 20,
+            )
+            with pytest.raises(ValueError, match="different bytes"):
+                attach_array(stale)
+        finally:
+            _destroy(shm)
