@@ -19,6 +19,7 @@ import platform
 import time
 from pathlib import Path
 
+from repro import envgates
 from repro.experiments.config import ExperimentScale, current_scale
 
 __all__ = [
@@ -117,9 +118,7 @@ def write_bench_json(name: str, payload: dict, directory: "str | None") -> Path:
     ``BENCH_*.json`` trajectory tracks regressions across PRs.  Returns
     the written path.
     """
-    directory = directory if directory is not None else os.environ.get(
-        "REPRO_BENCH_JSON"
-    )
+    directory = directory if directory is not None else envgates.bench_json_dir()
     if not directory:
         directory = str(_REPO_ROOT)
     target = Path(directory)

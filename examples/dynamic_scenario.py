@@ -18,7 +18,7 @@ Run:
 
 from __future__ import annotations
 
-import os
+from repro import envgates
 
 from repro import Scenario, ScenarioRunner, paper_normal
 from repro.scenario import (
@@ -32,7 +32,7 @@ from repro.viz import render_fitness_chart, render_timeline
 #: ``REPRO_EXAMPLES_SMOKE=1`` (set by the CI examples job) shrinks the
 #: effort knobs so every example still exercises its whole pipeline but
 #: finishes in seconds.
-SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE") == "1"
+SMOKE = envgates.examples_smoke()
 
 
 def build_timeline(problem) -> Scenario:

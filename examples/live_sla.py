@@ -23,12 +23,12 @@ Run:
 
 from __future__ import annotations
 
-import os
+from repro import envgates
 
 #: ``REPRO_EXAMPLES_SMOKE=1`` (set by the CI examples job) shrinks the
 #: effort knobs so the example still exercises its whole pipeline but
 #: finishes in seconds.
-SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE") == "1"
+SMOKE = envgates.examples_smoke()
 
 from repro.anytime import LiveRunner
 from repro.instances import tiny_spec

@@ -13,12 +13,12 @@ from __future__ import annotations
 
 import numpy as np
 
-import os
+from repro import envgates
 
 #: ``REPRO_EXAMPLES_SMOKE=1`` (set by the CI examples job) shrinks the
 #: effort knobs so every example still exercises its whole pipeline but
 #: finishes in seconds.
-SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE") == "1"
+SMOKE = envgates.examples_smoke()
 
 from repro import (
     Evaluator,

@@ -26,14 +26,14 @@ Run:
 
 from __future__ import annotations
 
-import os
+from repro import envgates
 
 from repro import Scenario, ScenarioFleet, paper_normal, render_fleet_report
 
 #: ``REPRO_EXAMPLES_SMOKE=1`` (set by the CI examples job) shrinks the
 #: effort knobs so every example still exercises its whole pipeline but
 #: finishes in seconds.
-SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE") == "1"
+SMOKE = envgates.examples_smoke()
 
 
 def build_grid(problem) -> list[Scenario]:

@@ -13,7 +13,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="wmn-placement",
-    version="0.6.0",
+    version="0.7.0",
     description=(
         "Reproduction of mesh-router node placement via neighborhood "
         "search (Xhafa et al., ICDCS Workshops 2009) with batched, "
@@ -31,6 +31,9 @@ setup(
         "scipy": ["scipy"],
     },
     entry_points={
-        "console_scripts": ["wmn-placement = repro.cli:main"],
+        "console_scripts": [
+            "wmn-placement = repro.cli:main",
+            "repro-lint = repro.lint.cli:main",
+        ],
     },
 )

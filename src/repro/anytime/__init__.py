@@ -11,9 +11,15 @@ well-formed result.  This package supplies the missing harness:
   the scenario subsystem with per-event response SLAs, a degradation
   ladder that sheds load under pressure, and :class:`LiveReport`
   latency/regret accounting.
+
+The ``live`` names are imported lazily (:pep:`562`): ``live`` pulls in
+the scenario and solver layers, which themselves time their phases
+through :data:`repro.anytime.deadline.DEFAULT_CLOCK` — an eager import
+here would make that a cycle.
 """
 
 from repro.anytime.deadline import (
+    DEFAULT_CLOCK,
     CancelToken,
     Clock,
     Deadline,
@@ -21,17 +27,15 @@ from repro.anytime.deadline import (
     SimulatedClock,
     SteppingClock,
 )
-from repro.anytime.live import (
-    LadderRung,
-    LiveEvent,
-    LiveReport,
-    LiveRunner,
-    DEFAULT_LADDER,
+
+_LIVE_NAMES = frozenset(
+    {"LadderRung", "LiveEvent", "LiveReport", "LiveRunner", "DEFAULT_LADDER"}
 )
 
 __all__ = [
     "CancelToken",
     "Clock",
+    "DEFAULT_CLOCK",
     "Deadline",
     "MonotonicClock",
     "SimulatedClock",
@@ -42,3 +46,15 @@ __all__ = [
     "LiveRunner",
     "DEFAULT_LADDER",
 ]
+
+
+def __getattr__(name):
+    if name in _LIVE_NAMES:
+        from repro.anytime import live
+
+        return getattr(live, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | _LIVE_NAMES)

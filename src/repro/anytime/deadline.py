@@ -30,6 +30,7 @@ from typing import Protocol, runtime_checkable
 
 __all__ = [
     "Clock",
+    "DEFAULT_CLOCK",
     "MonotonicClock",
     "SimulatedClock",
     "SteppingClock",
@@ -56,6 +57,14 @@ class MonotonicClock:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "MonotonicClock()"
+
+
+#: The process-wide wall clock.  All elapsed-seconds bookkeeping in the
+#: solver and scenario layers reads ``DEFAULT_CLOCK.now()`` instead of
+#: calling :mod:`time` directly, so the ``repro.lint`` RL004 rule can
+#: confine raw wall-clock access to this module (and benchmarks), and
+#: tests can reason about timing through one injectable seam.
+DEFAULT_CLOCK: Clock = MonotonicClock()
 
 
 class SimulatedClock:

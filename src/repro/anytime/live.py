@@ -36,7 +36,6 @@ from __future__ import annotations
 
 import dataclasses
 import math
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
@@ -44,6 +43,7 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from repro.anytime.deadline import (
+    DEFAULT_CLOCK,
     Clock,
     Deadline,
     MonotonicClock,
@@ -56,7 +56,8 @@ from repro.parallel import (
     runtime_enabled,
 )
 from repro.scenario.runner import _cache_tracking, _validate_budgets
-from repro.scenario.scenario import Scenario, ScenarioStep, _root_sequence
+from repro.scenario.scenario import Scenario, ScenarioStep
+from repro.seeding import root_sequence, spawn_children
 from repro.solvers.base import SolveResult, Solver
 
 if TYPE_CHECKING:
@@ -542,8 +543,8 @@ class LiveRunner:
         :class:`~repro.anytime.deadline.CancelToken` for external
         cancellation).
         """
-        root = _root_sequence(seed)
-        unfold_seq, solve_seq = root.spawn(2)
+        root = root_sequence(seed)
+        unfold_seq, solve_seq = spawn_children(root, 2)
         steps = scenario.unfold(unfold_seq)
         return self.run_steps(
             steps,
@@ -571,8 +572,8 @@ class LiveRunner:
         """
         if not steps:
             raise ValueError("a live run needs at least one step")
-        solve_seq = _root_sequence(seed)
-        step_seeds = solve_seq.spawn(len(steps))
+        solve_seq = root_sequence(seed)
+        step_seeds = spawn_children(solve_seq, len(steps))
         warm_capable = self.warm and self.solver.supports_warm_start
         simulated = self.seconds_per_evaluation is not None
         # Offloading needs the persistent runtime and a per-event-only
@@ -663,7 +664,7 @@ class LiveRunner:
                     event_deadline = event_deadline & deadline
 
                 started = now
-                wall_before = time.perf_counter()
+                wall_before = DEFAULT_CLOCK.now()
                 if offload:
                     payload = get_runtime().broadcast(step.problem)
                     task = (
@@ -701,7 +702,7 @@ class LiveRunner:
                     self.clock.advance(duration)
                     now = self.clock.now() - origin
                 else:
-                    duration = time.perf_counter() - wall_before
+                    duration = DEFAULT_CLOCK.now() - wall_before
                     now = started + duration
 
                 events.append(

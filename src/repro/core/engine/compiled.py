@@ -53,6 +53,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import envgates
 from repro.core.fitness import FitnessFunction, NetworkMetrics, WeightedSumFitness
 from repro.core.problem import ProblemInstance
 from repro.core.radio import CoverageRule, LinkRule
@@ -78,8 +79,6 @@ _RULE_CODES = {
     LinkRule.UNIDIRECTIONAL: 2,
 }
 
-_DISABLED_VALUES = frozenset({"0", "false", "off", "no"})
-
 _lock = threading.Lock()
 _lib: "ctypes.CDLL | None" = None
 _build_error: "str | None" = None
@@ -92,12 +91,11 @@ _PU8 = ctypes.POINTER(ctypes.c_uint8)
 
 def _env_enabled() -> bool:
     """Live read of the ``REPRO_COMPILED`` gate (default: enabled)."""
-    value = os.environ.get("REPRO_COMPILED", "").strip().lower()
-    return value not in _DISABLED_VALUES
+    return envgates.compiled_enabled()
 
 
 def _cache_dirs() -> list[Path]:
-    override = os.environ.get("REPRO_COMPILED_CACHE")
+    override = envgates.compiled_cache_override()
     if override:
         return [Path(override)]
     return [
@@ -270,7 +268,7 @@ def require() -> ctypes.CDLL:
     if not _env_enabled():
         raise RuntimeError(
             "engine='compiled' is disabled by REPRO_COMPILED="
-            f"{os.environ.get('REPRO_COMPILED')!r}; unset it, or use "
+            f"{envgates.raw('REPRO_COMPILED')!r}; unset it, or use "
             "engine='auto' to fall back to the numpy engines"
         )
     lib = _load()

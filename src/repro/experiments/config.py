@@ -10,8 +10,9 @@ environment variable (``quick`` by default, ``paper`` for full runs).
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
+
+from repro import envgates
 
 __all__ = ["ExperimentScale", "QUICK_SCALE", "PAPER_SCALE", "current_scale"]
 
@@ -76,7 +77,7 @@ _SCALES = {scale.name: scale for scale in (QUICK_SCALE, PAPER_SCALE)}
 
 def current_scale(default: str = "quick") -> ExperimentScale:
     """The scale selected by ``REPRO_SCALE`` (falling back to ``default``)."""
-    name = os.environ.get("REPRO_SCALE", default).strip().lower()
+    name = envgates.scale_name(default)
     try:
         return _SCALES[name]
     except KeyError:

@@ -17,12 +17,12 @@ their cached evaluations, so counts match the scalar loop exactly.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.anytime.deadline import DEFAULT_CLOCK
 from repro.core.evaluation import Evaluation, Evaluator
 from repro.genetic.crossover import CrossoverOperator, RegionExchangeCrossover
 from repro.genetic.individual import Individual
@@ -151,7 +151,7 @@ class GeneticAlgorithm:
         deadline still evaluates the initial population, so the result
         is always a valid evaluated solution.
         """
-        started = time.perf_counter()
+        started = DEFAULT_CLOCK.now()
         config = self.config
         evaluations_before = evaluator.n_evaluations
         placements = initializer.generate(
@@ -189,7 +189,7 @@ class GeneticAlgorithm:
             n_generations=generation,
             n_evaluations=evaluator.n_evaluations - evaluations_before,
             stopped_by=stopped_by,
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=DEFAULT_CLOCK.now() - started,
         )
 
     # ------------------------------------------------------------------

@@ -155,7 +155,7 @@ def publish_array(array: np.ndarray) -> "tuple[ArrayRef, shared_memory.SharedMem
             shm = shared_memory.SharedMemory(
                 name=name, create=True, size=arr.nbytes
             )
-        except FileExistsError:
+        except FileExistsError:  # repro-lint: disable=RL007
             # A concurrent runtime (or a stale segment from a killed
             # run) owns this name; the serial suffix walks past it.
             continue

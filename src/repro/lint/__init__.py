@@ -1,0 +1,33 @@
+"""``repro.lint`` — AST-based invariant checks for this codebase.
+
+The repository's correctness story rests on contracts no unit test can
+watch everywhere at once: reproducible seeds, no hidden global RNG
+state, SeedSequence spawn discipline, injectable clocks, registered
+env gates, confined process pools, no silent exception swallowing, and
+engine parity coverage.  This package turns each contract into a
+mechanical rule over the AST (pure stdlib, no third-party linter) and
+ships a CLI — ``python -m repro.lint`` / ``repro-lint`` — that exits
+nonzero on violations, wired into CI as the ``static-analysis`` job.
+
+See :mod:`repro.lint.rules` for the rule catalogue (RL001–RL008),
+:mod:`repro.lint.engine` for suppressions and orchestration, and
+:mod:`repro.lint.config` for the allowlist defaults.
+"""
+
+from repro.lint.config import DEFAULT_ALLOWLIST, LintConfig
+from repro.lint.engine import Finding, LintResult, run_lint
+from repro.lint.report import render_json, render_text
+from repro.lint.rules import RULES, LintRule, active_rules
+
+__all__ = [
+    "DEFAULT_ALLOWLIST",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "LintRule",
+    "RULES",
+    "active_rules",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

@@ -1,0 +1,106 @@
+"""The ``repro-lint`` command line (also ``python -m repro.lint``).
+
+Exit status: 0 when every checked file is clean, 1 when any finding
+(or parse error) survives suppressions and allowlists, 2 on usage
+errors.  Typical invocations::
+
+    python -m repro.lint src/            # default text report
+    python -m repro.lint src/ tests/ benchmarks/ --format=json
+    python -m repro.lint --list-rules
+    python -m repro.lint src/ --select=RL004,RL005
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.lint.engine import run_lint
+from repro.lint.report import render_json, render_text
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant checker for the repro codebase: "
+            "determinism, concurrency, and env-gate contracts."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--root",
+        metavar="DIR",
+        help="project root (default: auto-detected via setup.py/.git)",
+    )
+    parser.add_argument(
+        "--no-default-allowlist",
+        action="store_true",
+        help="ignore the built-in per-rule path allowlists",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry and exit",
+    )
+    return parser
+
+
+def _parse_codes(raw: "str | None") -> "list[str] | None":
+    if raw is None:
+        return None
+    return [code.strip() for code in raw.split(",") if code.strip()]
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    from repro.lint.rules import RULES
+
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for code, rule in RULES.items():
+            print(f"{code}  {rule.name}\n    {rule.description}")
+        return 0
+
+    try:
+        result = run_lint(
+            options.paths,
+            root=options.root,
+            select=_parse_codes(options.select),
+            ignore=_parse_codes(options.ignore),
+            use_default_allowlist=not options.no_default_allowlist,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        parser.error(str(exc))
+
+    render = render_json if options.format == "json" else render_text
+    print(render(result))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

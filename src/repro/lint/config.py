@@ -1,0 +1,116 @@
+"""Allowlist configuration: which rules do not apply where.
+
+Every rule enforces a *default-deny* contract with named exemptions.
+The shipped defaults below encode the repository's architecture — each
+pattern names the one layer that legitimately owns the flagged
+primitive (the clock module may read the wall clock, the parallel
+runtime may build process pools, ...).  Patterns are
+:func:`fnmatch.fnmatch` globs matched against posix relpaths from the
+project root, so ``tests/*`` covers the whole subtree.
+
+Per-directory extension: a plain-text ``.repro-lint`` file in any
+directory applies to every file at or below it.  Format, one directive
+per line (``#`` comments allowed)::
+
+    disable = RL002, RL004
+
+which exempts those rules for the subtree.  This is how an experiment
+sandbox can opt out of a rule without touching the shipped defaults.
+"""
+
+from __future__ import annotations
+
+import re
+from fnmatch import fnmatch
+from pathlib import Path
+
+__all__ = ["DEFAULT_ALLOWLIST", "LintConfig"]
+
+#: rule code -> path patterns (posix relpaths) where the rule is off.
+DEFAULT_ALLOWLIST: dict[str, tuple[str, ...]] = {
+    # Builtin hash() is never legitimate for labels/seeds; no exemptions.
+    "RL001": (),
+    # Global-RNG discipline binds library code; tests and demo scripts
+    # may draw from whatever stream they like.
+    "RL002": ("tests/*", "benchmarks/*", "examples/*"),
+    # The fresh-copy helpers themselves must call ``.spawn``; tests
+    # exercise raw SeedSequence statefulness on purpose.
+    "RL003": ("src/repro/seeding.py", "tests/*", "benchmarks/*"),
+    # The clock module is the one place allowed to touch the wall
+    # clock; benchmarks measure real time by definition.
+    "RL004": (
+        "src/repro/anytime/deadline.py",
+        "benchmarks/*",
+        "examples/*",
+    ),
+    # The gate registry is the one sanctioned reader; tests manipulate
+    # the environment to exercise the gates.
+    "RL005": ("src/repro/envgates.py", "tests/*", "benchmarks/*"),
+    # Process pools and shared memory are owned by the parallel layer
+    # (and the supervisor that wraps pools in retry logic).
+    "RL006": (
+        "src/repro/parallel/*",
+        "src/repro/instances/shm.py",
+        "src/repro/resilience/supervisor.py",
+        "tests/*",
+        "benchmarks/*",
+        "examples/*",
+    ),
+    # Silent handlers in tests/benchmarks are harmless scaffolding.
+    "RL007": ("tests/*", "benchmarks/*", "examples/*"),
+    # Engine parity coverage has no exemptions.
+    "RL008": (),
+}
+
+_DISABLE_RE = re.compile(r"^\s*disable\s*=\s*(.+?)\s*$")
+
+
+class LintConfig:
+    """Resolved allowlists for one lint run."""
+
+    def __init__(self, root: Path, *, use_default_allowlist: bool = True) -> None:
+        self.root = root
+        self._defaults = DEFAULT_ALLOWLIST if use_default_allowlist else {}
+        self._dir_cache: dict[Path, frozenset[str]] = {}
+
+    def is_allowlisted(self, rule: str, relpath: str) -> bool:
+        """Whether ``rule`` is switched off for the file at ``relpath``."""
+        for pattern in self._defaults.get(rule, ()):
+            if fnmatch(relpath, pattern):
+                return True
+        return rule in self._directory_disables(relpath)
+
+    def _directory_disables(self, relpath: str) -> frozenset[str]:
+        """Union of ``.repro-lint`` disables along the file's dirs."""
+        disabled: set[str] = set()
+        directory = (self.root / relpath).parent
+        chain = []
+        current = directory
+        while True:
+            chain.append(current)
+            if current == self.root or current.parent == current:
+                break
+            current = current.parent
+        for folder in chain:
+            disabled.update(self._read_config(folder))
+        return frozenset(disabled)
+
+    def _read_config(self, directory: Path) -> frozenset[str]:
+        cached = self._dir_cache.get(directory)
+        if cached is not None:
+            return cached
+        codes: set[str] = set()
+        config_file = directory / ".repro-lint"
+        if config_file.is_file():
+            for line in config_file.read_text(encoding="utf-8").splitlines():
+                line = line.split("#", 1)[0]
+                match = _DISABLE_RE.match(line)
+                if match:
+                    codes.update(
+                        code.strip()
+                        for code in match.group(1).split(",")
+                        if code.strip()
+                    )
+        result = frozenset(codes)
+        self._dir_cache[directory] = result
+        return result

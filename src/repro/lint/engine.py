@@ -1,0 +1,309 @@
+"""The lint engine: file collection, parsing, filtering, orchestration.
+
+The engine is deliberately dumb about *what* to check — rules live in
+:mod:`repro.lint.rules` — and smart about everything around a check:
+
+- **File contexts.**  Each checked file is parsed once into a
+  :class:`FileContext` carrying the AST, the raw lines, an import-alias
+  table (``np`` → ``numpy``, ``perf_counter`` → ``time.perf_counter``)
+  and the parsed per-line suppressions.  Rules resolve attribute chains
+  through :meth:`FileContext.resolve` instead of re-implementing import
+  tracking.
+- **Suppressions.**  ``# repro-lint: disable=RL004`` (comma-separated
+  codes, or ``all``) on a line silences findings anchored to that line.
+- **Allowlists.**  :mod:`repro.lint.config` maps each rule to path
+  patterns where it does not apply (e.g. benchmarks may read the wall
+  clock); per-directory ``.repro-lint`` files extend the defaults.
+- **Project rules.**  Rules with ``scope = "project"`` (RL008) see every
+  context at once plus the project root, so they can check cross-file
+  contracts like "every public engine entry point has a parity test".
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.lint.config import LintConfig
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "LintResult",
+    "collect_files",
+    "find_project_root",
+    "run_lint",
+]
+
+#: ``# repro-lint: disable=RL001,RL007`` — the per-line suppression.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+#: Markers that identify the project root when walking upward.
+_ROOT_MARKERS = ("setup.py", "pyproject.toml", ".git")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a file position."""
+
+    path: str  #: posix relpath from the project root
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class FileContext:
+    """Everything a file-scoped rule needs about one source file."""
+
+    def __init__(self, path: Path, relpath: str, source: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self.aliases = _import_aliases(self.tree)
+        self.imported_modules = _imported_modules(self.tree)
+        self.suppressions = _parse_suppressions(self.lines)
+        self.constants = _module_constants(self.tree)
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """The canonical dotted name of a ``Name``/``Attribute`` chain.
+
+        ``np.random.seed`` resolves to ``numpy.random.seed`` when the
+        file did ``import numpy as np``; a bare name resolves through
+        the alias table or to itself.  Returns ``None`` for anything
+        that is not a pure attribute chain (calls, subscripts, ...).
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(self.aliases.get(node.id, node.id))
+        return ".".join(reversed(parts))
+
+    def string_value(self, node: ast.AST) -> str | None:
+        """A literal string, following module-level constant names."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        if isinstance(node, ast.Name):
+            return self.constants.get(node.id)
+        return None
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        codes = self.suppressions.get(line)
+        return codes is not None and ("all" in codes or rule in codes)
+
+
+@dataclass
+class LintResult:
+    """The outcome of one :func:`run_lint` invocation."""
+
+    root: Path
+    findings: list[Finding]
+    checked_files: list[str]
+    errors: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.errors
+
+    @property
+    def all_findings(self) -> list[Finding]:
+        return sorted(self.errors + self.findings)
+
+
+def _import_aliases(tree: ast.Module) -> dict[str, str]:
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                bound = item.asname or item.name.split(".")[0]
+                target = item.name if item.asname else item.name.split(".")[0]
+                aliases[bound] = target
+        elif isinstance(node, ast.ImportFrom):
+            module = ("." * node.level) + (node.module or "")
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                bound = item.asname or item.name
+                aliases[bound] = f"{module}.{item.name}" if module else item.name
+    return aliases
+
+
+def _imported_modules(tree: ast.Module) -> frozenset[str]:
+    modules: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            modules.update(item.name for item in node.names)
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            modules.add(node.module)
+    return frozenset(modules)
+
+
+def _module_constants(tree: ast.Module) -> dict[str, str]:
+    constants: dict[str, str] = {}
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+        ):
+            constants[node.targets[0].id] = node.value.value
+    return constants
+
+
+def _parse_suppressions(lines: list[str]) -> dict[int, frozenset[str]]:
+    suppressions: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match:
+            codes = frozenset(
+                code.strip() for code in match.group(1).split(",")
+            )
+            suppressions[lineno] = codes
+    return suppressions
+
+
+def find_project_root(start: Path) -> Path:
+    """Walk upward from ``start`` to the directory holding a root marker."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in (current, *current.parents):
+        if any((candidate / marker).exists() for marker in _ROOT_MARKERS):
+            return candidate
+    return current
+
+
+def collect_files(paths: Iterable[Path]) -> list[Path]:
+    """All ``.py`` files under ``paths``, sorted, hidden dirs skipped."""
+    found: set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_file():
+            if path.suffix == ".py":
+                found.add(path.resolve())
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if any(
+                    part.startswith(".") or part == "__pycache__"
+                    for part in candidate.parts
+                ):
+                    continue
+                found.add(candidate.resolve())
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(found)
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run_lint(
+    paths: Iterable[str | Path],
+    *,
+    root: "str | Path | None" = None,
+    select: "Iterable[str] | None" = None,
+    ignore: "Iterable[str] | None" = None,
+    use_default_allowlist: bool = True,
+) -> LintResult:
+    """Check ``paths`` and return a :class:`LintResult`.
+
+    ``select``/``ignore`` narrow the rule set by code; ``root`` pins the
+    project root (auto-detected from the first path otherwise);
+    ``use_default_allowlist=False`` drops the built-in allowlists (the
+    fixture tests use this to exercise rules on files that the shipped
+    configuration exempts).
+    """
+    from repro.lint.rules import active_rules
+
+    path_list = [Path(p) for p in paths]
+    if not path_list:
+        raise ValueError("run_lint needs at least one path")
+    files = collect_files(path_list)
+    root_dir = (
+        Path(root).resolve() if root is not None else find_project_root(path_list[0])
+    )
+    config = LintConfig(
+        root=root_dir, use_default_allowlist=use_default_allowlist
+    )
+    rules = active_rules(select=select, ignore=ignore)
+
+    contexts: list[FileContext] = []
+    errors: list[Finding] = []
+    for path in files:
+        relpath = _relpath(path, root_dir)
+        try:
+            source = path.read_text(encoding="utf-8")
+            contexts.append(FileContext(path, relpath, source))
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            lineno = getattr(exc, "lineno", None) or 1
+            errors.append(
+                Finding(
+                    path=relpath,
+                    line=int(lineno),
+                    col=0,
+                    rule="RL000",
+                    message=f"could not parse file: {exc}",
+                )
+            )
+
+    findings: list[Finding] = []
+    file_rules = [rule for rule in rules if rule.scope == "file"]
+    project_rules = [rule for rule in rules if rule.scope == "project"]
+    for ctx in contexts:
+        for rule in file_rules:
+            if config.is_allowlisted(rule.code, ctx.relpath):
+                continue
+            findings.extend(_filter(rule.code, rule.check(ctx), ctx))
+    for rule in project_rules:
+        raw = rule.check_project(root_dir, contexts)
+        by_path = {ctx.relpath: ctx for ctx in contexts}
+        for finding in raw:
+            if config.is_allowlisted(rule.code, finding.path):
+                continue
+            ctx = by_path.get(finding.path)
+            if ctx is not None and ctx.is_suppressed(finding.rule, finding.line):
+                continue
+            findings.append(finding)
+
+    return LintResult(
+        root=root_dir,
+        findings=sorted(findings),
+        checked_files=[ctx.relpath for ctx in contexts],
+        errors=sorted(errors),
+    )
+
+
+def _filter(
+    code: str, raw: Iterable[Finding], ctx: FileContext
+) -> Iterator[Finding]:
+    for finding in raw:
+        if not ctx.is_suppressed(code, finding.line):
+            yield finding

@@ -1,0 +1,54 @@
+"""Reporters: render a :class:`~repro.lint.engine.LintResult`.
+
+Two formats:
+
+- **text** — one ``path:line:col: CODE message`` line per finding
+  (editor-clickable), followed by a per-rule summary and the verdict.
+- **json** — a stable machine-readable document (``version`` bumps on
+  schema changes) consumed by the CI ``static-analysis`` job, which
+  uploads it as a build artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.lint.engine import LintResult
+
+__all__ = ["render_text", "render_json", "JSON_SCHEMA_VERSION"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    findings = result.all_findings
+    lines = [finding.render() for finding in findings]
+    if findings:
+        counts = Counter(finding.rule for finding in findings)
+        summary = ", ".join(
+            f"{code}: {count}" for code, count in sorted(counts.items())
+        )
+        lines.append("")
+        lines.append(
+            f"{len(findings)} finding(s) in "
+            f"{len(result.checked_files)} file(s) ({summary})"
+        )
+    else:
+        lines.append(
+            f"{len(result.checked_files)} file(s) checked, no findings"
+        )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    counts = Counter(finding.rule for finding in result.all_findings)
+    document = {
+        "version": JSON_SCHEMA_VERSION,
+        "root": str(result.root),
+        "checked_files": len(result.checked_files),
+        "ok": result.ok,
+        "summary": dict(sorted(counts.items())),
+        "findings": [finding.as_dict() for finding in result.all_findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=False)

@@ -22,12 +22,12 @@ results and evaluation counts bit-identical to the scalar path.
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.anytime.deadline import DEFAULT_CLOCK
 from repro.core.engine.delta import DeltaEvaluator
 from repro.core.evaluation import Evaluator
 from repro.core.solution import Placement
@@ -130,7 +130,7 @@ class SimulatedAnnealing:
         warm-starts from.  Off by default: callers that never hand off
         (plain replication loops) pay no copies.
         """
-        started = time.perf_counter()
+        started = DEFAULT_CLOCK.now()
         evaluations_before = evaluator.n_evaluations
         # The delta engine follows the evaluator's resolved engine, so a
         # forced dense/sparse choice applies to the whole run.
@@ -161,7 +161,8 @@ class SimulatedAnnealing:
                     continue
                 try:
                     candidate = engine.propose(move)
-                except ValueError:
+                except ValueError:  # repro-lint: disable=RL007
+                    # Invalid move for the current placement; skip it.
                     continue
                 delta = candidate.fitness - current.fitness
                 if delta >= 0 or rng.uniform() < math.exp(delta / temperature):
@@ -188,7 +189,7 @@ class SimulatedAnnealing:
             n_evaluations=evaluator.n_evaluations - evaluations_before,
             engine_cache=best_cache,
             stopped_by=stopped_by,
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=DEFAULT_CLOCK.now() - started,
         )
 
     def __repr__(self) -> str:

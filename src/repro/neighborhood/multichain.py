@@ -56,12 +56,12 @@ and because of the stream contract the results are identical to
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
+from repro.anytime.deadline import DEFAULT_CLOCK
 from repro.core.engine.batch import DEFAULT_MAX_CHUNK
 from repro.core.engine.stacked import StackedDeltaEngine, StackedEngine
 from repro.core.evaluation import Evaluation
@@ -80,6 +80,7 @@ from repro.parallel import (
     runtime_enabled,
     shard_slices,
 )
+from repro.seeding import root_sequence, spawn_children
 
 if TYPE_CHECKING:
     from repro.anytime.deadline import Deadline
@@ -116,11 +117,11 @@ def chain_generators(
     """
     if n_chains <= 0:
         raise ValueError(f"n_chains must be positive, got {n_chains}")
-    if isinstance(seed, np.random.SeedSequence):
-        sequence = seed
-    else:
-        sequence = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in sequence.spawn(n_chains)]
+    sequence = root_sequence(seed)
+    return [
+        np.random.default_rng(child)
+        for child in spawn_children(sequence, n_chains)
+    ]
 
 
 @dataclass
@@ -301,7 +302,7 @@ class MultiChainSearch:
                 policy=policy,
                 report=report,
             )
-        started = time.perf_counter()
+        started = DEFAULT_CLOCK.now()
         movement = self._resolve_movement()
         engine = StackedEngine(
             problem, fitness, engine=self.engine, max_chunk=self.max_chunk
@@ -354,7 +355,7 @@ class MultiChainSearch:
             # Shared movement instances must not pin this run's
             # incumbents after the portfolio finishes.
             movement.release_proposal_caches()
-        elapsed = time.perf_counter() - started
+        elapsed = DEFAULT_CLOCK.now() - started
         return [
             SearchResult(
                 best=state.best,

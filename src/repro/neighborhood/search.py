@@ -19,12 +19,12 @@ an optional fitness target.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.anytime.deadline import DEFAULT_CLOCK
 from repro.core.evaluation import Evaluation, Evaluator
 from repro.core.solution import Placement
 from repro.neighborhood.best_neighbor import best_neighbor
@@ -138,7 +138,7 @@ class NeighborhoodSearch:
         valid evaluated solution.  With ``deadline=None`` the run is
         bit-identical to one without deadline support.
         """
-        started = time.perf_counter()
+        started = DEFAULT_CLOCK.now()
         evaluations_before = evaluator.n_evaluations
         # One capability probe per run instead of one per phase.
         evaluate_many = getattr(evaluator, "evaluate_many", None)
@@ -195,7 +195,7 @@ class NeighborhoodSearch:
             n_phases=phase,
             n_evaluations=evaluator.n_evaluations - evaluations_before,
             stopped_by=stopped_by,
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=DEFAULT_CLOCK.now() - started,
         )
 
     def __repr__(self) -> str:

@@ -19,12 +19,12 @@ scalar path.
 
 from __future__ import annotations
 
-import time
 from collections import deque
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.anytime.deadline import DEFAULT_CLOCK
 from repro.core.engine.delta import DeltaEvaluator
 from repro.core.evaluation import Evaluator
 from repro.core.solution import Placement
@@ -93,7 +93,7 @@ class TabuSearch:
         best, so the final incumbent is the wrong placement to export);
         off by default so non-handoff callers pay no copies.
         """
-        started = time.perf_counter()
+        started = DEFAULT_CLOCK.now()
         evaluations_before = evaluator.n_evaluations
         # The delta engine follows the evaluator's resolved engine, so a
         # forced dense/sparse choice applies to the whole run.
@@ -134,7 +134,8 @@ class TabuSearch:
                     continue
                 try:
                     candidate = engine.propose(move)
-                except ValueError:
+                except ValueError:  # repro-lint: disable=RL007
+                    # Invalid move for the current placement; skip it.
                     continue
                 is_tabu = any(
                     tabu_until.get(router, 0) > phase
@@ -178,7 +179,7 @@ class TabuSearch:
             n_evaluations=evaluator.n_evaluations - evaluations_before,
             engine_cache=best_cache,
             stopped_by=stopped_by,
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=DEFAULT_CLOCK.now() - started,
         )
 
     def __repr__(self) -> str:

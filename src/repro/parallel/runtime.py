@@ -45,6 +45,7 @@ import threading
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
+from repro import envgates
 from repro.instances.shm import (
     ProblemRef,
     attach_problem,
@@ -74,8 +75,7 @@ DEFAULT_SHM_MIN_BYTES = 1 << 16
 
 def runtime_enabled() -> bool:
     """Whether the persistent runtime is active (``REPRO_RUNTIME`` gate)."""
-    value = os.environ.get(RUNTIME_ENV, "").strip().lower()
-    return value not in {"0", "false", "off", "no"}
+    return envgates.runtime_enabled()
 
 
 def _cpu_count() -> int:
@@ -101,13 +101,7 @@ def effective_pool_size(workers: int, n_tasks: "int | None" = None) -> int:
 
 
 def _shm_min_bytes() -> int:
-    raw = os.environ.get(SHM_MIN_BYTES_ENV, "").strip()
-    if not raw:
-        return DEFAULT_SHM_MIN_BYTES
-    try:
-        return max(0, int(raw))
-    except ValueError:
-        return DEFAULT_SHM_MIN_BYTES
+    return envgates.shm_min_bytes(DEFAULT_SHM_MIN_BYTES)
 
 
 @dataclass
@@ -397,18 +391,21 @@ def _terminate_pool(pool: ProcessPoolExecutor, force: bool) -> None:
     for process in list(processes.values()):
         try:
             process.terminate()
-        except Exception:
+        except Exception:  # repro-lint: disable=RL007
+            # Best-effort teardown of an already-dying process.
             pass
 
 
 def _destroy_segment(shm) -> None:
     try:
         shm.close()
-    except Exception:
+    except Exception:  # repro-lint: disable=RL007
+        # Best-effort: the segment may already be gone.
         pass
     try:
         shm.unlink()
-    except Exception:
+    except Exception:  # repro-lint: disable=RL007
+        # Best-effort: another owner may have unlinked it first.
         pass
 
 

@@ -42,6 +42,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import envgates
+
 __all__ = [
     "FAULT_ENV",
     "Fault",
@@ -60,11 +62,6 @@ _KILL_EXIT_CODE = 73
 
 _KINDS = ("kill", "poison", "delay", "crash-compiled")
 
-#: ``REPRO_COMPILED`` values that disable the compiled tier (mirrors
-#: :func:`repro.core.engine.compiled._env_enabled` without importing the
-#: build machinery into every worker bootstrap).
-_COMPILED_DISABLED = frozenset({"0", "false", "off", "no"})
-
 
 class InjectedFault(RuntimeError):
     """An injected ordinary task failure (the ``poison`` kind)."""
@@ -80,8 +77,7 @@ class InjectedCrash(RuntimeError):
 
 
 def _compiled_enabled() -> bool:
-    value = os.environ.get("REPRO_COMPILED", "").strip().lower()
-    return value not in _COMPILED_DISABLED
+    return envgates.compiled_enabled()
 
 
 @dataclass(frozen=True)
@@ -223,7 +219,7 @@ def active_plan() -> FaultPlan:
     flip the variable between runs; workers inherit it at fork.
     """
     global _plan_cache
-    spec = os.environ.get(FAULT_ENV, "").strip()
+    spec = envgates.fault_spec()
     if not spec:
         return _EMPTY_PLAN
     if _plan_cache is not None and _plan_cache[0] == spec:

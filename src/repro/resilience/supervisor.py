@@ -54,6 +54,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro import envgates
 from repro.resilience.faults import FAULT_ENV, InjectedCrash, inject
 
 __all__ = [
@@ -227,7 +228,7 @@ def _degraded_env(active: bool):
     if not active:
         yield
         return
-    prior = os.environ.get("REPRO_COMPILED")
+    prior = envgates.raw("REPRO_COMPILED")
     os.environ["REPRO_COMPILED"] = "0"
     try:
         yield
@@ -239,8 +240,7 @@ def _degraded_env(active: bool):
 
 
 def _compiled_enabled() -> bool:
-    value = os.environ.get("REPRO_COMPILED", "").strip().lower()
-    return value not in {"0", "false", "off", "no"}
+    return envgates.compiled_enabled()
 
 
 def _worker_init() -> None:
@@ -256,7 +256,7 @@ def _worker_init() -> None:
 
         if compiled.is_available():
             compiled.set_num_threads(1)
-    except Exception:
+    except Exception:  # repro-lint: disable=RL007
         # Thread pinning is a performance nicety; a worker that cannot
         # build or load the kernels simply runs the numpy paths.
         pass
@@ -271,7 +271,7 @@ _SNAPSHOT_VARS = (FAULT_ENV, "REPRO_COMPILED")
 
 def _env_snapshot() -> dict:
     """The parent-side values of :data:`_SNAPSHOT_VARS`, at submit time."""
-    return {name: os.environ.get(name) for name in _SNAPSHOT_VARS}
+    return {name: envgates.raw(name) for name in _SNAPSHOT_VARS}
 
 
 @contextmanager
@@ -435,7 +435,8 @@ def _close_pool(pool: ProcessPoolExecutor, force: bool) -> None:
     for process in list(processes.values()):
         try:
             process.terminate()
-        except Exception:
+        except Exception:  # repro-lint: disable=RL007
+            # Best-effort teardown of an already-dying process.
             pass
 
 

@@ -38,12 +38,12 @@ the aggregation layer the CLI ``scenario-fleet`` subcommand and
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, replace
 from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.anytime.deadline import DEFAULT_CLOCK
 from repro.instances.shm import ProblemRef
 from repro.parallel import (
     get_runtime,
@@ -66,12 +66,8 @@ from repro.scenario.runner import (
     _cache_tracking,
     _validate_budgets,
 )
-from repro.scenario.scenario import (
-    Scenario,
-    ScenarioStep,
-    _fresh_sequence,
-    _root_sequence,
-)
+from repro.scenario.scenario import Scenario, ScenarioStep
+from repro.seeding import root_sequence, spawn_children
 from repro.solvers.base import SolveResult, Solver
 
 __all__ = ["FleetRun", "FleetReport", "ScenarioFleet", "fleet_seed_grid"]
@@ -91,11 +87,11 @@ def fleet_seed_grid(
     loop over the returned sequences is the fleet's exact reference
     execution.
     """
-    root = _root_sequence(seed)
+    root = root_sequence(seed)
     grid = []
-    for cell in root.spawn(n_cells):
-        unfold_seq, solve_seq = cell.spawn(2)
-        grid.append((unfold_seq, solve_seq.spawn(n_seeds)))
+    for cell in spawn_children(root, n_cells):
+        unfold_seq, solve_seq = spawn_children(cell, 2)
+        grid.append((unfold_seq, spawn_children(solve_seq, n_seeds)))
     return grid
 
 
@@ -483,9 +479,8 @@ def _solve_portfolio(
     warm_capable = warm and solver.supports_warm_start
     # Spawn from fresh copies: both arms (and any rerun) must derive the
     # same per-step children whatever was spawned from these sequences
-    # before (see runner._fresh_sequence).
-    rep_seqs = [_fresh_sequence(seq) for seq in rep_seqs]
-    step_seed_grid = [seq.spawn(len(steps)) for seq in rep_seqs]
+    # before (see repro.seeding).
+    step_seed_grid = [spawn_children(seq, len(steps)) for seq in rep_seqs]
     per_rep: list[list[ScenarioStepResult]] = [[] for _ in range(n)]
     previous: list["SolveResult | None"] = [None] * n
     with _cache_tracking(solver, reuse_cache):
@@ -501,7 +496,7 @@ def _solve_portfolio(
                 if reuse_cache:
                     engine_caches = [prev.engine_cache for prev in previous]
                 step_budget = warm_budget
-            began = time.perf_counter()
+            began = DEFAULT_CLOCK.now()
             results = solver.solve_batch(
                 step.problem,
                 [step_seed_grid[r][index] for r in range(n)],
@@ -511,7 +506,7 @@ def _solve_portfolio(
                 fitness=fitness,
                 engine_caches=engine_caches,
             )
-            elapsed = (time.perf_counter() - began) / n
+            elapsed = (DEFAULT_CLOCK.now() - began) / n
             for r, result in enumerate(results):
                 per_rep[r].append(
                     ScenarioStepResult(
@@ -682,7 +677,7 @@ class ScenarioFleet:
         otherwise).  ``report`` collects supervision activity (retries,
         degradations) for the caller to surface.
         """
-        root = _root_sequence(seed)
+        root = root_sequence(seed)
         grid = fleet_seed_grid(root, self.n_cells, self.n_seeds)
         shards = seed_shards(self.n_seeds, self.workers)
         store = open_store(

@@ -23,13 +23,13 @@ instance sequence — the controlled baseline of that benchmark.
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
+from repro.anytime.deadline import DEFAULT_CLOCK
 from repro.resilience.checkpoint import (
     entropy_payload,
     open_store,
@@ -41,7 +41,8 @@ from repro.resilience.supervisor import (
     SupervisionReport,
     retry_call,
 )
-from repro.scenario.scenario import Scenario, ScenarioStep, _root_sequence
+from repro.scenario.scenario import Scenario, ScenarioStep
+from repro.seeding import root_sequence, spawn_children
 from repro.solvers.base import SolveResult, Solver
 
 _STEP_FORMAT = "repro.scenario_step.v1"
@@ -292,8 +293,8 @@ class ScenarioRunner:
         as on :meth:`repro.scenario.fleet.ScenarioFleet.run`, at step
         granularity.
         """
-        root = _root_sequence(seed)
-        unfold_seq, solve_seq = root.spawn(2)
+        root = root_sequence(seed)
+        unfold_seq, solve_seq = spawn_children(root, 2)
         steps = scenario.unfold(unfold_seq)
         return self.run_steps(
             steps,
@@ -334,8 +335,8 @@ class ScenarioRunner:
         one; only the engine-cache handoff (a performance hint, never a
         result input) restarts cold after a restored step.
         """
-        solve_seq = _root_sequence(seed)
-        step_seeds = solve_seq.spawn(len(steps))
+        solve_seq = root_sequence(seed)
+        step_seeds = spawn_children(solve_seq, len(steps))
         warm_capable = self.warm and self.solver.supports_warm_start
         store = open_store(
             {
@@ -410,7 +411,7 @@ class ScenarioRunner:
                         deadline=deadline,
                     )
 
-                began = time.perf_counter()
+                began = DEFAULT_CLOCK.now()
                 if self.policy is None:
                     # No policy: exceptions propagate unwrapped — a
                     # genuinely broken step should fail loudly, not
@@ -427,7 +428,7 @@ class ScenarioRunner:
                         ),
                         report=report,
                     )
-                elapsed = time.perf_counter() - began
+                elapsed = DEFAULT_CLOCK.now() - began
                 step_result = ScenarioStepResult(
                     step=step, result=result, seconds=elapsed
                 )

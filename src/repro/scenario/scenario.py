@@ -22,6 +22,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.core.problem import ProblemInstance
+from repro.seeding import fresh_sequence, root_sequence, spawn_children
 from repro.scenario.perturbations import (
     ClientChurn,
     ClientDrift,
@@ -34,31 +35,10 @@ from repro.scenario.perturbations import (
 __all__ = ["ScenarioStep", "Scenario"]
 
 
-def _fresh_sequence(seq: np.random.SeedSequence) -> np.random.SeedSequence:
-    """An unspawned copy of ``seq`` (same entropy and spawn key).
-
-    ``SeedSequence.spawn`` is stateful — every call advances the spawn
-    counter, so spawning from a sequence the caller (or an earlier run)
-    already spawned from would derive *different* children.  The
-    scenario machinery spawns from fresh copies instead: the children a
-    seed produces depend only on its identity, never on its history, so
-    repeated runs and arbitrary fleet shardings stay bit-identical.
-    """
-    return np.random.SeedSequence(
-        entropy=seq.entropy,
-        spawn_key=seq.spawn_key,
-        pool_size=seq.pool_size,
-    )
-
-
-def _root_sequence(
-    seed: "int | np.random.SeedSequence",
-) -> np.random.SeedSequence:
-    return (
-        _fresh_sequence(seed)
-        if isinstance(seed, np.random.SeedSequence)
-        else np.random.SeedSequence(seed)
-    )
+# Back-compat aliases: the fresh-copy helpers moved to the shared
+# :mod:`repro.seeding` module (the sanctioned home of all spawning).
+_fresh_sequence = fresh_sequence
+_root_sequence = root_sequence
 
 
 @dataclass(frozen=True)
@@ -110,8 +90,8 @@ class Scenario:
         key), never on how often it was spawned from before — what lets
         every fleet shard re-unfold the same steps independently.
         """
-        sequence = _root_sequence(seed)
-        children = sequence.spawn(len(self.perturbations))
+        sequence = root_sequence(seed)
+        children = spawn_children(sequence, len(self.perturbations))
         steps = [ScenarioStep(index=0, problem=self.base)]
         problem = self.base
         for index, (perturbation, child) in enumerate(

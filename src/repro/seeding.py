@@ -1,0 +1,71 @@
+"""The fresh-copy ``SeedSequence`` helpers — the repo's spawn discipline.
+
+``numpy.random.SeedSequence.spawn`` is **stateful**: every call advances
+the parent's spawn counter, so the children a sequence produces depend
+on how often it was spawned from before.  That history-dependence broke
+warm-vs-cold fleet parity once already (the PR 5 state-leak fix): two
+arms sharing seed objects silently derived different replication
+streams.  The discipline since then — now machine-enforced by the
+``RL003`` lint rule (:mod:`repro.lint`) — is that *nothing spawns from a
+caller-owned sequence*.  All spawning happens here, on fresh copies, so
+children are a pure function of a seed's identity (entropy and spawn
+key), never of its history:
+
+- :func:`fresh_sequence` — an unspawned copy of a sequence.
+- :func:`root_sequence` — normalize ``int | tuple | SeedSequence`` user
+  seeds into a fresh root.
+- :func:`spawn_children` — the only sanctioned way to derive children
+  from a sequence another function handed you.
+
+Everything here is pure ``SeedSequence`` arithmetic: for a sequence
+whose spawn counter is still zero (the normal case — children arrive
+freshly spawned), ``spawn_children(seq, n)`` returns exactly
+``seq.spawn(n)`` would, so routing existing call sites through these
+helpers changes no result stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["fresh_sequence", "root_sequence", "spawn_children"]
+
+
+def fresh_sequence(seq: np.random.SeedSequence) -> np.random.SeedSequence:
+    """An unspawned copy of ``seq`` (same entropy and spawn key)."""
+    return np.random.SeedSequence(
+        entropy=seq.entropy,
+        spawn_key=seq.spawn_key,
+        pool_size=seq.pool_size,
+    )
+
+
+def root_sequence(
+    seed: "int | tuple | np.random.SeedSequence",
+) -> np.random.SeedSequence:
+    """A fresh root for a user-facing seed argument.
+
+    Ints and entropy tuples build a new sequence; an existing
+    ``SeedSequence`` is copied so the caller's spawn history cannot leak
+    into the streams derived from it.
+    """
+    return (
+        fresh_sequence(seed)
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+
+
+def spawn_children(
+    seq: np.random.SeedSequence, n_children: int
+) -> list[np.random.SeedSequence]:
+    """``n_children`` children of ``seq``, independent of its history.
+
+    Spawns from a fresh copy, so calling this twice with the same
+    sequence yields the *same* children — spawning becomes idempotent,
+    which is exactly the property replays, resumes and multi-arm fleet
+    comparisons rely on.
+    """
+    if n_children < 0:
+        raise ValueError(f"n_children must be >= 0, got {n_children}")
+    return fresh_sequence(seq).spawn(n_children)

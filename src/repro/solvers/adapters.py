@@ -20,13 +20,13 @@ into the family's native run call.  The shared conventions:
 
 from __future__ import annotations
 
-import time
 from dataclasses import replace as dataclass_replace
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.adhoc.registry import make_method
+from repro.anytime.deadline import DEFAULT_CLOCK
 from repro.core.evaluation import Evaluator
 from repro.core.problem import ProblemInstance
 from repro.core.solution import Placement
@@ -102,7 +102,7 @@ class AdHocSolver(Solver):
                 f"{self.name} is a constructive method and does not accept "
                 "a warm start (it always builds from scratch)"
             )
-        started = time.perf_counter()
+        started = DEFAULT_CLOCK.now()
         rng_init, _ = solver_streams(seed)
         placement = self._method.place(problem, rng_init)
         evaluator = Evaluator(problem, fitness, engine=engine)
@@ -113,7 +113,7 @@ class AdHocSolver(Solver):
             n_evaluations=1,
             n_phases=0,
             warm_started=False,
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=DEFAULT_CLOCK.now() - started,
         )
 
 

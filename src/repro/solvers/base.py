@@ -48,6 +48,7 @@ import numpy as np
 from repro.core.evaluation import Evaluation
 from repro.core.problem import ProblemInstance
 from repro.core.solution import Placement
+from repro.seeding import root_sequence, spawn_children
 
 if TYPE_CHECKING:
     from repro.anytime.deadline import Deadline
@@ -85,12 +86,13 @@ def solver_streams(
     drives initialization (the initial placement / population draw),
     stream 1 drives the optimization itself.  Warm starts consume only
     stream 1, which is what makes warm-vs-cold parity exact.
+
+    A passed ``SeedSequence`` is copied before spawning
+    (:func:`repro.seeding.spawn_children`), so the two streams depend
+    only on the seed's identity — re-solving with the same sequence
+    object always replays the same streams.
     """
-    if isinstance(seed, np.random.SeedSequence):
-        sequence = seed
-    else:
-        sequence = np.random.SeedSequence(seed)
-    init_child, run_child = sequence.spawn(2)
+    init_child, run_child = spawn_children(root_sequence(seed), 2)
     return np.random.default_rng(init_child), np.random.default_rng(run_child)
 
 

@@ -1,0 +1,54 @@
+"""Shared fixtures for the lint-engine tests.
+
+``project`` builds a throwaway project skeleton (a ``setup.py`` root
+marker plus whatever files a test writes) so rules run against
+controlled fixtures instead of the real tree; ``lint_file`` is the
+one-call helper most rule tests use.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_lint
+
+
+class Project:
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        (root / "setup.py").write_text("# root marker\n")
+
+    def write(self, relpath: str, source: str) -> Path:
+        path = self.root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        return path
+
+    def lint(self, *relpaths: str, **kwargs):
+        paths = [self.root / rel for rel in relpaths] or [self.root]
+        return run_lint(paths, root=self.root, **kwargs)
+
+
+@pytest.fixture
+def project(tmp_path) -> Project:
+    return Project(tmp_path)
+
+
+@pytest.fixture
+def lint_file(project):
+    """Write one file and lint it; returns the findings list."""
+
+    def _lint(
+        source: str, relpath: str = "src/repro/mod.py", **kwargs
+    ):
+        project.write(relpath, source)
+        return project.lint(relpath, **kwargs).findings
+
+    return _lint
+
+
+def codes(findings) -> list[str]:
+    return [finding.rule for finding in findings]

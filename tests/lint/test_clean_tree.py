@@ -1,0 +1,28 @@
+"""The meta-invariant: the committed tree itself lints clean.
+
+This is the test that keeps the other eight honest — every rule runs
+over ``src/ tests/ benchmarks/`` exactly as CI's ``static-analysis``
+job invokes it, so a change that violates an invariant (or breaks a
+rule's precision on real code) fails tier 1 locally.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_committed_tree_is_clean():
+    result = run_lint(
+        [REPO_ROOT / "src", REPO_ROOT / "tests", REPO_ROOT / "benchmarks"],
+        root=REPO_ROOT,
+    )
+    assert result.errors == []
+    assert result.findings == [], "\n" + "\n".join(
+        finding.render() for finding in result.findings
+    )
+    # Sanity: the run actually covered the real tree.
+    assert len(result.checked_files) > 100

@@ -1,0 +1,141 @@
+"""CLI contract: exit codes, formats, rule listing."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import main
+from repro.lint.report import JSON_SCHEMA_VERSION
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def write_project(tmp_path, source: str) -> Path:
+    (tmp_path / "setup.py").write_text("")
+    target = tmp_path / "src" / "repro" / "mod.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(source)
+    return target
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        write_project(tmp_path, "x = 1\n")
+        status = main([str(tmp_path / "src"), "--root", str(tmp_path)])
+        assert status == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        write_project(tmp_path, "import time\nx = time.time()\n")
+        status = main([str(tmp_path / "src"), "--root", str(tmp_path)])
+        assert status == 1
+        out = capsys.readouterr().out
+        assert "RL004" in out
+        assert "src/repro/mod.py:2" in out
+
+    def test_usage_error_exits_two(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main([str(tmp_path / "missing"), "--root", str(tmp_path)])
+        assert excinfo.value.code == 2
+
+
+class TestJsonFormat:
+    def test_document_shape(self, tmp_path, capsys):
+        write_project(tmp_path, "import time\nx = time.time()\n")
+        status = main(
+            [
+                str(tmp_path / "src"),
+                "--root",
+                str(tmp_path),
+                "--format=json",
+            ]
+        )
+        assert status == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == JSON_SCHEMA_VERSION
+        assert document["ok"] is False
+        assert document["checked_files"] == 1
+        assert document["summary"] == {"RL004": 1}
+        (finding,) = document["findings"]
+        assert finding["rule"] == "RL004"
+        assert finding["path"] == "src/repro/mod.py"
+        assert finding["line"] == 2
+
+    def test_clean_json_is_ok(self, tmp_path, capsys):
+        write_project(tmp_path, "x = 1\n")
+        status = main(
+            [
+                str(tmp_path / "src"),
+                "--root",
+                str(tmp_path),
+                "--format=json",
+            ]
+        )
+        assert status == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is True
+        assert document["findings"] == []
+
+
+class TestOptions:
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RL001", "RL008"):
+            assert code in out
+
+    def test_select_narrows(self, tmp_path, capsys):
+        write_project(tmp_path, "import time\nx = hash(time.time())\n")
+        status = main(
+            [
+                str(tmp_path / "src"),
+                "--root",
+                str(tmp_path),
+                "--select=RL001",
+            ]
+        )
+        assert status == 1
+        out = capsys.readouterr().out
+        assert "RL001" in out
+        assert "RL004" not in out
+
+    def test_unknown_code_is_a_usage_error(self, tmp_path):
+        write_project(tmp_path, "x = 1\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    str(tmp_path / "src"),
+                    "--root",
+                    str(tmp_path),
+                    "--select=RL999",
+                ]
+            )
+        assert excinfo.value.code == 2
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_runs(self, tmp_path):
+        (tmp_path / "setup.py").write_text("")
+        target = tmp_path / "src" / "repro" / "mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("import time\nx = time.time()\n")
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.lint",
+                str(tmp_path / "src"),
+                "--root",
+                str(tmp_path),
+            ],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert completed.returncode == 1
+        assert "RL004" in completed.stdout

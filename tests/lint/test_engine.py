@@ -1,0 +1,185 @@
+"""Engine mechanics: suppressions, allowlists, aliases, orchestration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import run_lint
+from repro.lint.engine import FileContext, collect_files, find_project_root
+
+from tests.lint.conftest import codes
+
+
+class TestSuppressions:
+    def test_disable_all_silences_every_rule(self, lint_file):
+        findings = lint_file(
+            """
+            import time
+
+            def stamp():
+                return hash(time.time())  # repro-lint: disable=all
+            """
+        )
+        assert findings == []
+
+    def test_multiple_codes_in_one_comment(self, lint_file):
+        findings = lint_file(
+            """
+            import time
+
+            def stamp():
+                return hash(time.time())  # repro-lint: disable=RL001, RL004
+            """
+        )
+        assert findings == []
+
+    def test_suppression_is_per_line(self, lint_file):
+        findings = lint_file(
+            """
+            import time
+
+            def stamp():
+                a = time.time()  # repro-lint: disable=RL004
+                b = time.time()
+                return a - b
+            """
+        )
+        assert codes(findings) == ["RL004"]
+
+    def test_wrong_code_does_not_silence(self, lint_file):
+        findings = lint_file(
+            """
+            import time
+
+            def stamp():
+                return time.time()  # repro-lint: disable=RL001
+            """
+        )
+        assert codes(findings) == ["RL004"]
+
+
+class TestAllowlists:
+    def test_no_default_allowlist_flag(self, lint_file):
+        source = """
+            import time
+
+            def measure():
+                return time.perf_counter()
+            """
+        assert lint_file(source, relpath="benchmarks/bench.py") == []
+        findings = lint_file(
+            source,
+            relpath="benchmarks/bench.py",
+            use_default_allowlist=False,
+        )
+        assert codes(findings) == ["RL004"]
+
+    def test_directory_config_disables_subtree(self, project):
+        source = """
+            import time
+
+            def measure():
+                return time.perf_counter()
+            """
+        project.write("src/repro/sandbox/mod.py", source)
+        assert codes(project.lint("src").findings) == ["RL004"]
+        project.write(
+            "src/repro/sandbox/.repro-lint",
+            "# local experiment sandbox\ndisable = RL004\n",
+        )
+        assert project.lint("src").findings == []
+
+    def test_directory_config_does_not_leak_upward(self, project):
+        source = "import time\nx = time.time()\n"
+        project.write("src/repro/sandbox/.repro-lint", "disable = RL004\n")
+        project.write("src/repro/other/mod.py", source)
+        assert codes(project.lint("src").findings) == ["RL004"]
+
+
+class TestAliasResolution:
+    def make_ctx(self, project, source: str) -> FileContext:
+        path = project.write("src/repro/mod.py", source)
+        return FileContext(path, "src/repro/mod.py", path.read_text())
+
+    def test_import_as_alias(self, project):
+        import ast
+
+        ctx = self.make_ctx(project, "import numpy as np\nx = np.random.seed\n")
+        attribute = ctx.tree.body[1].value
+        assert ctx.resolve(attribute) == "numpy.random.seed"
+
+    def test_from_import_alias(self, project):
+        ctx = self.make_ctx(
+            project, "from time import perf_counter as pc\nx = pc\n"
+        )
+        name_node = ctx.tree.body[1].value
+        assert ctx.resolve(name_node) == "time.perf_counter"
+
+    def test_aliased_banned_call_is_still_caught(self, lint_file):
+        findings = lint_file(
+            """
+            from time import perf_counter as tick
+
+            def measure():
+                return tick()
+            """
+        )
+        assert codes(findings) == ["RL004"]
+
+
+class TestOrchestration:
+    def test_parse_error_becomes_rl000_finding(self, project):
+        project.write("src/repro/broken.py", "def broken(:\n")
+        result = project.lint("src")
+        assert not result.ok
+        assert codes(result.all_findings) == ["RL000"]
+
+    def test_select_and_ignore(self, project):
+        project.write(
+            "src/repro/mod.py",
+            "import time\nx = hash(time.time())\n",
+        )
+        both = project.lint("src")
+        assert codes(both.findings) == ["RL001", "RL004"]
+        only_hash = project.lint("src", select=["RL001"])
+        assert codes(only_hash.findings) == ["RL001"]
+        no_clock = project.lint("src", ignore=["RL004"])
+        assert codes(no_clock.findings) == ["RL001"]
+
+    def test_unknown_rule_code_raises(self, project):
+        project.write("src/repro/mod.py", "x = 1\n")
+        with pytest.raises(ValueError, match="RL999"):
+            project.lint("src", select=["RL999"])
+
+    def test_findings_are_sorted_and_positioned(self, project):
+        project.write(
+            "src/repro/b.py", "import time\nx = time.time()\n"
+        )
+        project.write(
+            "src/repro/a.py", "import time\ny = time.time()\n"
+        )
+        result = project.lint("src")
+        assert [f.path for f in result.findings] == [
+            "src/repro/a.py",
+            "src/repro/b.py",
+        ]
+        assert all(f.line == 2 for f in result.findings)
+
+    def test_collect_files_skips_hidden_and_pycache(self, tmp_path):
+        (tmp_path / "pkg" / "__pycache__").mkdir(parents=True)
+        (tmp_path / "pkg" / "__pycache__" / "mod.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / ".hidden").mkdir()
+        (tmp_path / "pkg" / ".hidden" / "mod.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "real.py").write_text("x = 1\n")
+        files = collect_files([tmp_path])
+        assert [path.name for path in files] == ["real.py"]
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            run_lint([tmp_path / "nope"], root=tmp_path)
+
+    def test_find_project_root_walks_to_marker(self, tmp_path):
+        (tmp_path / "setup.py").write_text("")
+        nested = tmp_path / "src" / "repro" / "deep"
+        nested.mkdir(parents=True)
+        assert find_project_root(nested) == tmp_path

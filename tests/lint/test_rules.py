@@ -1,0 +1,498 @@
+"""Per-rule fixture suites: positive, negative, suppressed, allowlisted.
+
+Each positive fixture reproduces the *historical bug pattern* the rule
+was distilled from (the pre-PR-2 salted-``hash`` labels, the PR-5
+caller-owned ``spawn`` state leak, the scattered env reads, ...), so a
+rule regression means the original bug class could come back unseen.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint.rules import RULES
+
+from tests.lint.conftest import codes
+
+
+class TestRL001BuiltinHash:
+    def test_fires_on_salted_label_idiom(self, lint_file):
+        # The pre-label_key replication idiom: instance labels derived
+        # from builtin hash(), which PYTHONHASHSEED salts per process.
+        findings = lint_file(
+            """
+            def instance_label(spec, seed):
+                return hash((spec.name, seed)) % 2**32
+            """
+        )
+        assert codes(findings) == ["RL001"]
+        assert "label_key" in findings[0].message
+
+    def test_clean_on_label_key(self, lint_file):
+        findings = lint_file(
+            """
+            from repro.experiments.replication import label_key
+
+            def instance_label(spec, seed):
+                return label_key(spec.name, seed)
+            """
+        )
+        assert findings == []
+
+    def test_dunder_hash_methods_are_fine(self, lint_file):
+        # Defining __hash__ is fine; *calling* builtin hash() is not.
+        findings = lint_file(
+            """
+            class Key:
+                def __hash__(self):
+                    return 7
+            """
+        )
+        assert findings == []
+
+    def test_suppression_comment_silences(self, lint_file):
+        findings = lint_file(
+            """
+            def cache_slot(key):
+                return hash(key) % 64  # repro-lint: disable=RL001
+            """
+        )
+        assert findings == []
+
+
+class TestRL002GlobalRng:
+    def test_fires_on_np_random_seed(self, lint_file):
+        findings = lint_file(
+            """
+            import numpy as np
+
+            def setup(seed):
+                np.random.seed(seed)
+                return np.random.rand(3)
+            """
+        )
+        assert codes(findings) == ["RL002", "RL002"]
+
+    def test_fires_on_stdlib_random_import(self, lint_file):
+        findings = lint_file("import random\n")
+        assert codes(findings) == ["RL002"]
+        findings = lint_file("from random import shuffle\n")
+        assert codes(findings) == ["RL002"]
+
+    def test_explicit_generators_are_fine(self, lint_file):
+        findings = lint_file(
+            """
+            import numpy as np
+
+            def draw(seed):
+                rng = np.random.default_rng(np.random.SeedSequence(seed))
+                return rng.random(3)
+            """
+        )
+        assert findings == []
+
+    def test_allowlisted_in_tests_tree(self, lint_file):
+        findings = lint_file(
+            "import random\n", relpath="tests/test_something.py"
+        )
+        assert findings == []
+
+
+class TestRL003SpawnDiscipline:
+    def test_fires_on_caller_owned_spawn(self, lint_file):
+        # The PR-5 state leak: spawning a sequence the caller handed in
+        # advances its counter, so replays depend on call history.
+        findings = lint_file(
+            """
+            def shard_seeds(seq, n):
+                return seq.spawn(n)
+            """
+        )
+        assert codes(findings) == ["RL003"]
+        assert "spawn counter" in findings[0].message
+
+    def test_fresh_construction_is_fine(self, lint_file):
+        findings = lint_file(
+            """
+            import numpy as np
+
+            def shard_seeds(seed, n):
+                sequence = np.random.SeedSequence(seed)
+                return sequence.spawn(n)
+            """
+        )
+        assert findings == []
+
+    def test_fresh_copy_helpers_are_fine(self, lint_file):
+        findings = lint_file(
+            """
+            from repro.seeding import fresh_sequence, spawn_children
+
+            def shard_seeds(seq, n):
+                children = spawn_children(seq, n)
+                copied = fresh_sequence(seq)
+                return children + copied.spawn(1)
+            """
+        )
+        assert findings == []
+
+    def test_fires_on_attribute_receiver(self, lint_file):
+        findings = lint_file(
+            """
+            def shard(self, n):
+                return self.sequence.spawn(n)
+            """
+        )
+        assert codes(findings) == ["RL003"]
+
+    def test_tuple_unpack_from_spawn_is_fresh(self, lint_file):
+        findings = lint_file(
+            """
+            import numpy as np
+
+            def nested(seed):
+                root = np.random.SeedSequence(seed)
+                left, right = root.spawn(2)
+                return left.spawn(3)
+            """
+        )
+        assert findings == []
+
+    def test_seeding_module_itself_is_allowlisted(self, lint_file):
+        findings = lint_file(
+            """
+            def fresh(seq):
+                return seq.spawn(1)
+            """,
+            relpath="src/repro/seeding.py",
+        )
+        assert findings == []
+
+
+class TestRL004WallClock:
+    def test_fires_on_perf_counter_timing(self, lint_file):
+        # The pre-clock-seam idiom: ad hoc elapsed-seconds timing.
+        findings = lint_file(
+            """
+            import time
+
+            def run(solver):
+                started = time.perf_counter()
+                solver.step()
+                return time.perf_counter() - started
+            """
+        )
+        assert codes(findings) == ["RL004", "RL004"]
+        assert "DEFAULT_CLOCK" in findings[0].message
+
+    def test_fires_on_from_import_and_datetime(self, lint_file):
+        findings = lint_file(
+            """
+            from time import monotonic
+            from datetime import datetime
+
+            def stamp():
+                return monotonic(), datetime.now()
+            """
+        )
+        assert codes(findings) == ["RL004", "RL004"]
+
+    def test_clock_seam_is_fine(self, lint_file):
+        findings = lint_file(
+            """
+            from repro.anytime.deadline import DEFAULT_CLOCK
+
+            def run(solver):
+                started = DEFAULT_CLOCK.now()
+                solver.step()
+                return DEFAULT_CLOCK.now() - started
+            """
+        )
+        assert findings == []
+
+    def test_clock_module_is_allowlisted(self, lint_file):
+        findings = lint_file(
+            """
+            import time
+
+            def now():
+                return time.monotonic()
+            """,
+            relpath="src/repro/anytime/deadline.py",
+        )
+        assert findings == []
+
+    def test_benchmarks_are_allowlisted(self, lint_file):
+        findings = lint_file(
+            """
+            import time
+
+            def measure():
+                return time.perf_counter()
+            """,
+            relpath="benchmarks/bench_thing.py",
+        )
+        assert findings == []
+
+
+class TestRL005EnvGates:
+    def test_fires_on_raw_gate_reads(self, lint_file):
+        # The pre-envgates idiom: 37 scattered os.environ call sites.
+        findings = lint_file(
+            """
+            import os
+
+            def compiled_enabled():
+                if "REPRO_COMPILED" in os.environ:
+                    return os.environ["REPRO_COMPILED"] != "0"
+                return os.environ.get("REPRO_COMPILED", "1") != "0"
+            """
+        )
+        assert codes(findings) == ["RL005", "RL005", "RL005"]
+        assert "repro.envgates" in findings[0].message
+
+    def test_resolves_module_level_key_constants(self, lint_file):
+        findings = lint_file(
+            """
+            import os
+
+            RUNTIME_ENV = "REPRO_RUNTIME"
+
+            def runtime_enabled():
+                return os.getenv(RUNTIME_ENV) != "0"
+            """
+        )
+        assert codes(findings) == ["RL005"]
+
+    def test_non_repro_variables_are_fine(self, lint_file):
+        findings = lint_file(
+            """
+            import os
+
+            def compiler():
+                return os.environ.get("CC", "cc")
+            """
+        )
+        assert findings == []
+
+    def test_writes_are_out_of_scope(self, lint_file):
+        findings = lint_file(
+            """
+            import os
+
+            def degrade():
+                os.environ["REPRO_COMPILED"] = "0"
+                os.environ.pop("REPRO_COMPILED", None)
+            """
+        )
+        assert findings == []
+
+    def test_envgates_module_is_allowlisted(self, lint_file):
+        findings = lint_file(
+            """
+            import os
+
+            def raw():
+                return os.environ.get("REPRO_COMPILED")
+            """,
+            relpath="src/repro/envgates.py",
+        )
+        assert findings == []
+
+
+class TestRL006PoolOwnership:
+    def test_fires_on_direct_pool_import(self, lint_file):
+        findings = lint_file(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def fan_out(tasks):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(str, tasks))
+            """
+        )
+        assert codes(findings) == ["RL006"]
+        assert "repro.parallel" in findings[0].message
+
+    def test_fires_on_shared_memory_import(self, lint_file):
+        findings = lint_file(
+            "from multiprocessing import shared_memory\n"
+        )
+        assert codes(findings) == ["RL006"]
+        findings = lint_file("import multiprocessing.shared_memory\n")
+        assert codes(findings) == ["RL006"]
+
+    def test_fires_on_attribute_usage(self, lint_file):
+        findings = lint_file(
+            """
+            import concurrent.futures
+
+            def fan_out():
+                return concurrent.futures.ProcessPoolExecutor(2)
+            """
+        )
+        assert codes(findings) == ["RL006"]
+
+    def test_parallel_layer_is_allowlisted(self, lint_file):
+        source = "from concurrent.futures import ProcessPoolExecutor\n"
+        for relpath in (
+            "src/repro/parallel/runtime.py",
+            "src/repro/instances/shm.py",
+            "src/repro/resilience/supervisor.py",
+        ):
+            assert lint_file(source, relpath=relpath) == []
+
+    def test_thread_pools_are_fine(self, lint_file):
+        findings = lint_file(
+            "from concurrent.futures import ThreadPoolExecutor\n"
+        )
+        assert findings == []
+
+
+class TestRL007SilentExcept:
+    def test_fires_on_swallowed_exception(self, lint_file):
+        findings = lint_file(
+            """
+            def load(path):
+                try:
+                    return open(path).read()
+                except OSError:
+                    pass
+            """
+        )
+        assert codes(findings) == ["RL007"]
+
+    def test_fires_on_bare_except(self, lint_file):
+        findings = lint_file(
+            """
+            def load(path):
+                try:
+                    return open(path).read()
+                except:
+                    return None
+            """
+        )
+        assert codes(findings) == ["RL007"]
+        assert "bare except" in findings[0].message
+
+    def test_handled_exception_is_fine(self, lint_file):
+        findings = lint_file(
+            """
+            def load(path):
+                try:
+                    return open(path).read()
+                except OSError as exc:
+                    raise RuntimeError(f"cannot load {path}") from exc
+            """
+        )
+        assert findings == []
+
+    def test_justified_suppression_silences(self, lint_file):
+        findings = lint_file(
+            """
+            def close(handle):
+                try:
+                    handle.close()
+                except Exception:  # repro-lint: disable=RL007
+                    # Best-effort teardown.
+                    pass
+            """
+        )
+        assert findings == []
+
+
+class TestRL008EngineParity:
+    ENGINE_MODULE = """
+        __all__ = ["covered_entry", "uncovered_entry", "A_CONSTANT"]
+
+        A_CONSTANT = 7
+
+        def covered_entry():
+            return 1
+
+        def uncovered_entry():
+            return 2
+
+        def _private_helper():
+            return 3
+        """
+
+    def test_fires_on_unreferenced_public_name(self, project):
+        project.write(
+            "src/repro/core/engine/extra.py", self.ENGINE_MODULE
+        )
+        project.write(
+            "tests/core/test_extra.py",
+            """
+            from repro.core.engine.extra import covered_entry
+
+            def test_covered_entry():
+                assert covered_entry() == 1
+            """,
+        )
+        findings = project.lint("src").findings
+        assert codes(findings) == ["RL008"]
+        assert "uncovered_entry" in findings[0].message
+        assert findings[0].path == "src/repro/core/engine/extra.py"
+
+    def test_clean_when_every_name_is_referenced(self, project):
+        project.write(
+            "src/repro/core/engine/extra.py", self.ENGINE_MODULE
+        )
+        project.write(
+            "tests/core/test_extra.py",
+            """
+            from repro.core.engine.extra import covered_entry, uncovered_entry
+            """,
+        )
+        assert project.lint("src").findings == []
+
+    def test_private_and_undeclared_names_are_exempt(self, project):
+        project.write(
+            "src/repro/core/engine/extra.py",
+            """
+            __all__ = ["visible"]
+
+            def visible():
+                return 1
+
+            def helper_not_in_all():
+                return 2
+            """,
+        )
+        project.write(
+            "tests/core/test_extra.py", "from x import visible\n"
+        )
+        assert project.lint("src").findings == []
+
+    def test_suppression_at_def_site_silences(self, project):
+        project.write(
+            "src/repro/core/engine/extra.py",
+            """
+            def unstable_api():  # repro-lint: disable=RL008
+                return 1
+            """,
+        )
+        project.write("tests/core/test_extra.py", "")
+        assert project.lint("src").findings == []
+
+    def test_non_engine_modules_are_ignored(self, project):
+        project.write(
+            "src/repro/solvers/extra.py",
+            """
+            def totally_untested():
+                return 1
+            """,
+        )
+        assert project.lint("src").findings == []
+
+
+class TestRegistry:
+    def test_eight_rules_with_stable_codes(self):
+        assert sorted(RULES) == [f"RL00{i}" for i in range(1, 9)]
+
+    def test_every_rule_is_documented(self):
+        for rule in RULES.values():
+            assert rule.name
+            assert rule.description
+            assert rule.scope in {"file", "project"}
